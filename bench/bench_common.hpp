@@ -1,0 +1,64 @@
+#pragma once
+// Shared helpers for the table/figure harnesses: single-configuration
+// runners that build a fresh scenario machine, execute a warmup phase
+// plus a measured phase, and return the per-step time.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/leanmd/leanmd.hpp"
+#include "apps/stencil/stencil.hpp"
+#include "grid/scenario.hpp"
+#include "util/table.hpp"
+
+namespace mdo::bench {
+
+struct StencilRun {
+  double ms_per_step = 0.0;
+  std::uint64_t wan_packets = 0;
+  std::uint64_t packets = 0;
+};
+
+inline StencilRun run_stencil(const grid::Scenario& scenario,
+                              apps::stencil::Params params,
+                              std::int32_t warmup_steps,
+                              std::int32_t measure_steps) {
+  core::Runtime rt(grid::make_sim_machine(scenario));
+  apps::stencil::StencilApp app(rt, params);
+  if (warmup_steps > 0) app.run_steps(warmup_steps);
+  auto phase = app.run_steps(measure_steps);
+  return StencilRun{phase.ms_per_step, phase.fabric.wan_packets,
+                    phase.fabric.packets_sent};
+}
+
+struct LeanMdRun {
+  double s_per_step = 0.0;
+  std::uint64_t wan_packets = 0;
+};
+
+inline LeanMdRun run_leanmd(const grid::Scenario& scenario,
+                            apps::leanmd::Params params,
+                            std::int32_t warmup_steps,
+                            std::int32_t measure_steps) {
+  core::Runtime rt(grid::make_sim_machine(scenario));
+  apps::leanmd::LeanMdApp app(rt, params);
+  if (warmup_steps > 0) app.run_steps(warmup_steps);
+  auto phase = app.run_steps(measure_steps);
+  return LeanMdRun{phase.s_per_step, phase.fabric.wan_packets};
+}
+
+/// The per-processor-count virtualization degrees reported in the paper
+/// (Figure 3 / Table 1 row structure).
+inline std::vector<std::int32_t> stencil_object_counts(std::int64_t pes) {
+  if (pes <= 4) return {4, 16, 64};
+  if (pes <= 16) return {16, 64, 256};
+  return {64, 256, 1024};
+}
+
+inline void print_section(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace mdo::bench

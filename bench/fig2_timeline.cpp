@@ -1,0 +1,102 @@
+// Figure 2 reproduction: a concrete timeline demonstrating message-driven
+// latency masking. Four processors on two clusters run a small stencil;
+// the trace shows a cluster-A processor continuing to execute other
+// objects' entry methods while its messages to cluster B are crossing
+// the wide area — the paper's hypothetical timeline, measured.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/stencil/stencil.hpp"
+#include "core/trace_report.hpp"
+#include "grid/scenario.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace mdo;
+
+int main(int argc, char** argv) {
+  std::int64_t latency_ms = 10;
+  std::int64_t max_rows = 24;
+  Options opts(
+      "fig2_timeline — Figure 2: per-PE execution timeline under WAN latency");
+  opts.add_int("latency", &latency_ms, "one-way cross-cluster latency (ms)")
+      .add_int("rows", &max_rows, "timeline rows to print");
+  if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
+
+  grid::Scenario scenario = grid::Scenario::artificial(
+      4, sim::milliseconds(static_cast<double>(latency_ms)));
+  scenario.tracing = true;
+  core::Runtime rt(grid::make_sim_machine(scenario));
+
+  apps::stencil::Params params;
+  params.mesh = 1024;
+  params.objects = 64;  // 16 objects per PE: plenty of independent work
+  apps::stencil::StencilApp app(rt, params);
+  app.run_steps(3);
+
+  auto trace = rt.machine().trace();
+  std::sort(trace.begin(), trace.end(),
+            [](const core::TraceEvent& a, const core::TraceEvent& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.pe < b.pe;
+            });
+
+  // The seam PE in cluster A is PE 1 (its southern object row talks to
+  // PE 2 in cluster B). Find its first delivery from across the WAN.
+  const core::Pe kSeamPe = 1;
+  sim::TimeNs first_wan_reply = -1;
+  for (const auto& ev : trace) {
+    if (ev.pe == kSeamPe && ev.src_pe >= 2) {
+      first_wan_reply = ev.begin;
+      break;
+    }
+  }
+
+  std::printf(
+      "Figure 2: timeline of PE %d (cluster A) with %lld ms one-way WAN "
+      "latency.\nIts first cross-cluster ghost arrives at t = %.3f ms; "
+      "until then the PE keeps\nexecuting entries triggered by local-cluster "
+      "messages:\n\n",
+      kSeamPe, static_cast<long long>(latency_ms), sim::to_ms(first_wan_reply));
+
+  TextTable table({"t_begin_ms", "t_end_ms", "pe", "triggered_by", "note"});
+  std::int64_t rows = 0;
+  int masked_entries = 0;
+  sim::TimeNs busy_in_gap = 0;
+  for (const auto& ev : trace) {
+    if (ev.pe != kSeamPe) continue;
+    bool in_gap = first_wan_reply >= 0 && ev.end <= first_wan_reply;
+    if (in_gap) {
+      ++masked_entries;
+      busy_in_gap += ev.end - ev.begin;
+    }
+    if (rows < max_rows) {
+      std::string trigger = ev.src_pe == kSeamPe
+                                ? "self"
+                                : "PE " + std::to_string(ev.src_pe) +
+                                      (ev.src_pe >= 2 ? " (remote cluster)"
+                                                      : " (local cluster)");
+      table.add_row({fmt_double(sim::to_ms(ev.begin), 3),
+                     fmt_double(sim::to_ms(ev.end), 3), std::to_string(ev.pe),
+                     trigger,
+                     ev.src_pe >= 2 ? "<- WAN message delivered" : ""});
+      ++rows;
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  double utilization = first_wan_reply > 0
+                           ? 100.0 * static_cast<double>(busy_in_gap) /
+                                 static_cast<double>(first_wan_reply)
+                           : 0.0;
+  std::printf(
+      "\nWhile its WAN messages were in flight, PE %d executed %d other "
+      "entries\nand stayed %.1f%% busy — the overlap of Figure 2.\n",
+      kSeamPe, masked_entries, utilization);
+
+  auto report = core::summarize_trace(trace, rt.topology());
+  std::printf("\nPer-PE utilization over the whole run:\n%s",
+              report.render().c_str());
+  return 0;
+}

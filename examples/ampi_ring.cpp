@@ -1,0 +1,98 @@
+// AMPI demo: an unmodified MPI-style program (ring halo exchange with a
+// global residual allreduce) gains grid latency tolerance purely by
+// raising the number of ranks per processor — the paper's §2.1/§6 claim
+// about Adaptive MPI.
+//
+//   ./ampi_ring [--pes=4] [--latency=10] [--ranks=32]
+
+#include <cstdio>
+#include <vector>
+
+#include "ampi/ampi.hpp"
+#include "grid/scenario.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace mdo;
+
+namespace {
+
+/// The "application": each rank owns a slice of a 1D field, exchanges
+/// halos with ring neighbors, relaxes, and allreduces a residual. It is
+/// written against the Comm API only — it never mentions clusters,
+/// latency, or objects.
+void ring_program(ampi::Comm& comm, int steps, std::int64_t work_ns_per_rank) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const int left = (rank + size - 1) % size;
+  const int right = (rank + 1) % size;
+  std::vector<double> field(128, static_cast<double>(rank));
+
+  for (int s = 0; s < steps; ++s) {
+    double left_halo = 0, right_halo = 0;
+    auto r1 = comm.irecv_bytes(left, 0, &left_halo, sizeof(double));
+    auto r2 = comm.irecv_bytes(right, 1, &right_halo, sizeof(double));
+    comm.send_bytes(right, 0, &field.back(), sizeof(double));
+    comm.send_bytes(left, 1, &field.front(), sizeof(double));
+    comm.wait(r1);
+    comm.wait(r2);
+
+    comm.charge_ns(work_ns_per_rank);  // the slice's compute
+    double next_front = 0.5 * (field.front() + left_halo);
+    double next_back = 0.5 * (field.back() + right_halo);
+    field.front() = next_front;
+    field.back() = next_back;
+
+    std::vector<double> residual{std::abs(next_front - next_back)};
+    comm.allreduce(residual.data(), 1, ampi::Comm::Op::kMax);
+  }
+}
+
+double run(std::int64_t pes, std::int64_t latency_ms, int ranks, int steps) {
+  core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      static_cast<std::size_t>(pes),
+      sim::milliseconds(static_cast<double>(latency_ms)))));
+  // Fixed total work per step, split across however many ranks exist.
+  std::int64_t work = sim::milliseconds(20.0) * pes / ranks;
+  ampi::World world(rt, ranks,
+                    [steps, work](ampi::Comm& comm) { ring_program(comm, steps, work); });
+  world.launch();
+  rt.run();
+  if (world.unfinished_ranks() != 0) {
+    std::fprintf(stderr, "deadlock: %d ranks unfinished\n",
+                 world.unfinished_ranks());
+    return -1;
+  }
+  return sim::to_ms(rt.now()) / steps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t pes = 4;
+  std::int64_t latency_ms = 10;
+  std::int64_t steps = 8;
+  Options opts("ampi_ring — MPI program, unmodified, on a two-cluster grid");
+  opts.add_int("pes", &pes, "processors, split across two clusters")
+      .add_int("latency", &latency_ms, "artificial one-way WAN latency (ms)")
+      .add_int("steps", &steps, "relaxation steps");
+  if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
+
+  std::printf("AMPI ring relaxation on %lld PEs, %lld ms one-way WAN.\n"
+              "Same program, same total work — only the rank count varies:\n\n",
+              static_cast<long long>(pes), static_cast<long long>(latency_ms));
+
+  TextTable table({"ranks", "ranks_per_pe", "ms_per_step"});
+  for (int ranks : {static_cast<int>(pes), 2 * static_cast<int>(pes),
+                    8 * static_cast<int>(pes), 32 * static_cast<int>(pes)}) {
+    double ms = run(pes, latency_ms, ranks, static_cast<int>(steps));
+    table.add_row({std::to_string(ranks),
+                   std::to_string(ranks / static_cast<int>(pes)),
+                   fmt_double(ms, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nMore AMPI ranks (user-level threads) per PE -> the runtime "
+              "overlaps the WAN\nwaits of some ranks with other ranks' "
+              "compute: MPI code, Charm++ benefits.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// LeanMD demo: real Lennard-Jones physics on a small box (with energy
+// conservation printed per step), then the paper's full 216-cell
+// benchmark in modeled mode showing latency tolerance on a two-cluster
+// grid.
+//
+//   ./leanmd_grid [--pes=8] [--latency=16] [--steps=10]
+
+#include <cstdio>
+
+#include "apps/leanmd/leanmd.hpp"
+#include "grid/scenario.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace mdo;
+
+int main(int argc, char** argv) {
+  std::int64_t pes = 8;
+  std::int64_t latency_ms = 16;
+  std::int64_t steps = 10;
+  Options opts("leanmd_grid — molecular dynamics across two clusters");
+  opts.add_int("pes", &pes, "processors, split across two clusters")
+      .add_int("latency", &latency_ms, "artificial one-way WAN latency (ms)")
+      .add_int("steps", &steps, "steps per phase");
+  if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
+
+  // Phase 1: real physics, small box, energy monitored.
+  {
+    std::printf("-- real physics: 3x3x3 cells, 16 atoms/cell, LJ + velocity "
+                "Verlet --\n");
+    core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+        static_cast<std::size_t>(pes),
+        sim::milliseconds(static_cast<double>(latency_ms)))));
+    apps::leanmd::Params p;
+    p.cells_per_dim = 3;
+    p.atoms_per_cell = 16;
+    p.real_compute = true;
+    p.monitor_energy = true;
+    apps::leanmd::LeanMdApp app(rt, p);
+    app.run_steps(static_cast<std::int32_t>(steps));
+
+    TextTable table({"step", "kinetic", "potential", "total"});
+    const auto& hist = app.energy_history();
+    for (std::size_t s = 0; s < hist.size(); ++s) {
+      table.add_row({std::to_string(s), fmt_double(hist[s][0], 6),
+                     fmt_double(hist[s][1], 6),
+                     fmt_double(hist[s][0] + hist[s][1], 6)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("(total energy should stay near-constant: velocity Verlet)\n\n");
+  }
+
+  // Phase 2: the paper's benchmark decomposition, modeled compute.
+  {
+    std::printf("-- paper benchmark: 216 cells / 3024 cell-pairs, ~8 s serial "
+                "step, %lld PEs --\n",
+                static_cast<long long>(pes));
+    apps::leanmd::Params p;  // defaults = the benchmark
+    auto run_at = [&](double lat_ms) {
+      core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+          static_cast<std::size_t>(pes), sim::milliseconds(lat_ms))));
+      apps::leanmd::LeanMdApp app(rt, p);
+      app.run_steps(1);
+      return app.run_steps(3).s_per_step;
+    };
+    double base = run_at(0.0);
+    double with = run_at(static_cast<double>(latency_ms));
+    std::printf("s/step without WAN latency : %.3f\n", base);
+    std::printf("s/step with %3lld ms latency : %.3f (%.1f%% slower)\n",
+                static_cast<long long>(latency_ms), with,
+                100.0 * (with - base) / base);
+    std::printf("~%d cell-pair objects per PE keep the WAN waits overlapped "
+                "with other pairs' force computations.\n",
+                static_cast<int>(3024 / pes));
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// The paper's first workload as a runnable demo: a five-point stencil
+// co-allocated across two clusters. Compares low vs high virtualization
+// under the latency you pick, then optionally replays the high-
+// virtualization configuration on real OS threads with real sleeps
+// (--threads) so the masking is observable in wall-clock time.
+//
+//   ./stencil_grid --pes=8 --latency=8 --steps=10 [--threads]
+
+#include <cstdio>
+
+#include "apps/stencil/stencil.hpp"
+#include "grid/scenario.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace mdo;
+
+namespace {
+
+double sim_run(std::int64_t pes, std::int64_t latency_ms, std::int32_t objects,
+               std::int32_t steps) {
+  core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      static_cast<std::size_t>(pes),
+      sim::milliseconds(static_cast<double>(latency_ms)))));
+  apps::stencil::Params p;
+  p.mesh = 2048;
+  p.objects = objects;
+  apps::stencil::StencilApp app(rt, p);
+  app.run_steps(2);
+  return app.run_steps(steps).ms_per_step;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t pes = 8;
+  std::int64_t latency_ms = 8;
+  std::int64_t steps = 10;
+  bool threads = false;
+  Options opts("stencil_grid — latency masking by virtualization, live");
+  opts.add_int("pes", &pes, "processors, split across two clusters")
+      .add_int("latency", &latency_ms, "artificial one-way WAN latency (ms)")
+      .add_int("steps", &steps, "measured steps")
+      .add_flag("threads", &threads,
+                "also run on real threads with real delays (wall clock)");
+  if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
+
+  std::printf("Five-point stencil, 2048x2048 mesh, %lld PEs (%lld+%lld), "
+              "%lld ms one-way WAN\n\n",
+              static_cast<long long>(pes), static_cast<long long>(pes / 2),
+              static_cast<long long>(pes / 2), static_cast<long long>(latency_ms));
+
+  TextTable table({"objects", "objects_per_pe", "ms_per_step_at_0ms",
+                   "ms_per_step_at_latency", "latency_exposed_ms"});
+  for (std::int32_t objects : {16, 64, 256, 1024}) {
+    if (objects < pes) continue;  // keep at least one object per PE
+    double base = sim_run(pes, 0, objects, static_cast<std::int32_t>(steps));
+    double with = sim_run(pes, latency_ms, objects, static_cast<std::int32_t>(steps));
+    table.add_row({std::to_string(objects),
+                   std::to_string(objects / static_cast<std::int32_t>(pes)),
+                   fmt_double(base, 3), fmt_double(with, 3),
+                   fmt_double(with - base, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nMore objects per PE -> less of the %lld ms WAN latency shows "
+              "through (the paper's Figure 3 effect).\n",
+              static_cast<long long>(latency_ms));
+
+  if (threads) {
+    std::printf("\n-- real-thread replay (wall-clock, %lld PEs as OS threads) --\n",
+                static_cast<long long>(pes));
+    core::ThreadMachine::Config cfg;
+    cfg.emulate_charge = true;  // modeled compute becomes real sleeps
+    core::Runtime rt(grid::make_thread_machine(
+        grid::Scenario::artificial(static_cast<std::size_t>(pes),
+                                   sim::milliseconds(static_cast<double>(latency_ms))),
+        cfg));
+    apps::stencil::Params p;
+    p.mesh = 512;  // smaller mesh so the demo finishes in seconds
+    p.objects = 64;
+    apps::stencil::StencilApp app(rt, p);
+    auto phase = app.run_steps(static_cast<std::int32_t>(steps));
+    std::printf("real elapsed: %.1f ms for %lld steps -> %.3f ms/step "
+                "(WAN at %lld ms stayed hidden behind %d objects/PE)\n",
+                sim::to_ms(phase.elapsed), static_cast<long long>(steps),
+                phase.ms_per_step, static_cast<long long>(latency_ms),
+                64 / static_cast<int>(pes));
+  }
+  return 0;
+}

@@ -1,0 +1,331 @@
+#include "ampi/ampi.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/mapping.hpp"
+#include "util/assert.hpp"
+
+namespace mdo::ampi {
+namespace {
+
+// Collective phases use the negative tag space; user tags must be >= 0.
+constexpr int kCollTagBase = -2;
+
+int up_tag(std::uint32_t seq) { return kCollTagBase - static_cast<int>(seq) * 2; }
+int down_tag(std::uint32_t seq) {
+  return kCollTagBase - static_cast<int>(seq) * 2 - 1;
+}
+
+void combine(Comm::Op op, double* acc, const double* in, std::size_t n) {
+  switch (op) {
+    case Comm::Op::kSum:
+      for (std::size_t i = 0; i < n; ++i) acc[i] += in[i];
+      break;
+    case Comm::Op::kMin:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+    case Comm::Op::kMax:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+// -- World -------------------------------------------------------------------
+
+World::World(core::Runtime& rt, int ranks, RankFn fn)
+    : World(rt, ranks, std::move(fn), core::block_map_1d(ranks, rt.num_pes())) {}
+
+World::World(core::Runtime& rt, int ranks, RankFn fn,
+             const core::MapFn& mapper)
+    : rt_(&rt), ranks_(ranks), fn_(std::move(fn)) {
+  MDO_CHECK(ranks_ > 0);
+  MDO_CHECK(static_cast<bool>(fn_));
+  proxy_ = rt_->create_array<RankChare>(
+      "ampi_ranks", core::indices_1d(ranks_), mapper,
+      [this](const core::Index& index) {
+        auto rank = std::make_unique<RankChare>();
+        rank->world_ = this;
+        rank->rank_ = index.x;
+        return rank;
+      });
+}
+
+void World::launch() { proxy_.broadcast<&RankChare::start>(); }
+
+int World::unfinished_ranks() const {
+  int unfinished = 0;
+  for (int r = 0; r < ranks_; ++r) {
+    if (!proxy_.local(core::Index(r))->finished()) ++unfinished;
+  }
+  return unfinished;
+}
+
+// -- RankChare ----------------------------------------------------------------
+
+void RankChare::start() {
+  MDO_CHECK(fiber_ == nullptr);
+  fiber_ = std::make_unique<Fiber>([this] {
+    Comm comm(this);
+    world_->fn_(comm);
+  });
+  fiber_->resume();
+}
+
+void RankChare::message(int src, int tag, Bytes data) {
+  Pending incoming{src, tag, std::move(data)};
+
+  // Posted nonblocking receives match before the mailbox (post order).
+  for (auto it = posted_irecvs_.begin(); it != posted_irecvs_.end(); ++it) {
+    Request::State& state = **it;
+    bool src_ok = state.src == kAnySource || state.src == incoming.src;
+    bool tag_ok = state.tag == kAnyTag || state.tag == incoming.tag;
+    if (!src_ok || !tag_ok) continue;
+    MDO_CHECK_MSG(state.bytes == incoming.data.size(),
+                  "irecv size does not match incoming message");
+    if (state.bytes != 0)
+      std::memcpy(state.buffer, incoming.data.data(), state.bytes);
+    state.matched_src = incoming.src;
+    state.matched_tag = incoming.tag;
+    state.done = true;
+    posted_irecvs_.erase(it);
+    if (fiber_ && fiber_->started() && !fiber_->finished()) fiber_->resume();
+    return;
+  }
+
+  mailbox_.push_back(std::move(incoming));
+  if (fiber_ && fiber_->started() && !fiber_->finished()) fiber_->resume();
+}
+
+void RankChare::block_until(const std::function<bool()>& ready) {
+  MDO_CHECK_MSG(Fiber::current() == fiber_.get(),
+                "blocking AMPI call outside the rank's thread");
+  while (!ready()) fiber_->yield();
+}
+
+std::optional<std::size_t> RankChare::find_match(int src, int tag) const {
+  for (std::size_t i = 0; i < mailbox_.size(); ++i) {
+    bool src_ok = src == kAnySource || mailbox_[i].src == src;
+    bool tag_ok = tag == kAnyTag || mailbox_[i].tag == tag;
+    if (src_ok && tag_ok) return i;
+  }
+  return std::nullopt;
+}
+
+// -- Comm ----------------------------------------------------------------------
+
+int Comm::rank() const { return rank_->rank_; }
+int Comm::size() const { return rank_->world_->ranks(); }
+core::Pe Comm::my_pe() const { return rank_->my_pe(); }
+
+double Comm::wtime() const {
+  return static_cast<double>(rank_->runtime().now()) / 1e9;
+}
+
+void Comm::charge_ns(std::int64_t ns) { rank_->charge(ns); }
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
+  MDO_CHECK(dst >= 0 && dst < size());
+  Bytes payload(bytes);
+  if (bytes != 0) std::memcpy(payload.data(), data, bytes);
+  rank_->world_->proxy().send<&RankChare::message>(core::Index(dst), rank(),
+                                                   tag, std::move(payload));
+}
+
+std::pair<int, int> Comm::recv_bytes(int src, int tag, void* data,
+                                     std::size_t bytes) {
+  std::optional<std::size_t> match;
+  rank_->block_until([&] {
+    match = rank_->find_match(src, tag);
+    return match.has_value();
+  });
+  RankChare::Pending msg = std::move(rank_->mailbox_[*match]);
+  rank_->mailbox_.erase(rank_->mailbox_.begin() +
+                        static_cast<std::ptrdiff_t>(*match));
+  MDO_CHECK_MSG(msg.data.size() == bytes,
+                "recv size does not match incoming message");
+  if (bytes != 0) std::memcpy(data, msg.data.data(), bytes);
+  return {msg.src, msg.tag};
+}
+
+Request Comm::isend_bytes(int dst, int tag, const void* data,
+                          std::size_t bytes) {
+  // Eager protocol: the payload is copied out immediately, so the send
+  // buffer is reusable and the request completes at once.
+  send_bytes(dst, tag, data, bytes);
+  Request r;
+  r.state_ = std::make_shared<Request::State>();
+  r.state_->done = true;
+  return r;
+}
+
+Request Comm::irecv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  Request r;
+  r.state_ = std::make_shared<Request::State>();
+  r.state_->buffer = data;
+  r.state_->bytes = bytes;
+  r.state_->src = src;
+  r.state_->tag = tag;
+
+  if (auto match = rank_->find_match(src, tag)) {
+    RankChare::Pending msg = std::move(rank_->mailbox_[*match]);
+    rank_->mailbox_.erase(rank_->mailbox_.begin() +
+                          static_cast<std::ptrdiff_t>(*match));
+    MDO_CHECK_MSG(msg.data.size() == bytes,
+                  "irecv size does not match incoming message");
+    if (bytes != 0) std::memcpy(data, msg.data.data(), bytes);
+    r.state_->matched_src = msg.src;
+    r.state_->matched_tag = msg.tag;
+    r.state_->done = true;
+    return r;
+  }
+  rank_->posted_irecvs_.push_back(r.state_);
+  return r;
+}
+
+void Comm::wait(Request& request) {
+  if (!request.state_) return;
+  auto state = request.state_;
+  rank_->block_until([state] { return state->done; });
+}
+
+void Comm::waitall(std::vector<Request>& requests) {
+  for (auto& r : requests) wait(r);
+}
+
+// -- collectives ------------------------------------------------------------
+
+void Comm::barrier() {
+  std::uint32_t seq = rank_->collective_seq_++;
+  int n = size();
+  int me = rank();
+  int c1 = 2 * me + 1, c2 = 2 * me + 2;
+  if (c1 < n) recv_bytes(c1, up_tag(seq), nullptr, 0);
+  if (c2 < n) recv_bytes(c2, up_tag(seq), nullptr, 0);
+  if (me != 0) {
+    send_bytes((me - 1) / 2, up_tag(seq), nullptr, 0);
+    recv_bytes((me - 1) / 2, down_tag(seq), nullptr, 0);
+  }
+  if (c1 < n) send_bytes(c1, down_tag(seq), nullptr, 0);
+  if (c2 < n) send_bytes(c2, down_tag(seq), nullptr, 0);
+}
+
+void Comm::bcast(void* data, std::size_t bytes, int root) {
+  std::uint32_t seq = rank_->collective_seq_++;
+  int n = size();
+  int rel = (rank() - root + n) % n;
+  auto actual = [&](int r) { return (r + root) % n; };
+  if (rel != 0) {
+    recv_bytes(actual((rel - 1) / 2), down_tag(seq), data, bytes);
+  }
+  int c1 = 2 * rel + 1, c2 = 2 * rel + 2;
+  if (c1 < n) send_bytes(actual(c1), down_tag(seq), data, bytes);
+  if (c2 < n) send_bytes(actual(c2), down_tag(seq), data, bytes);
+}
+
+void Comm::reduce(const double* in, double* out, std::size_t n_elems, Op op,
+                  int root) {
+  std::uint32_t seq = rank_->collective_seq_++;
+  int n = size();
+  int rel = (rank() - root + n) % n;
+  auto actual = [&](int r) { return (r + root) % n; };
+
+  std::vector<double> acc(in, in + n_elems);
+  std::vector<double> tmp(n_elems);
+  int c1 = 2 * rel + 1, c2 = 2 * rel + 2;
+  for (int child : {c1, c2}) {
+    if (child >= n) continue;
+    recv_bytes(actual(child), up_tag(seq), tmp.data(),
+               n_elems * sizeof(double));
+    combine(op, acc.data(), tmp.data(), n_elems);
+  }
+  if (rel != 0) {
+    send_bytes(actual((rel - 1) / 2), up_tag(seq), acc.data(),
+               n_elems * sizeof(double));
+  } else {
+    MDO_CHECK(out != nullptr);
+    std::copy(acc.begin(), acc.end(), out);
+  }
+}
+
+void Comm::allreduce(double* data, std::size_t n_elems, Op op) {
+  std::vector<double> result(n_elems);
+  reduce(data, rank() == 0 ? result.data() : nullptr, n_elems, op, 0);
+  if (rank() == 0) std::copy(result.begin(), result.end(), data);
+  bcast(data, n_elems * sizeof(double), 0);
+}
+
+void Comm::scatter(const void* in, std::size_t bytes, void* out, int root) {
+  std::uint32_t seq = rank_->collective_seq_++;
+  if (rank() == root) {
+    const auto* src = static_cast<const char*>(in);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send_bytes(r, down_tag(seq), src + static_cast<std::size_t>(r) * bytes,
+                 bytes);
+    }
+    if (bytes != 0)
+      std::memcpy(out, src + static_cast<std::size_t>(root) * bytes, bytes);
+    return;
+  }
+  recv_bytes(root, down_tag(seq), out, bytes);
+}
+
+void Comm::allgather(const void* in, std::size_t bytes, void* out) {
+  gather(in, bytes, out, 0);
+  bcast(out, static_cast<std::size_t>(size()) * bytes, 0);
+}
+
+void Comm::alltoall(const void* in, std::size_t bytes, void* out) {
+  std::uint32_t seq = rank_->collective_seq_++;
+  const auto* src = static_cast<const char*>(in);
+  auto* dst = static_cast<char*>(out);
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank()) {
+      if (bytes != 0)
+        std::memcpy(dst + static_cast<std::size_t>(r) * bytes,
+                    src + static_cast<std::size_t>(r) * bytes, bytes);
+      continue;
+    }
+    send_bytes(r, up_tag(seq), src + static_cast<std::size_t>(r) * bytes,
+               bytes);
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank()) continue;
+    recv_bytes(r, up_tag(seq), dst + static_cast<std::size_t>(r) * bytes,
+               bytes);
+  }
+}
+
+std::pair<int, int> Comm::sendrecv(int dst, int send_tag,
+                                   const void* send_data,
+                                   std::size_t send_len, int src,
+                                   int recv_tag, void* recv_data,
+                                   std::size_t recv_len) {
+  send_bytes(dst, send_tag, send_data, send_len);
+  return recv_bytes(src, recv_tag, recv_data, recv_len);
+}
+
+bool Comm::has_message(int src, int tag) const {
+  return rank_->find_match(src, tag).has_value();
+}
+
+void Comm::gather(const void* in, std::size_t bytes, void* out, int root) {
+  std::uint32_t seq = rank_->collective_seq_++;
+  if (rank() != root) {
+    send_bytes(root, up_tag(seq), in, bytes);
+    return;
+  }
+  auto* dst = static_cast<char*>(out);
+  if (bytes != 0)
+    std::memcpy(dst + static_cast<std::size_t>(root) * bytes, in, bytes);
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    recv_bytes(r, up_tag(seq), dst + static_cast<std::size_t>(r) * bytes,
+               bytes);
+  }
+}
+
+}  // namespace mdo::ampi

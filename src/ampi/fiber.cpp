@@ -1,0 +1,50 @@
+#include "ampi/fiber.hpp"
+
+#include "util/assert.hpp"
+
+namespace mdo::ampi {
+namespace {
+
+thread_local Fiber* t_current_fiber = nullptr;
+
+}  // namespace
+
+Fiber* Fiber::current() { return t_current_fiber; }
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(stack_bytes) {
+  MDO_CHECK(stack_bytes >= 16 * 1024);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = t_current_fiber;
+  MDO_CHECK(self != nullptr);
+  self->fn_();
+  self->finished_ = true;
+  // Returning lets ucontext fall through to uc_link (return_context_).
+}
+
+void Fiber::resume() {
+  MDO_CHECK_MSG(t_current_fiber == nullptr, "nested fiber resume");
+  MDO_CHECK_MSG(!finished_, "resume of a finished fiber");
+  if (!started_) {
+    started_ = true;
+    MDO_CHECK(getcontext(&context_) == 0);
+    context_.uc_stack.ss_sp = stack_.data();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = &return_context_;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+  t_current_fiber = this;
+  MDO_CHECK(swapcontext(&return_context_, &context_) == 0);
+  t_current_fiber = nullptr;
+}
+
+void Fiber::yield() {
+  MDO_CHECK_MSG(t_current_fiber == this, "yield from outside the fiber");
+  t_current_fiber = nullptr;
+  MDO_CHECK(swapcontext(&context_, &return_context_) == 0);
+  t_current_fiber = this;
+}
+
+}  // namespace mdo::ampi

@@ -1,0 +1,54 @@
+#pragma once
+// Stackful user-level threads (ucontext) hosting AMPI ranks. A fiber is
+// always resumed on the PE thread that owns its rank chare, so no locking
+// is needed; SimMachine runs everything on one thread anyway.
+//
+// Divergence from real AMPI noted in DESIGN.md: AMPI migrates threads
+// between address spaces with isomalloc stacks; our fibers live in one
+// process and do not migrate.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <ucontext.h>
+
+namespace mdo::ampi {
+
+class Fiber {
+ public:
+  /// The function runs on the fiber's own stack at first resume().
+  explicit Fiber(std::function<void()> fn,
+                 std::size_t stack_bytes = 256 * 1024);
+  ~Fiber() = default;
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Run the fiber until it yields or finishes. Must not be called from
+  /// inside a fiber.
+  void resume();
+
+  /// Suspend the running fiber, returning control to its resumer. Must be
+  /// called from inside this fiber.
+  void yield();
+
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+
+  /// The fiber currently executing on this thread (nullptr outside one).
+  static Fiber* current();
+
+ private:
+  static void trampoline();
+
+  std::function<void()> fn_;
+  std::vector<char> stack_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace mdo::ampi

@@ -1,0 +1,159 @@
+#pragma once
+// LeanMD-style classical molecular dynamics (paper §4, §5.3): atoms are
+// partitioned into a 3D grid of cells (6×6×6 = 216 in the benchmark,
+// periodic); every pair of 26-neighboring cells plus every cell's self
+// interaction is computed by a separate cell-pair object (3 024 total).
+// Each step a cell drifts its atoms, multicasts coordinates to the pairs
+// that depend on it, receives forces back, and kicks velocities
+// (velocity Verlet). The many independent cell-pair objects per PE are
+// what lets the message-driven scheduler overlap WAN waits (Figure 4).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/runtime.hpp"
+#include "grid/calibration.hpp"
+#include "net/fabric.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::apps::leanmd {
+
+struct Params {
+  std::int32_t cells_per_dim = 6;     ///< d: the box is d×d×d cells
+  std::int32_t atoms_per_cell = 200;
+  bool real_compute = false;          ///< evaluate Lennard-Jones forces
+  bool modeled_charge = true;         ///< charge the Itanium-2 cost model
+  bool monitor_energy = false;        ///< per-step (KE, PE) reduction
+  double interaction_ns = grid::kLeanMdInteractionNs;
+  double integrate_ns_per_atom = grid::kLeanMdIntegrateNsPerAtom;
+
+  // Real-physics constants (reduced units).
+  double cell_size = 1.0;
+  double dt = 0.002;
+  double epsilon = 1.0;
+  double sigma = 0.25;
+  double cutoff = 1.0;
+  double initial_speed = 0.05;
+  std::uint64_t seed = 2005;
+
+  std::int32_t num_cells() const {
+    return cells_per_dim * cells_per_dim * cells_per_dim;
+  }
+  double box() const { return cells_per_dim * cell_size; }
+};
+
+/// The periodic 26-neighborhood pair decomposition: self pairs first
+/// (pair id == flat cell id), then cross pairs in deterministic order.
+struct PairTable {
+  struct Entry {
+    core::Index a;  ///< lexicographically <= b; a == b for self pairs
+    core::Index b;
+  };
+  std::vector<Entry> pairs;
+  std::vector<std::vector<std::int32_t>> pairs_of_cell;  ///< by flat cell id
+
+  static PairTable build(std::int32_t cells_per_dim);
+  std::size_t num_pairs() const { return pairs.size(); }
+};
+
+std::int32_t flat_cell_id(const core::Index& cell, std::int32_t d);
+
+class CellPair;
+
+/// One spatial cell owning `atoms_per_cell` atoms.
+class Cell final : public core::Chare {
+ public:
+  Cell() = default;
+
+  void configure(const Params& params, std::vector<core::Index> my_pairs,
+                 core::ArrayId pair_array, core::ReductionClientId energy_client);
+
+  // -- entry methods ---------------------------------------------------------
+  void resume_steps(std::int32_t more_steps);
+  void forces(std::int32_t step, std::vector<double> f, double potential);
+
+  void pup(Pup& p) override;
+
+  std::int32_t steps_done() const { return step_; }
+  const std::vector<double>& positions() const { return x_; }
+  const std::vector<double>& velocities() const { return v_; }
+  double kinetic_energy() const;
+
+ private:
+  void drift_and_multicast();
+  void kick(const std::vector<double>& f_new);
+
+  Params params_{};
+  std::vector<core::Index> my_pairs_;
+  core::ArrayId pair_array_ = -1;
+  core::ReductionClientId energy_client_ = -1;
+
+  std::int32_t target_steps_ = 0;
+  std::int32_t step_ = 0;
+  std::int32_t arrived_ = 0;
+  double potential_sum_ = 0.0;
+  std::vector<double> x_, v_, f_, f_acc_;  // 3N each
+};
+
+/// One interaction object between two (possibly identical) cells.
+class CellPair final : public core::Chare {
+ public:
+  CellPair() = default;
+
+  void configure(const Params& params, const core::Index& a,
+                 const core::Index& b, core::ArrayId cell_array);
+
+  // -- entry method ----------------------------------------------------------
+  void coords(std::int32_t step, std::int32_t from_flat_cell,
+              std::vector<double> xyz);
+
+  void pup(Pup& p) override;
+
+  bool is_self() const { return a_ == b_; }
+
+ private:
+  void compute_and_reply(std::int32_t step);
+
+  Params params_{};
+  core::Index a_{}, b_{};
+  core::ArrayId cell_array_ = -1;
+  std::array<std::vector<double>, 2> xyz_;
+  std::array<bool, 2> have_{{false, false}};
+};
+
+/// Host-side driver.
+class LeanMdApp {
+ public:
+  struct PhaseResult {
+    std::int32_t steps = 0;
+    sim::TimeNs elapsed = 0;
+    double s_per_step = 0.0;
+    net::Fabric::Stats fabric{};
+  };
+
+  LeanMdApp(core::Runtime& rt, Params params);
+
+  PhaseResult run_steps(std::int32_t steps);
+
+  core::ArrayProxy<Cell>& cells() { return cells_; }
+  core::ArrayProxy<CellPair>& pairs() { return pairs_; }
+  const PairTable& table() const { return table_; }
+  const Params& params() const { return params_; }
+
+  /// Per-step (kinetic, potential) totals; filled when monitor_energy.
+  const std::vector<std::array<double, 2>>& energy_history() const {
+    return energy_history_;
+  }
+
+ private:
+  core::Runtime* rt_;
+  Params params_;
+  PairTable table_;
+  core::ArrayProxy<Cell> cells_;
+  core::ArrayProxy<CellPair> pairs_;
+  std::vector<std::array<double, 2>> energy_history_;
+};
+
+}  // namespace mdo::apps::leanmd

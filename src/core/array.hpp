@@ -1,0 +1,157 @@
+#pragma once
+// Typed chare-array facade: ChareArray<T> (concrete storage) and
+// ArrayProxy<T> (the handle user code sends through). Mirrors Charm++'s
+// generated proxy classes without a source translator.
+//
+//   struct Chunk : mdo::core::Chare {
+//     void ghost(int dir, std::vector<double> row);   // an entry method
+//     void pup(mdo::Pup& p) override;                  // migration support
+//   };
+//   auto proxy = rt.create_array<Chunk>("chunks", indices, mapper,
+//                                       [](const Index& i) { return std::make_unique<Chunk>(...); });
+//   proxy.send<&Chunk::ghost>(Index{x, y}, 2, row);    // async, message-driven
+
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "core/array_base.hpp"
+#include "core/registry.hpp"
+#include "core/runtime.hpp"
+
+namespace mdo::core {
+
+template <class T>
+class ChareArray final : public ArrayBase {
+  static_assert(std::is_base_of_v<Chare, T>, "array elements must derive from Chare");
+
+ public:
+  ChareArray(ArrayId id, std::string name, int num_pes)
+      : ArrayBase(id, std::move(name), num_pes) {}
+
+  std::unique_ptr<Chare> make_element() const override {
+    if constexpr (std::is_default_constructible_v<T>) {
+      return std::make_unique<T>();
+    } else {
+      MDO_CHECK_MSG(false,
+                    "element type is not default-constructible; migration "
+                    "and restore require it");
+      return nullptr;
+    }
+  }
+};
+
+template <class T>
+class ArrayProxy {
+ public:
+  ArrayProxy() = default;
+  ArrayProxy(Runtime* rt, ArrayId id) : rt_(rt), id_(id) {}
+
+  ArrayId id() const { return id_; }
+  Runtime& runtime() const { return *rt_; }
+  bool valid() const { return rt_ != nullptr; }
+
+  /// Asynchronous entry-method send to one element (FIFO priority 0).
+  template <auto Method, class... Args>
+  void send(const Index& to, Args&&... args) const {
+    send_prio<Method>(0, to, std::forward<Args>(args)...);
+  }
+
+  /// Prioritized send: smaller priority values are delivered first.
+  template <auto Method, class... Args>
+  void send_prio(Priority priority, const Index& to, Args&&... args) const {
+    check_method<Method>();
+    rt_->send_entry(id_, to, entry_id<Method>(), priority,
+                    pack_args<Method>(std::forward<Args>(args)...));
+  }
+
+  /// Deliver to every element, fanning out over the cluster-aware tree.
+  template <auto Method, class... Args>
+  void broadcast(Args&&... args) const {
+    check_method<Method>();
+    rt_->broadcast_entry(id_, entry_id<Method>(), 0,
+                         pack_args<Method>(std::forward<Args>(args)...));
+  }
+
+  /// Deliver to a section (arbitrary subset), one bundle per hosting PE.
+  template <auto Method, class... Args>
+  void multicast(std::span<const Index> targets, Args&&... args) const {
+    check_method<Method>();
+    rt_->multicast_entry(id_, targets, entry_id<Method>(), 0,
+                         pack_args<Method>(std::forward<Args>(args)...));
+  }
+
+  /// Reduction client delivering the result to `Method` on every element;
+  /// Method's signature must be void(std::vector<double>).
+  template <auto Method>
+  ReductionClientId reduction_client() const {
+    check_method<Method>();
+    return rt_->add_reduction_client_entry(id_, entry_id<Method>());
+  }
+
+  /// Reduction client delivering to a host function on the tree root PE.
+  ReductionClientId reduction_client(ReductionHostFn fn) const {
+    return rt_->add_reduction_client(id_, std::move(fn));
+  }
+
+  std::size_t num_elements() const { return rt_->array(id_).num_elements(); }
+
+  /// Direct element access for setup/verification code (host side only).
+  T* local(const Index& index) const {
+    return static_cast<T*>(rt_->array(id_).find(index));
+  }
+
+ private:
+  template <auto Method>
+  static constexpr void check_method() {
+    using Class = typename detail::MemberFnTraits<decltype(Method)>::Class;
+    static_assert(std::is_same_v<Class, T> || std::is_base_of_v<Class, T>,
+                  "entry method does not belong to this array's element type");
+  }
+
+  /// Convert caller arguments to the entry method's real parameter types
+  /// before marshalling, so both wire sides agree on the layout (e.g. a
+  /// string literal becomes std::string, not a serialized pointer).
+  template <auto Method, class... Args>
+  static Bytes pack_args(Args&&... args) {
+    using Tuple = typename detail::MemberFnTraits<decltype(Method)>::ArgsTuple;
+    static_assert(std::tuple_size_v<Tuple> == sizeof...(Args),
+                  "wrong number of arguments for this entry method");
+    Tuple packed{std::forward<Args>(args)...};
+    return marshal_tuple(packed);
+  }
+
+  Runtime* rt_ = nullptr;
+  ArrayId id_ = -1;
+};
+
+// -- Runtime template definitions ---------------------------------------
+
+template <class T, class Factory>
+ArrayProxy<T> Runtime::create_array(std::string name,
+                                    std::span<const Index> indices,
+                                    const MapFn& mapper, Factory&& factory) {
+  auto id = static_cast<ArrayId>(num_arrays());
+  auto arr = std::make_unique<ChareArray<T>>(id, std::move(name), num_pes());
+  register_array(std::move(arr));
+  ArrayBase& stored = array(id);
+  for (const Index& index : indices) {
+    Pe pe = mapper(index);
+    MDO_CHECK_MSG(pe >= 0 && pe < num_pes(), "mapper placed element off-machine");
+    std::unique_ptr<T> element = factory(index);
+    MDO_CHECK(element != nullptr);
+    element->install(this, id, index, pe);
+    stored.insert(index, pe, std::move(element));
+  }
+  return ArrayProxy<T>(this, id);
+}
+
+template <class T>
+ArrayProxy<T> Runtime::proxy(ArrayId id) {
+  MDO_CHECK(id >= 0 && static_cast<std::size_t>(id) < arrays_.size());
+  return ArrayProxy<T>(this, id);
+}
+
+}  // namespace mdo::core

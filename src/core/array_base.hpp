@@ -1,0 +1,111 @@
+#pragma once
+// Type-erased chare-array bookkeeping: element storage, the index→PE
+// location directory, and per-PE element counts. The typed facade
+// (ChareArray<T> / ArrayProxy<T>) lives in core/array.hpp.
+//
+// Honesty note (DESIGN.md): both machine backends share one address
+// space, so the location directory is a single authoritative map rather
+// than Charm++'s distributed home-PE protocol. Migrations in this
+// reproduction happen at quiescence, so no in-flight message can observe
+// a stale location.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/chare.hpp"
+#include "core/types.hpp"
+#include "util/assert.hpp"
+
+namespace mdo::core {
+
+class ArrayBase {
+ public:
+  ArrayBase(ArrayId id, std::string name, int num_pes)
+      : id_(id), name_(std::move(name)), per_pe_count_(num_pes, 0) {}
+  virtual ~ArrayBase() = default;
+
+  ArrayId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  Chare* find(const Index& index) {
+    auto it = elems_.find(index);
+    return it == elems_.end() ? nullptr : it->second.object.get();
+  }
+
+  Pe location(const Index& index) const {
+    auto it = elems_.find(index);
+    MDO_CHECK_MSG(it != elems_.end(), "send to nonexistent array element");
+    return it->second.pe;
+  }
+
+  bool contains(const Index& index) const { return elems_.count(index) != 0; }
+
+  void insert(const Index& index, Pe pe, std::unique_ptr<Chare> object) {
+    MDO_CHECK_MSG(elems_.find(index) == elems_.end(), "duplicate array index");
+    MDO_CHECK(pe >= 0 && static_cast<std::size_t>(pe) < per_pe_count_.size());
+    elems_.emplace(index, Rec{pe, std::move(object)});
+    order_.push_back(index);
+    ++per_pe_count_[static_cast<std::size_t>(pe)];
+  }
+
+  /// Remove and return the element (for migration).
+  std::unique_ptr<Chare> extract(const Index& index) {
+    auto it = elems_.find(index);
+    MDO_CHECK_MSG(it != elems_.end(), "extract of nonexistent element");
+    --per_pe_count_[static_cast<std::size_t>(it->second.pe)];
+    std::unique_ptr<Chare> out = std::move(it->second.object);
+    elems_.erase(it);
+    // order_ keeps the index: the element is about to be re-inserted on
+    // its destination PE under the same index.
+    for (auto pos = order_.begin(); pos != order_.end(); ++pos) {
+      if (*pos == index) {
+        order_.erase(pos);
+        break;
+      }
+    }
+    return out;
+  }
+
+  const std::vector<Index>& all_indices() const { return order_; }
+
+  std::vector<Index> indices_on(Pe pe) const {
+    std::vector<Index> out;
+    for (const auto& [index, rec] : elems_)
+      if (rec.pe == pe) out.push_back(index);
+    std::sort(out.begin(), out.end());  // deterministic delivery order
+    return out;
+  }
+
+  std::size_t num_elements() const { return elems_.size(); }
+
+  std::size_t num_local(Pe pe) const {
+    MDO_CHECK(pe >= 0 && static_cast<std::size_t>(pe) < per_pe_count_.size());
+    return per_pe_count_[static_cast<std::size_t>(pe)];
+  }
+
+  /// Iterate (index, element, pe) without exposing the map type.
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [index, rec] : elems_) fn(index, *rec.object, rec.pe);
+  }
+
+  /// Construct an empty element of the concrete type for migration unpack.
+  virtual std::unique_ptr<Chare> make_element() const = 0;
+
+ private:
+  struct Rec {
+    Pe pe;
+    std::unique_ptr<Chare> object;
+  };
+
+  ArrayId id_;
+  std::string name_;
+  std::unordered_map<Index, Rec, IndexHash> elems_;
+  std::vector<Index> order_;
+  std::vector<std::size_t> per_pe_count_;
+};
+
+}  // namespace mdo::core

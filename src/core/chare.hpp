@@ -1,0 +1,68 @@
+#pragma once
+// Chare: base class of all message-driven array elements. User classes
+// derive from Chare, expose entry methods (ordinary member functions with
+// pupable parameters), and override pup() to describe state for migration
+// and checkpointing. The embedded instrumentation feeds the load-balance
+// database (§6 future work #2 of the paper).
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "sim/time.hpp"
+#include "util/pup.hpp"
+
+namespace mdo::core {
+
+class Runtime;
+
+class Chare {
+ public:
+  virtual ~Chare() = default;
+
+  /// Serialize user state for migration/checkpoint. Derived classes must
+  /// call Chare::pup(p) first so runtime bookkeeping travels too.
+  virtual void pup(Pup& p) { p | red_epoch_ | load_ns_; }
+
+  // -- identity (valid once installed into an array) -------------------
+  Runtime& runtime() const;
+  ArrayId array_id() const { return array_; }
+  const Index& index() const { return index_; }
+  Pe my_pe() const { return pe_; }
+
+  // -- conveniences usable inside entry methods -------------------------
+  /// Account `ns` of virtual compute to this entry execution (SimMachine;
+  /// a ThreadMachine may optionally sleep to emulate it).
+  void charge(sim::TimeNs ns);
+
+  // -- load-balance instrumentation -------------------------------------
+  sim::TimeNs load_ns() const { return load_ns_; }
+  std::uint64_t msgs_sent() const { return msgs_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t wan_msgs_sent() const { return wan_msgs_; }
+  std::uint64_t wan_bytes_sent() const { return wan_bytes_; }
+  void reset_load_stats();
+
+ private:
+  friend class Runtime;
+
+  void install(Runtime* rt, ArrayId array, const Index& index, Pe pe) {
+    rt_ = rt;
+    array_ = array;
+    index_ = index;
+    pe_ = pe;
+  }
+
+  Runtime* rt_ = nullptr;
+  ArrayId array_ = -1;
+  Index index_{};
+  Pe pe_ = kInvalidPe;
+
+  std::uint32_t red_epoch_ = 0;   ///< next reduction epoch to contribute to
+  sim::TimeNs load_ns_ = 0;
+  std::uint64_t msgs_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t wan_msgs_ = 0;
+  std::uint64_t wan_bytes_ = 0;
+};
+
+}  // namespace mdo::core

@@ -1,0 +1,75 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace mdo::core {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'D', 'O', 'C', 'K', 'P', 'T', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+std::size_t save_checkpoint(Runtime& rt, const std::string& path) {
+  Bytes blob;
+  {
+    Pup p = Pup::packer(blob);
+    p.bytes(const_cast<char*>(kMagic), sizeof(kMagic));
+    auto arrays = static_cast<std::uint64_t>(rt.num_arrays());
+    p | arrays;
+    for (std::uint64_t a = 0; a < arrays; ++a) {
+      auto id = static_cast<ArrayId>(a);
+      std::string name = rt.array(id).name();
+      Bytes body = rt.checkpoint_array(id);
+      p | name | body;
+    }
+  }
+  File f(std::fopen(path.c_str(), "wb"));
+  MDO_CHECK_MSG(f != nullptr, "cannot open checkpoint file for writing");
+  std::size_t written = std::fwrite(blob.data(), 1, blob.size(), f.get());
+  MDO_CHECK_MSG(written == blob.size(), "short write to checkpoint file");
+  return written;
+}
+
+void load_checkpoint(Runtime& rt, const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  MDO_CHECK_MSG(f != nullptr, "cannot open checkpoint file for reading");
+  MDO_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0);
+  long size = std::ftell(f.get());
+  MDO_CHECK(size >= 0);
+  std::rewind(f.get());
+  Bytes blob(static_cast<std::size_t>(size));
+  MDO_CHECK(std::fread(blob.data(), 1, blob.size(), f.get()) == blob.size());
+
+  Pup p = Pup::unpacker(blob);
+  char magic[8];
+  p.bytes(magic, sizeof(magic));
+  MDO_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "not an mdo checkpoint file");
+  std::uint64_t arrays = 0;
+  p | arrays;
+  MDO_CHECK_MSG(arrays == rt.num_arrays(),
+                "checkpoint has a different number of arrays");
+  for (std::uint64_t a = 0; a < arrays; ++a) {
+    std::string name;
+    Bytes body;
+    p | name | body;
+    auto id = static_cast<ArrayId>(a);
+    MDO_CHECK_MSG(name == rt.array(id).name(),
+                  "checkpoint array name mismatch");
+    rt.restore_array(id, body);
+  }
+  MDO_CHECK(p.bytes_remaining() == 0);
+}
+
+}  // namespace mdo::core

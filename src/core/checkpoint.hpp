@@ -1,0 +1,25 @@
+#pragma once
+// Whole-program checkpoint/restart (the capability §2.1 of the paper
+// attributes to the migration machinery): every array element's pupped
+// state plus its placement is written to a single file; a compatible
+// runtime (same arrays, same indices) restores state and placement.
+//
+// Format (little-endian, PUP-encoded):
+//   magic "MDOCKPT1" | num_arrays u64 | per array: name, id, blob
+
+#include <string>
+
+#include "core/runtime.hpp"
+
+namespace mdo::core {
+
+/// Serialize all arrays of `rt` to `path`. Call at a quiescent point.
+/// Returns the number of bytes written.
+std::size_t save_checkpoint(Runtime& rt, const std::string& path);
+
+/// Restore a checkpoint written by save_checkpoint into a runtime with
+/// identically created arrays (same order, names, and index sets).
+/// Elements are migrated back to their recorded PEs.
+void load_checkpoint(Runtime& rt, const std::string& path);
+
+}  // namespace mdo::core

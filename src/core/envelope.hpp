@@ -1,0 +1,54 @@
+#pragma once
+// The runtime's wire unit: one Envelope per scheduled delivery. Entry
+// messages carry marshalled user arguments; system envelopes implement
+// broadcasts, multicast bundles, reduction partials, migrations, and
+// location-protocol traffic. Envelopes serialize with PUP so they can
+// cross the net-layer device chains as opaque packets.
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "sim/time.hpp"
+#include "util/pup.hpp"
+
+namespace mdo::core {
+
+enum class MsgKind : std::uint8_t {
+  kEntry = 0,        ///< invoke one entry method on one element
+  kBroadcast = 1,    ///< deliver entry to all local elements + forward down tree
+  kMulticast = 2,    ///< deliver entry to a listed subset of local elements
+  kReduction = 3,    ///< partial reduction flowing up the PE tree
+  kMigrate = 4,      ///< packed element state moving to a new PE
+  kHostCall = 5,     ///< scheduled host-side callback (runs on dst PE)
+};
+
+struct Envelope {
+  MsgKind kind = MsgKind::kEntry;
+  Pe src_pe = kInvalidPe;
+  Pe dst_pe = kInvalidPe;
+  ArrayId array = -1;
+  Index index{};           ///< destination element (kEntry/kMigrate)
+  EntryId entry = kInvalidEntry;
+  Priority priority = 0;
+  std::uint8_t flags = 0;  ///< kFlagFanout: broadcast is past the tree root
+  std::uint64_t seq = 0;   ///< machine-assigned, for stable FIFO tiebreaks
+  sim::TimeNs sent_at = 0;
+  Bytes payload;
+
+  static constexpr std::uint8_t kFlagFanout = 1;
+
+  void pup(Pup& p) {
+    p | kind | src_pe | dst_pe | array | index | entry | priority | flags |
+        seq | sent_at | payload;
+  }
+
+  std::size_t payload_bytes() const { return payload.size(); }
+
+  /// Approximate on-wire size: header + payload. Used by cost models and
+  /// the fabric when the device chain is bypassed.
+  std::size_t wire_bytes() const { return payload.size() + kHeaderBytes; }
+
+  static constexpr std::size_t kHeaderBytes = 48;
+};
+
+}  // namespace mdo::core

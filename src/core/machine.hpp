@@ -1,0 +1,86 @@
+#pragma once
+// Machine: the execution substrate beneath the Runtime. It owns the PEs'
+// message queues and the notion of time, routes envelopes between PEs
+// (through a net::Fabric when they cross nodes), and calls back into
+// Runtime::deliver() to execute each message. Two implementations:
+// SimMachine (virtual time, deterministic DES) and ThreadMachine (real
+// threads, real time).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/envelope.hpp"
+#include "core/types.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace mdo::core {
+
+class Runtime;
+
+struct PeStats {
+  sim::TimeNs busy_ns = 0;          ///< time spent executing entries
+  std::uint64_t msgs_executed = 0;
+  std::uint64_t msgs_sent = 0;
+};
+
+/// One executed-entry interval, recorded when tracing is enabled.
+/// Feeds the Figure-2 timeline reproduction.
+struct TraceEvent {
+  Pe pe = kInvalidPe;
+  sim::TimeNs begin = 0;
+  sim::TimeNs end = 0;
+  Pe src_pe = kInvalidPe;     ///< sender of the triggering message
+  EntryId entry = kInvalidEntry;
+  MsgKind kind = MsgKind::kEntry;
+};
+
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  /// Called once by the Runtime constructor to register the upcall target.
+  virtual void bind(Runtime* runtime) = 0;
+
+  virtual int num_pes() const = 0;
+  virtual const net::Topology& topology() const = 0;
+
+  /// PE whose entry method is currently executing; PE 0 outside execution
+  /// (host/setup code acts as the mainchare on PE 0).
+  virtual Pe current_pe() const = 0;
+
+  /// Virtual (SimMachine) or wall (ThreadMachine) nanoseconds.
+  virtual sim::TimeNs now() const = 0;
+
+  /// Route one envelope toward env.dst_pe. Never blocks.
+  virtual void send(Envelope&& env) = 0;
+
+  /// Process messages until quiescence (no message anywhere, all PEs
+  /// idle) or until stop() is called from inside a handler.
+  virtual void run() = 0;
+
+  virtual void stop() = 0;
+
+  virtual PeStats pe_stats(Pe pe) const = 0;
+
+  /// Message-layer counters (packets/bytes, WAN share).
+  virtual net::Fabric::Stats fabric_stats() const = 0;
+
+  /// Advance the clock without work (SimMachine only; models host-driven
+  /// phases such as load-balancing time). Default: no-op.
+  virtual void advance_time(sim::TimeNs) {}
+
+  /// Run `fn` after `dt` of machine time, outside any PE context (used
+  /// by the quiescence detector to pace its waves). Optional; the
+  /// default reports lack of support.
+  virtual void call_after(sim::TimeNs dt, std::function<void()> fn);
+
+  /// Entry-interval tracing (SimMachine only by default).
+  virtual void set_tracing(bool) {}
+  virtual std::vector<TraceEvent> trace() const { return {}; }
+};
+
+}  // namespace mdo::core

@@ -1,0 +1,89 @@
+#pragma once
+// Standard initial-placement maps. The paper's experiments always
+// co-allocate half the PEs on each cluster and block-map the object grid
+// so the cluster boundary cuts along one axis — only objects adjacent to
+// the cut communicate over the WAN.
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/assert.hpp"
+
+namespace mdo::core {
+
+/// 1D block map: `count` elements (indexed 0..count-1 in x) split into
+/// `num_pes` contiguous blocks.
+inline MapFn block_map_1d(std::int32_t count, int num_pes) {
+  MDO_CHECK(count > 0 && num_pes > 0);
+  return [count, num_pes](const Index& index) -> Pe {
+    MDO_CHECK(index.x >= 0 && index.x < count);
+    auto pe = static_cast<std::int64_t>(index.x) * num_pes / count;
+    return static_cast<Pe>(pe);
+  };
+}
+
+/// Round-robin map for 1D indices.
+inline MapFn round_robin_map(int num_pes) {
+  MDO_CHECK(num_pes > 0);
+  return [num_pes](const Index& index) -> Pe {
+    return static_cast<Pe>(((index.x % num_pes) + num_pes) % num_pes);
+  };
+}
+
+/// 2D row-block map: a kx-by-ky object grid is flattened row-major and
+/// split into contiguous blocks, so PEs own horizontal bands of objects.
+/// With PEs 0..P/2-1 on cluster A and P/2..P-1 on cluster B, the WAN cut
+/// falls along one horizontal seam of the object grid — the layout the
+/// stencil experiments assume.
+inline MapFn row_block_map_2d(std::int32_t kx, std::int32_t ky, int num_pes) {
+  MDO_CHECK(kx > 0 && ky > 0 && num_pes > 0);
+  return [kx, ky, num_pes](const Index& index) -> Pe {
+    MDO_CHECK(index.x >= 0 && index.x < kx);
+    MDO_CHECK(index.y >= 0 && index.y < ky);
+    std::int64_t flat = static_cast<std::int64_t>(index.y) * kx + index.x;
+    return static_cast<Pe>(flat * num_pes / (static_cast<std::int64_t>(kx) * ky));
+  };
+}
+
+/// 3D block map over a kx×ky×kz grid, flattened z-major (z slowest).
+inline MapFn block_map_3d(std::int32_t kx, std::int32_t ky, std::int32_t kz,
+                          int num_pes) {
+  MDO_CHECK(kx > 0 && ky > 0 && kz > 0 && num_pes > 0);
+  return [kx, ky, kz, num_pes](const Index& index) -> Pe {
+    std::int64_t flat = (static_cast<std::int64_t>(index.z) * ky + index.y) * kx +
+                        index.x;
+    std::int64_t total = static_cast<std::int64_t>(kx) * ky * kz;
+    MDO_CHECK(flat >= 0 && flat < total);
+    return static_cast<Pe>(flat * num_pes / total);
+  };
+}
+
+/// All 1D indices [0, count).
+inline std::vector<Index> indices_1d(std::int32_t count) {
+  std::vector<Index> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t x = 0; x < count; ++x) out.emplace_back(x);
+  return out;
+}
+
+/// All 2D indices of a kx×ky grid (row-major order).
+inline std::vector<Index> indices_2d(std::int32_t kx, std::int32_t ky) {
+  std::vector<Index> out;
+  out.reserve(static_cast<std::size_t>(kx) * ky);
+  for (std::int32_t y = 0; y < ky; ++y)
+    for (std::int32_t x = 0; x < kx; ++x) out.emplace_back(x, y);
+  return out;
+}
+
+/// All 3D indices of a kx×ky×kz grid (z slowest).
+inline std::vector<Index> indices_3d(std::int32_t kx, std::int32_t ky,
+                                     std::int32_t kz) {
+  std::vector<Index> out;
+  out.reserve(static_cast<std::size_t>(kx) * ky * kz);
+  for (std::int32_t z = 0; z < kz; ++z)
+    for (std::int32_t y = 0; y < ky; ++y)
+      for (std::int32_t x = 0; x < kx; ++x) out.emplace_back(x, y, z);
+  return out;
+}
+
+}  // namespace mdo::core

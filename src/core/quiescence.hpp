@@ -1,0 +1,56 @@
+#pragma once
+// Distributed quiescence detection (Charm++'s CkStartQD): an application
+// asks to be notified when no entry method is executing and no message
+// is in flight anywhere — without stopping the machine. Implemented with
+// the classic two-wave counting algorithm over the cluster-aware tree:
+// a wave collects (sent, processed) totals from every PE; quiescence is
+// declared only when two consecutive waves agree and the counts match,
+// which rules out in-flight messages racing the first wave.
+//
+// The Machine backends already *terminate* at quiescence; this detector
+// exists for programs that want a callback while continuing to run
+// (e.g. phase changes), and it reproduces the real protocol: the waves
+// themselves travel as ordinary prioritized messages.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/runtime.hpp"
+
+namespace mdo::core {
+
+class QuiescenceDetector {
+ public:
+  /// The detector instruments one Runtime. Construct after the runtime.
+  explicit QuiescenceDetector(Runtime& rt);
+
+  /// Arrange `fn` to run (as a host call on the tree root) once the
+  /// system is quiescent apart from detector traffic. Multiple requests
+  /// are served in FIFO order.
+  void notify_on_quiescence(std::function<void()> fn);
+
+  /// Number of detection waves performed (for tests/diagnostics).
+  std::uint64_t waves() const { return waves_; }
+
+ private:
+  struct Totals {
+    std::uint64_t sent = 0;
+    std::uint64_t processed = 0;
+    bool operator==(const Totals&) const = default;
+  };
+
+  Totals snapshot() const;
+  void start_wave();
+  void finish_wave(Totals totals);
+
+  Runtime* rt_;
+  std::function<void()> pending_;
+  std::vector<std::function<void()>> queue_;
+  bool wave_running_ = false;
+  bool have_previous_ = false;
+  Totals previous_{};
+  std::uint64_t waves_ = 0;
+  std::uint64_t detector_msgs_ = 0;  ///< traffic we generated ourselves
+};
+
+}  // namespace mdo::core

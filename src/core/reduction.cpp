@@ -1,0 +1,36 @@
+#include "core/reduction.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mdo::core {
+
+void reduce_combine(ReduceOp op, std::vector<double>& acc,
+                    const std::vector<double>& incoming) {
+  if (incoming.empty()) return;
+  if (acc.empty()) {
+    acc = incoming;
+    return;
+  }
+  MDO_CHECK_MSG(acc.size() == incoming.size(),
+                "reduction contributions of mismatched width");
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += incoming[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::min(acc[i], incoming[i]);
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::max(acc[i], incoming[i]);
+      break;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] *= incoming[i];
+      break;
+  }
+}
+
+}  // namespace mdo::core

@@ -1,0 +1,25 @@
+#pragma once
+// Reduction support types: element-wise combining operators over
+// std::vector<double> contributions, and the client registration that
+// names where a completed reduction is delivered.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mdo::core {
+
+enum class ReduceOp : std::uint8_t { kSum = 0, kMin = 1, kMax = 2, kProd = 3 };
+
+/// Combine `incoming` into `acc` element-wise. An empty `acc` adopts
+/// `incoming` (identity); sizes must otherwise match.
+void reduce_combine(ReduceOp op, std::vector<double>& acc,
+                    const std::vector<double>& incoming);
+
+/// Registered sink for completed reductions.
+using ReductionClientId = std::int32_t;
+using ReductionHostFn = std::function<void(const std::vector<double>&)>;
+
+}  // namespace mdo::core

@@ -1,0 +1,21 @@
+#include "core/registry.hpp"
+
+namespace mdo::core {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+EntryId Registry::add(EntryInfo info) {
+  MDO_CHECK(info.invoke != nullptr);
+  entries_.push_back(std::move(info));
+  return static_cast<EntryId>(entries_.size() - 1);
+}
+
+const EntryInfo& Registry::entry(EntryId id) const {
+  MDO_CHECK(id >= 0 && static_cast<std::size_t>(id) < entries_.size());
+  return entries_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace mdo::core

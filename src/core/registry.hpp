@@ -1,0 +1,90 @@
+#pragma once
+// Entry-method registry. Charm++ generates dispatch stubs with a source
+// translator; we achieve the same thing with templates: entry_id<&T::m>()
+// registers (once per process) a type-erased invoker that unmarshals the
+// method's parameter pack from a byte span and calls the member. Ids are
+// process-wide and stable because both machine backends run in one
+// address space.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/assert.hpp"
+#include "util/pup.hpp"
+
+namespace mdo::core {
+
+class Chare;
+
+struct EntryInfo {
+  std::string name;
+  void (*invoke)(Chare& element, std::span<const std::byte> args) = nullptr;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  EntryId add(EntryInfo info);
+  const EntryInfo& entry(EntryId id) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<EntryInfo> entries_;
+};
+
+namespace detail {
+
+template <class M>
+struct MemberFnTraits;
+
+template <class T, class R, class... Args>
+struct MemberFnTraits<R (T::*)(Args...)> {
+  using Class = T;
+  using ArgsTuple = std::tuple<std::decay_t<Args>...>;
+};
+
+template <class Tuple>
+Tuple unmarshal_into(std::span<const std::byte> data) {
+  Pup p = Pup::unpacker(data);
+  Tuple out{};
+  std::apply(
+      [&p](auto&... elems) {
+        (void)std::initializer_list<int>{((p | elems), 0)...};
+      },
+      out);
+  MDO_CHECK_MSG(p.bytes_remaining() == 0, "trailing bytes after entry unmarshal");
+  return out;
+}
+
+template <auto Method>
+constexpr std::string_view method_pretty_name() {
+  return __PRETTY_FUNCTION__;
+}
+
+}  // namespace detail
+
+/// Process-wide id for a given entry method; registers it on first use.
+template <auto Method>
+EntryId entry_id() {
+  using Traits = detail::MemberFnTraits<decltype(Method)>;
+  using T = typename Traits::Class;
+  static const EntryId id = Registry::instance().add(EntryInfo{
+      std::string(detail::method_pretty_name<Method>()),
+      +[](Chare& element, std::span<const std::byte> bytes) {
+        auto args = detail::unmarshal_into<typename Traits::ArgsTuple>(bytes);
+        auto& obj = static_cast<T&>(element);
+        std::apply(
+            [&obj](auto&&... unpacked) {
+              (obj.*Method)(std::move(unpacked)...);
+            },
+            args);
+      }});
+  return id;
+}
+
+}  // namespace mdo::core

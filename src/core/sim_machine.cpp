@@ -1,0 +1,148 @@
+#include "core/sim_machine.hpp"
+
+#include "core/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace mdo::core {
+
+SimMachine::SimMachine(net::Topology topo, net::GridLatencyModel::Config link,
+                       Overheads overheads)
+    : topo_(std::move(topo)),
+      overheads_(overheads),
+      model_(&topo_, link),
+      pes_(topo_.num_nodes()) {
+  fabric_ = std::make_unique<net::SimFabric>(&engine_, &topo_, &model_,
+                                             net::Chain{});
+  for (std::size_t node = 0; node < topo_.num_nodes(); ++node) {
+    fabric_->set_delivery_handler(
+        static_cast<net::NodeId>(node), [this, node](net::Packet&& packet) {
+          Envelope env;
+          unpack_object(packet.payload, env);
+          enqueue(static_cast<Pe>(node), std::move(env));
+        });
+  }
+}
+
+net::DelayDevice* SimMachine::add_delay_device(sim::TimeNs one_way) {
+  return fabric_->chain().add(
+      std::make_unique<net::DelayDevice>(&topo_, one_way));
+}
+
+void SimMachine::send(Envelope&& env) {
+  MDO_CHECK(env.dst_pe >= 0 && env.dst_pe < num_pes());
+  // Counted at the send() call, not at dispatch: sends buffered during an
+  // executing entry must already be visible to quiescence-detector
+  // snapshots taken before the entry's busy period ends.
+  ++pes_[static_cast<std::size_t>(env.src_pe >= 0 ? env.src_pe : 0)]
+        .stats.msgs_sent;
+  if (executing_) {
+    // Buffered: departs when the running entry completes.
+    outbox_.push_back(std::move(env));
+    return;
+  }
+  dispatch(std::move(env));
+}
+
+sim::TimeNs SimMachine::dispatch(Envelope&& env) {
+  if (env.dst_pe == env.src_pe) {
+    enqueue(env.dst_pe, std::move(env));
+    return 0;
+  }
+  net::Packet packet;
+  packet.src = static_cast<net::NodeId>(env.src_pe);
+  packet.dst = static_cast<net::NodeId>(env.dst_pe);
+  packet.priority = env.priority;
+  packet.payload = pack_object(env);
+  return fabric_->send(std::move(packet));
+}
+
+void SimMachine::enqueue(Pe pe, Envelope&& env) {
+  PeState& state = pes_[static_cast<std::size_t>(pe)];
+  state.queue.push(QueueItem{env.priority, next_queue_seq_++, std::move(env)});
+  // Defer the scheduling decision into an engine event so that host-side
+  // sends issued before run() do not execute synchronously, and so a
+  // currently-executing PE picks the message up at its busy-end.
+  engine_.schedule_after(0, [this, pe] {
+    PeState& s = pes_[static_cast<std::size_t>(pe)];
+    if (!s.busy && !s.queue.empty()) execute_next(pe);
+  });
+}
+
+void SimMachine::execute_next(Pe pe) {
+  PeState& state = pes_[static_cast<std::size_t>(pe)];
+  MDO_CHECK(!state.busy && !state.queue.empty());
+  QueueItem item = std::move(const_cast<QueueItem&>(state.queue.top()));
+  state.queue.pop();
+  state.busy = true;
+
+  const sim::TimeNs t_start = engine_.now();
+  MDO_CHECK(!executing_);
+  executing_ = true;
+  exec_pe_ = pe;
+  outbox_.clear();
+
+  const Pe msg_src = item.env.src_pe;
+  const EntryId entry = item.env.entry;
+  const MsgKind kind = item.env.kind;
+  // Counted at dequeue so that (sent, executed) totals observed from
+  // inside a handler are symmetric — the quiescence detector's waves
+  // rely on seeing their own message in both counters.
+  ++state.stats.msgs_executed;
+  sim::TimeNs charged = rt_->deliver(std::move(item.env));
+
+  executing_ = false;
+  std::vector<Envelope> outbox = std::move(outbox_);
+  outbox_.clear();
+
+  sim::TimeNs cost = overheads_.recv + charged +
+                     overheads_.send * static_cast<sim::TimeNs>(outbox.size());
+  state.stats.busy_ns += cost;
+
+  const sim::TimeNs t_end = t_start + cost;
+  if (tracing_) trace_.push_back(TraceEvent{pe, t_start, t_end, msg_src, entry, kind});
+
+  engine_.schedule_at(t_end, [this, pe, moved = std::move(outbox)]() mutable {
+    finish_execution(pe, std::move(moved));
+  });
+}
+
+void SimMachine::finish_execution(Pe pe, std::vector<Envelope>&& outbox) {
+  PeState& state = pes_[static_cast<std::size_t>(pe)];
+  sim::TimeNs chain_cpu = 0;
+  for (auto& env : outbox) chain_cpu += dispatch(std::move(env));
+
+  if (overheads_.charge_chain_cpu && chain_cpu > 0) {
+    state.stats.busy_ns += chain_cpu;
+    engine_.schedule_after(chain_cpu, [this, pe] {
+      PeState& s = pes_[static_cast<std::size_t>(pe)];
+      s.busy = false;
+      if (!s.queue.empty()) execute_next(pe);
+    });
+    return;
+  }
+  state.busy = false;
+  if (!state.queue.empty()) execute_next(pe);
+}
+
+void SimMachine::run() {
+  engine_.clear_stop();
+  engine_.run();
+}
+
+PeStats SimMachine::pe_stats(Pe pe) const {
+  MDO_CHECK(pe >= 0 && pe < num_pes());
+  return pes_[static_cast<std::size_t>(pe)].stats;
+}
+
+void SimMachine::advance_time(sim::TimeNs dt) {
+  MDO_CHECK(dt >= 0);
+  engine_.run_until(engine_.now() + dt);
+}
+
+std::uint64_t SimMachine::total_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& pe : pes_) total += pe.stats.msgs_executed;
+  return total;
+}
+
+}  // namespace mdo::core

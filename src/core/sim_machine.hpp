@@ -1,0 +1,107 @@
+#pragma once
+// SimMachine: all PEs of a (multi-cluster) grid allocation advance in
+// virtual time under one OS thread, driven by the DES engine. Entry
+// executions charge modeled compute (Runtime::charge) plus fixed
+// per-message scheduling overheads; sends buffered during an execution
+// depart when it completes. This is the deterministic substrate behind
+// every benchmark table and figure.
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "net/devices.hpp"
+#include "net/latency_model.hpp"
+#include "net/sim_fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace mdo::core {
+
+class SimMachine final : public Machine {
+ public:
+  struct Overheads {
+    sim::TimeNs send = sim::microseconds(2.0);   ///< sender CPU per message
+    sim::TimeNs recv = sim::microseconds(4.0);   ///< scheduler CPU per delivery
+    bool charge_chain_cpu = true;  ///< device-chain CPU extends PE busy time
+  };
+
+  SimMachine(net::Topology topo, net::GridLatencyModel::Config link)
+      : SimMachine(std::move(topo), link, Overheads{}) {}
+  SimMachine(net::Topology topo, net::GridLatencyModel::Config link,
+             Overheads overheads);
+
+  // -- construction-time access (add chain devices before traffic flows) --
+  sim::Engine& engine() { return engine_; }
+  net::SimFabric& fabric() { return *fabric_; }
+  net::GridLatencyModel& model() { return model_; }
+  const Overheads& overheads() const { return overheads_; }
+
+  /// Convenience: install the paper's artificial-latency delay device.
+  net::DelayDevice* add_delay_device(sim::TimeNs cross_cluster_one_way);
+
+  // -- Machine interface ---------------------------------------------------
+  void bind(Runtime* runtime) override { rt_ = runtime; }
+  int num_pes() const override { return static_cast<int>(topo_.num_nodes()); }
+  const net::Topology& topology() const override { return topo_; }
+  Pe current_pe() const override { return executing_ ? exec_pe_ : 0; }
+  sim::TimeNs now() const override { return engine_.now(); }
+  void send(Envelope&& env) override;
+  void run() override;
+  void stop() override { engine_.stop(); }
+  PeStats pe_stats(Pe pe) const override;
+  net::Fabric::Stats fabric_stats() const override { return fabric_->stats(); }
+  void advance_time(sim::TimeNs dt) override;
+  void call_after(sim::TimeNs dt, std::function<void()> fn) override {
+    engine_.schedule_after(dt, std::move(fn));
+  }
+  void set_tracing(bool on) override { tracing_ = on; }
+  std::vector<TraceEvent> trace() const override { return trace_; }
+
+  /// Total messages executed across PEs (test/bench convenience).
+  std::uint64_t total_executed() const;
+
+ private:
+  struct QueueItem {
+    Priority priority;
+    std::uint64_t seq;
+    Envelope env;
+  };
+  struct Later {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;  // FIFO within a priority level
+    }
+  };
+  struct PeState {
+    std::priority_queue<QueueItem, std::vector<QueueItem>, Later> queue;
+    bool busy = false;
+    PeStats stats;
+  };
+
+  void enqueue(Pe pe, Envelope&& env);
+  void execute_next(Pe pe);
+  /// Immediately route one envelope (local enqueue or fabric). Returns
+  /// the device-chain CPU cost incurred on the sender.
+  sim::TimeNs dispatch(Envelope&& env);
+  void finish_execution(Pe pe, std::vector<Envelope>&& outbox);
+
+  net::Topology topo_;
+  Overheads overheads_;
+  sim::Engine engine_;
+  net::GridLatencyModel model_;
+  std::unique_ptr<net::SimFabric> fabric_;
+  Runtime* rt_ = nullptr;
+
+  std::vector<PeState> pes_;
+  std::uint64_t next_queue_seq_ = 0;
+
+  bool executing_ = false;
+  Pe exec_pe_ = 0;
+  std::vector<Envelope> outbox_;
+
+  bool tracing_ = false;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace mdo::core

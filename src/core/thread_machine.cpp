@@ -1,0 +1,152 @@
+#include "core/thread_machine.hpp"
+
+#include "core/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace mdo::core {
+namespace {
+
+thread_local Pe t_current_pe = kInvalidPe;
+
+}  // namespace
+
+ThreadMachine::ThreadMachine(net::Topology topo,
+                             net::GridLatencyModel::Config link, Config config)
+    : topo_(std::move(topo)),
+      config_(config),
+      model_(&topo_, link),
+      start_(std::chrono::steady_clock::now()) {
+  fabric_ = std::make_unique<net::ThreadFabric>(&topo_, &model_, net::Chain{});
+  workers_.reserve(topo_.num_nodes());
+  for (std::size_t pe = 0; pe < topo_.num_nodes(); ++pe) {
+    workers_.push_back(std::make_unique<PeWorker>());
+  }
+  for (std::size_t node = 0; node < topo_.num_nodes(); ++node) {
+    fabric_->set_delivery_handler(
+        static_cast<net::NodeId>(node), [this, node](net::Packet&& packet) {
+          Envelope env;
+          unpack_object(packet.payload, env);
+          enqueue(static_cast<Pe>(node), std::move(env));
+        });
+  }
+  for (std::size_t pe = 0; pe < workers_.size(); ++pe) {
+    workers_[pe]->thread =
+        std::thread([this, pe] { worker_loop(static_cast<Pe>(pe)); });
+  }
+}
+
+ThreadMachine::~ThreadMachine() { stop(); }
+
+net::DelayDevice* ThreadMachine::add_delay_device(sim::TimeNs one_way) {
+  MDO_CHECK_MSG(fabric_->stats().packets_sent == 0,
+                "delay device must be installed before traffic flows");
+  return fabric_->chain().add(
+      std::make_unique<net::DelayDevice>(&topo_, one_way));
+}
+
+Pe ThreadMachine::current_pe() const {
+  return t_current_pe == kInvalidPe ? 0 : t_current_pe;
+}
+
+sim::TimeNs ThreadMachine::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void ThreadMachine::send(Envelope&& env) {
+  MDO_CHECK(env.dst_pe >= 0 && env.dst_pe < num_pes());
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  route(std::move(env));
+}
+
+void ThreadMachine::route(Envelope&& env) {
+  if (env.dst_pe == env.src_pe) {
+    enqueue(env.dst_pe, std::move(env));
+    return;
+  }
+  net::Packet packet;
+  packet.src = static_cast<net::NodeId>(env.src_pe);
+  packet.dst = static_cast<net::NodeId>(env.dst_pe);
+  packet.priority = env.priority;
+  packet.payload = pack_object(env);
+  fabric_->send(std::move(packet));
+}
+
+void ThreadMachine::enqueue(Pe pe, Envelope&& env) {
+  PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.queue.push(QueueItem{env.priority,
+                                next_seq_.fetch_add(1, std::memory_order_relaxed),
+                                std::move(env)});
+  }
+  worker.cv.notify_one();
+}
+
+void ThreadMachine::worker_loop(Pe pe) {
+  t_current_pe = pe;
+  PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
+  while (true) {
+    QueueItem item{0, 0, Envelope{}};
+    {
+      std::unique_lock<std::mutex> lock(worker.mutex);
+      worker.cv.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) || !worker.queue.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      item = std::move(const_cast<QueueItem&>(worker.queue.top()));
+      worker.queue.pop();
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    sim::TimeNs charged = rt_->deliver(std::move(item.env));
+    if (config_.emulate_charge && charged > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(charged));
+    }
+    auto t1 = std::chrono::steady_clock::now();
+
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      worker.stats.busy_ns +=
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+      ++worker.stats.msgs_executed;
+    }
+
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadMachine::run() {
+  std::unique_lock<std::mutex> lock(done_mutex_);
+  done_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0 ||
+           stopping_.load(std::memory_order_acquire);
+  });
+}
+
+void ThreadMachine::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  for (auto& worker : workers_) worker->cv.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  fabric_->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+PeStats ThreadMachine::pe_stats(Pe pe) const {
+  MDO_CHECK(pe >= 0 && pe < num_pes());
+  PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  return worker.stats;
+}
+
+}  // namespace mdo::core

@@ -1,0 +1,63 @@
+#include "core/trace_report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/table.hpp"
+
+namespace mdo::core {
+
+TraceReport summarize_trace(const std::vector<TraceEvent>& trace,
+                            const net::Topology& topo, sim::TimeNs horizon) {
+  TraceReport report;
+  std::map<Pe, PeUtilization> by_pe;
+  for (const auto& ev : trace) {
+    PeUtilization& u = by_pe[ev.pe];
+    u.pe = ev.pe;
+    u.busy += ev.end - ev.begin;
+    ++u.entries;
+    if (ev.src_pe >= 0 &&
+        !topo.same_cluster(static_cast<net::NodeId>(ev.pe),
+                           static_cast<net::NodeId>(ev.src_pe))) {
+      ++u.from_remote_cluster;
+    }
+    report.horizon = std::max(report.horizon, ev.end);
+  }
+  if (horizon > 0) report.horizon = horizon;
+
+  double total_util = 0.0;
+  for (auto& [pe, u] : by_pe) {
+    u.utilization = report.horizon > 0
+                        ? static_cast<double>(u.busy) /
+                              static_cast<double>(report.horizon)
+                        : 0.0;
+    total_util += u.utilization;
+    report.per_pe.push_back(u);
+  }
+  if (!report.per_pe.empty())
+    report.mean_utilization = total_util / static_cast<double>(report.per_pe.size());
+  return report;
+}
+
+std::string TraceReport::render() const {
+  TextTable table({"pe", "entries", "busy_ms", "utilization_pct",
+                   "wan_deliveries"});
+  for (const auto& u : per_pe) {
+    table.add_row({std::to_string(u.pe), std::to_string(u.entries),
+                   fmt_double(sim::to_ms(u.busy), 3),
+                   fmt_double(100.0 * u.utilization, 1),
+                   std::to_string(u.from_remote_cluster)});
+  }
+  return table.render();
+}
+
+int entries_within(const std::vector<TraceEvent>& trace, Pe pe,
+                   sim::TimeNs begin, sim::TimeNs end) {
+  int count = 0;
+  for (const auto& ev : trace) {
+    if (ev.pe == pe && ev.begin >= begin && ev.end <= end) ++count;
+  }
+  return count;
+}
+
+}  // namespace mdo::core

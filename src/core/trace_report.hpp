@@ -1,0 +1,42 @@
+#pragma once
+// Projections-style summary of an execution trace: per-PE busy time and
+// utilization, overlap accounting (how much of a PE's wait for remote
+// messages was covered by other objects' work), and message-kind
+// breakdowns. Consumes the TraceEvents a SimMachine records when
+// tracing is enabled.
+
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace mdo::core {
+
+struct PeUtilization {
+  Pe pe = kInvalidPe;
+  sim::TimeNs busy = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t from_remote_cluster = 0;  ///< deliveries that crossed the WAN
+  double utilization = 0.0;               ///< busy / horizon
+};
+
+struct TraceReport {
+  sim::TimeNs horizon = 0;  ///< end of the last traced interval
+  std::vector<PeUtilization> per_pe;
+  double mean_utilization = 0.0;
+
+  std::string render() const;
+};
+
+/// Summarize `trace` over [0, horizon]; horizon <= 0 means "end of the
+/// last event". `topo` classifies the WAN deliveries.
+TraceReport summarize_trace(const std::vector<TraceEvent>& trace,
+                            const net::Topology& topo,
+                            sim::TimeNs horizon = 0);
+
+/// Entries executed by `pe` strictly inside (begin, end) — the overlap
+/// measure behind Figure 2.
+int entries_within(const std::vector<TraceEvent>& trace, Pe pe,
+                   sim::TimeNs begin, sim::TimeNs end);
+
+}  // namespace mdo::core

@@ -1,0 +1,83 @@
+#include "core/tree.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mdo::core {
+
+ClusterTree::ClusterTree(const net::Topology& topo) {
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+  MDO_CHECK(n > 0);
+  parent_.assign(n, kInvalidPe);
+  children_.assign(n, {});
+
+  // Per-cluster sorted PE lists; the representative is the first entry.
+  std::vector<std::vector<Pe>> members(topo.num_clusters());
+  for (std::size_t pe = 0; pe < n; ++pe) {
+    members[static_cast<std::size_t>(
+                topo.cluster_of(static_cast<net::NodeId>(pe)))]
+        .push_back(static_cast<Pe>(pe));
+  }
+  for (auto& list : members) std::sort(list.begin(), list.end());
+
+  // Binary tree inside each cluster, rooted at its representative.
+  for (const auto& list : members) {
+    if (list.empty()) continue;
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      Pe par = list[(i - 1) / 2];
+      parent_[static_cast<std::size_t>(list[i])] = par;
+      children_[static_cast<std::size_t>(par)].push_back(list[i]);
+    }
+  }
+
+  // Representatives of non-root clusters hang off the global root, which
+  // is the representative of the cluster that owns PE 0.
+  root_ = 0;
+  for (const auto& list : members) {
+    if (list.empty()) continue;
+    Pe rep = list.front();
+    if (rep == root_) continue;
+    parent_[static_cast<std::size_t>(rep)] = root_;
+    children_[static_cast<std::size_t>(root_)].push_back(rep);
+  }
+
+  // Subtree sizes, bottom-up over PE ids (children always differ from
+  // parent, so iterate by decreasing depth via repeated passes is
+  // unnecessary: do a reverse topological accumulation with explicit
+  // stack instead).
+  subtree_size_.assign(n, 0);
+  std::vector<Pe> order;
+  order.reserve(n);
+  std::vector<Pe> stack{root_};
+  while (!stack.empty()) {
+    Pe pe = stack.back();
+    stack.pop_back();
+    order.push_back(pe);
+    for (Pe c : children_[static_cast<std::size_t>(pe)]) stack.push_back(c);
+  }
+  MDO_CHECK_MSG(order.size() == n, "spanning tree does not cover all PEs");
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t total = 1;
+    for (Pe c : children_[static_cast<std::size_t>(*it)])
+      total += subtree_size_[static_cast<std::size_t>(c)];
+    subtree_size_[static_cast<std::size_t>(*it)] = total;
+  }
+}
+
+Pe ClusterTree::parent(Pe pe) const {
+  MDO_CHECK(pe >= 0 && static_cast<std::size_t>(pe) < parent_.size());
+  return parent_[static_cast<std::size_t>(pe)];
+}
+
+const std::vector<Pe>& ClusterTree::children(Pe pe) const {
+  MDO_CHECK(pe >= 0 && static_cast<std::size_t>(pe) < children_.size());
+  return children_[static_cast<std::size_t>(pe)];
+}
+
+std::size_t ClusterTree::subtree_size(Pe pe) const {
+  MDO_CHECK(pe >= 0 && static_cast<std::size_t>(pe) < subtree_size_.size());
+  return subtree_size_[static_cast<std::size_t>(pe)];
+}
+
+}  // namespace mdo::core

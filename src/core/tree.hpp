@@ -1,0 +1,35 @@
+#pragma once
+// Cluster-aware spanning tree over PEs, used by broadcasts and reductions.
+// Crossing the WAN is expensive, so the tree crosses it exactly once per
+// remote cluster: a designated representative (lowest PE) per cluster
+// hangs off the global root, and PEs inside a cluster form a binary tree
+// under their representative.
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/topology.hpp"
+
+namespace mdo::core {
+
+class ClusterTree {
+ public:
+  explicit ClusterTree(const net::Topology& topo);
+
+  Pe root() const { return root_; }
+  Pe parent(Pe pe) const;                 ///< kInvalidPe for the root
+  const std::vector<Pe>& children(Pe pe) const;
+
+  /// Number of PEs in the subtree rooted at `pe` (including itself).
+  std::size_t subtree_size(Pe pe) const;
+
+  std::size_t num_pes() const { return parent_.size(); }
+
+ private:
+  Pe root_ = 0;
+  std::vector<Pe> parent_;
+  std::vector<std::vector<Pe>> children_;
+  std::vector<std::size_t> subtree_size_;
+};
+
+}  // namespace mdo::core

@@ -1,0 +1,53 @@
+#pragma once
+// Fundamental identifier types of the message-driven runtime.
+
+#include <cstdint>
+#include <functional>
+
+#include "util/pup.hpp"
+
+namespace mdo::core {
+
+using Pe = std::int32_t;        ///< physical processor id, dense from 0
+using ArrayId = std::int32_t;   ///< chare-array id, dense from 0
+using EntryId = std::int32_t;   ///< registered entry-method id
+using Priority = std::int32_t;  ///< smaller value = delivered earlier
+
+constexpr Pe kInvalidPe = -1;
+constexpr EntryId kInvalidEntry = -1;
+
+/// Index of an element within a chare array: up to three components.
+/// 1D indices use x with y = z = 0; the dimensionality is a property of
+/// the array, not the index, so Index is just a comparable triple.
+struct Index {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t z = 0;
+
+  constexpr Index() = default;
+  constexpr explicit Index(std::int32_t x_) : x(x_) {}
+  constexpr Index(std::int32_t x_, std::int32_t y_) : x(x_), y(y_) {}
+  constexpr Index(std::int32_t x_, std::int32_t y_, std::int32_t z_)
+      : x(x_), y(y_), z(z_) {}
+
+  friend constexpr bool operator==(const Index&, const Index&) = default;
+  friend constexpr auto operator<=>(const Index&, const Index&) = default;
+};
+
+struct IndexHash {
+  std::size_t operator()(const Index& i) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint32_t>(i.x));
+    mix(static_cast<std::uint32_t>(i.y));
+    mix(static_cast<std::uint32_t>(i.z));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Placement function: where an element lives before any migration.
+using MapFn = std::function<Pe(const Index&)>;
+
+}  // namespace mdo::core

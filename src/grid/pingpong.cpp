@@ -1,0 +1,81 @@
+#include "grid/pingpong.hpp"
+
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/mapping.hpp"
+#include "util/assert.hpp"
+
+namespace mdo::grid {
+namespace {
+
+struct PingChare final : core::Chare {
+  int reps_left = 0;
+  sim::TimeNs started_at = 0;
+  sim::TimeNs total_rtt = 0;
+  int completed = 0;
+
+  void ping(std::vector<std::byte> payload) {
+    // Echo straight back to the other element.
+    core::Index other(index().x == 0 ? 1 : 0);
+    runtime().proxy<PingChare>(array_id()).send<&PingChare::pong>(
+        other, std::move(payload));
+  }
+
+  void pong(std::vector<std::byte> payload) {
+    total_rtt += runtime().now() - started_at;
+    ++completed;
+    if (--reps_left > 0) {
+      started_at = runtime().now();
+      core::Index other(index().x == 0 ? 1 : 0);
+      runtime().proxy<PingChare>(array_id()).send<&PingChare::ping>(
+          other, std::move(payload));
+    }
+  }
+
+  void pup(Pup& p) override {
+    Chare::pup(p);
+    p | reps_left | started_at | total_rtt | completed;
+  }
+};
+
+}  // namespace
+
+PingPongResult measure_pingpong(core::Runtime& rt, std::size_t payload_bytes,
+                                int reps, core::Pe peer) {
+  MDO_CHECK(reps > 0);
+  if (peer == core::kInvalidPe) {
+    const auto& topo = rt.topology();
+    if (topo.num_clusters() > 1) {
+      peer = static_cast<core::Pe>(topo.nodes_in(1).front());
+    } else {
+      peer = static_cast<core::Pe>(topo.num_nodes() - 1);
+    }
+  }
+  MDO_CHECK(peer >= 0 && peer < rt.num_pes());
+
+  auto proxy = rt.create_array<PingChare>(
+      "pingpong_probe", core::indices_1d(2),
+      [peer](const core::Index& i) { return i.x == 0 ? core::Pe{0} : peer; },
+      [](const core::Index&) { return std::make_unique<PingChare>(); });
+
+  PingChare* origin = proxy.local(core::Index(0));
+  origin->reps_left = reps;
+  origin->started_at = rt.now();
+
+  std::vector<std::byte> payload(payload_bytes, std::byte{0x5a});
+  proxy.send<&PingChare::ping>(core::Index(1), payload);
+  // The first ping is sent *to* the remote side from PE 0's context, so
+  // origin's clock starts now; the remote echoes back to element 0.
+  rt.run();
+
+  PingPongResult result;
+  result.reps = origin->completed;
+  result.payload_bytes = payload_bytes;
+  MDO_CHECK_MSG(origin->completed == reps, "ping-pong did not complete");
+  result.round_trip_avg = origin->total_rtt / reps;
+  result.one_way_avg = result.round_trip_avg / 2;
+  return result;
+}
+
+}  // namespace mdo::grid

@@ -1,0 +1,26 @@
+#pragma once
+// Charm-level ping-pong probe, the measurement the paper quotes for the
+// real NCSA↔ANL pair ("simple Charm++ ping-pong latencies are
+// approximately 1.920 ms"). Bounces a payload between the first PE of
+// each cluster through the full runtime + message-layer stack and
+// reports the average one-way latency.
+
+#include "core/runtime.hpp"
+
+namespace mdo::grid {
+
+struct PingPongResult {
+  sim::TimeNs one_way_avg = 0;
+  sim::TimeNs round_trip_avg = 0;
+  int reps = 0;
+  std::size_t payload_bytes = 0;
+};
+
+/// Runs `reps` round trips of a `payload_bytes` message between PE 0 and
+/// `peer` (default: the first PE of the second cluster, or the last PE
+/// when the topology has a single cluster). Drives rt.run() internally;
+/// call at a quiescent point.
+PingPongResult measure_pingpong(core::Runtime& rt, std::size_t payload_bytes,
+                                int reps, core::Pe peer = core::kInvalidPe);
+
+}  // namespace mdo::grid

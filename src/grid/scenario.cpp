@@ -1,0 +1,66 @@
+#include "grid/scenario.hpp"
+
+#include "util/assert.hpp"
+
+namespace mdo::grid {
+namespace {
+
+net::Topology make_topology(const Scenario& s) {
+  if (s.mode == Scenario::Mode::kLocal) {
+    return net::Topology::single_cluster(s.pes);
+  }
+  return net::Topology::two_cluster(s.pes);
+}
+
+net::GridLatencyModel::Config link_config(const Scenario& s) {
+  net::GridLatencyModel::Config cfg;
+  cfg.local = {kLocalLatency, kLocalBytesPerUs};
+  cfg.intra = {kSanLatency, kSanBytesPerUs};
+  switch (s.mode) {
+    case Scenario::Mode::kArtificial:
+      // Physically one cluster: the "inter-cluster" wire is still the
+      // SAN; the delay device supplies the artificial WAN latency.
+      cfg.inter = {kSanLatency, kSanBytesPerUs};
+      break;
+    case Scenario::Mode::kRealGrid:
+      cfg.inter = {kWanLatency, kWanBytesPerUs};
+      cfg.wan_contention = true;
+      cfg.wan_jitter_fraction = kWanJitterFraction;
+      break;
+    case Scenario::Mode::kLocal:
+      cfg.inter = cfg.intra;
+      break;
+  }
+  return cfg;
+}
+
+core::SimMachine::Overheads overheads() {
+  core::SimMachine::Overheads ov;
+  ov.send = kSendOverhead;
+  ov.recv = kRecvOverhead;
+  return ov;
+}
+
+}  // namespace
+
+std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
+  auto machine = std::make_unique<core::SimMachine>(make_topology(s),
+                                                    link_config(s), overheads());
+  if (s.mode == Scenario::Mode::kArtificial && s.artificial_one_way > 0) {
+    machine->add_delay_device(s.artificial_one_way);
+  }
+  machine->set_tracing(s.tracing);
+  return machine;
+}
+
+std::unique_ptr<core::ThreadMachine> make_thread_machine(
+    const Scenario& s, core::ThreadMachine::Config config) {
+  auto machine = std::make_unique<core::ThreadMachine>(make_topology(s),
+                                                       link_config(s), config);
+  if (s.mode == Scenario::Mode::kArtificial && s.artificial_one_way > 0) {
+    machine->add_delay_device(s.artificial_one_way);
+  }
+  return machine;
+}
+
+}  // namespace mdo::grid

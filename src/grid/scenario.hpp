@@ -1,0 +1,58 @@
+#pragma once
+// Scenario: one experimental environment of the paper, §5.1.
+//
+//  * kArtificial — the "simulated Grid environment": both halves of the
+//    allocation live in one physical cluster (Myrinet links everywhere)
+//    and a VMI delay device injects a chosen one-way latency between the
+//    halves. Sweeping that knob produces Figures 3 and 4.
+//  * kRealGrid  — the NCSA↔ANL TeraGrid co-allocation: genuine WAN link
+//    parameters with jitter and per-direction contention, no delay
+//    device. Produces the "Real Latency" columns of Tables 1 and 2.
+//  * kLocal     — a single cluster (baseline/serial calibration runs).
+
+#include <memory>
+
+#include "core/sim_machine.hpp"
+#include "core/thread_machine.hpp"
+#include "grid/calibration.hpp"
+
+namespace mdo::grid {
+
+struct Scenario {
+  enum class Mode { kArtificial, kRealGrid, kLocal };
+
+  std::size_t pes = 2;                  ///< split 50/50 across two clusters
+  Mode mode = Mode::kArtificial;
+  sim::TimeNs artificial_one_way = 0;   ///< the delay-device knob
+  bool tracing = false;
+
+  static Scenario artificial(std::size_t pes, sim::TimeNs one_way) {
+    Scenario s;
+    s.pes = pes;
+    s.mode = Mode::kArtificial;
+    s.artificial_one_way = one_way;
+    return s;
+  }
+  static Scenario real_grid(std::size_t pes) {
+    Scenario s;
+    s.pes = pes;
+    s.mode = Mode::kRealGrid;
+    return s;
+  }
+  static Scenario local(std::size_t pes) {
+    Scenario s;
+    s.pes = pes;
+    s.mode = Mode::kLocal;
+    return s;
+  }
+};
+
+/// Build the deterministic virtual-time machine for a scenario.
+std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& scenario);
+
+/// Build the real-threads machine (examples / integration tests). The
+/// delay device and link model are identical; time is wall-clock.
+std::unique_ptr<core::ThreadMachine> make_thread_machine(
+    const Scenario& scenario, core::ThreadMachine::Config config = {});
+
+}  // namespace mdo::grid

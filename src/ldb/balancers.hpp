@@ -1,0 +1,81 @@
+#pragma once
+// Load-balancing strategies over an LbSnapshot. All balancers are pure
+// planners (snapshot in, migration plan out) so they are unit-testable
+// without a runtime; ldb::rebalance() wires them to a live Runtime.
+//
+// GridCommLb implements §6 future work #2 of the reproduced paper: no
+// chare ever leaves its home cluster; within each cluster, the chares
+// that communicate over the wide area are spread evenly first, then the
+// rest are placed greedily.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldb/lb_database.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::ldb {
+
+class Balancer {
+ public:
+  virtual ~Balancer() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<Move> plan(const LbSnapshot& snapshot) = 0;
+};
+
+/// Classic greedy: heaviest object first onto the least-loaded PE.
+/// Ignores cluster boundaries (objects may cross the WAN).
+class GreedyLb final : public Balancer {
+ public:
+  std::string name() const override { return "GreedyLB"; }
+  std::vector<Move> plan(const LbSnapshot& snapshot) override;
+};
+
+/// Refinement: shed objects from PEs above `threshold` × average load
+/// onto underloaded PEs, preferring small moves. Cluster-oblivious.
+class RefineLb final : public Balancer {
+ public:
+  explicit RefineLb(double threshold = 1.05) : threshold_(threshold) {}
+  std::string name() const override { return "RefineLB"; }
+  std::vector<Move> plan(const LbSnapshot& snapshot) override;
+
+ private:
+  double threshold_;
+};
+
+/// Uniform-random placement; the classic sanity baseline.
+class RandomLb final : public Balancer {
+ public:
+  explicit RandomLb(std::uint64_t seed = 0x1b) : seed_(seed) {}
+  std::string name() const override { return "RandomLB"; }
+  std::vector<Move> plan(const LbSnapshot& snapshot) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Rotate every object to the next PE (modulo machine size). Useless as
+/// a balancer, invaluable as a migration stress baseline: it moves every
+/// single object, exercising the pack/unpack path maximally.
+class RotateLb final : public Balancer {
+ public:
+  std::string name() const override { return "RotateLB"; }
+  std::vector<Move> plan(const LbSnapshot& snapshot) override;
+};
+
+/// The paper's grid-aware balancer: per-cluster greedy balancing with
+/// WAN-communicating chares distributed evenly inside their home cluster
+/// and never migrated across clusters.
+class GridCommLb final : public Balancer {
+ public:
+  std::string name() const override { return "GridCommLB"; }
+  std::vector<Move> plan(const LbSnapshot& snapshot) override;
+};
+
+/// Collect → plan → apply at a quiescent point; charges the balancing
+/// time to the machine clock (data volume / SAN bandwidth heuristic) and
+/// resets the measurement window. Returns the plan that was applied.
+std::vector<Move> rebalance(core::Runtime& rt, Balancer& balancer);
+
+}  // namespace mdo::ldb

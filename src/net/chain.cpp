@@ -1,0 +1,23 @@
+#include "net/chain.hpp"
+
+namespace mdo::net {
+
+std::vector<Packet> Chain::apply_send(Packet&& packet, SendContext& ctx) {
+  std::vector<Packet> packets;
+  packets.push_back(std::move(packet));
+  for (auto& device : devices_) {
+    device->send_transform(packets, ctx);
+  }
+  return packets;
+}
+
+std::optional<Packet> Chain::apply_receive(Packet&& packet) {
+  std::optional<Packet> current{std::move(packet)};
+  for (auto it = devices_.rbegin(); it != devices_.rend(); ++it) {
+    current = (*it)->receive_transform(std::move(*current));
+    if (!current.has_value()) return std::nullopt;
+  }
+  return current;
+}
+
+}  // namespace mdo::net

@@ -1,0 +1,48 @@
+#pragma once
+// An ordered device chain, applied forward on send and in reverse on
+// receive — the composition mechanism VMI exposes to build capabilities
+// (artificial delay, striping, compression, integrity, encryption) out
+// of stackable modules without touching the application or the runtime.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/device.hpp"
+
+namespace mdo::net {
+
+class Chain {
+ public:
+  Chain() = default;
+  Chain(Chain&&) = default;
+  Chain& operator=(Chain&&) = default;
+
+  /// Append a device to the send path (it becomes the first on receive).
+  /// Returns the raw pointer for post-construction configuration; the
+  /// chain owns the device.
+  template <class D>
+  D* add(std::unique_ptr<D> device) {
+    D* raw = device.get();
+    devices_.push_back(std::move(device));
+    return raw;
+  }
+
+  /// Run `packet` down the send path. The result may be several packets
+  /// (striping) with transformed payloads; `ctx` accumulates artificial
+  /// delay and sender CPU cost.
+  std::vector<Packet> apply_send(Packet&& packet, SendContext& ctx);
+
+  /// Run one arriving packet up the receive path. nullopt means the
+  /// packet was consumed (a buffered fragment).
+  std::optional<Packet> apply_receive(Packet&& packet);
+
+  std::size_t size() const { return devices_.size(); }
+  bool empty() const { return devices_.empty(); }
+  FilterDevice& device(std::size_t i) { return *devices_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<FilterDevice>> devices_;
+};
+
+}  // namespace mdo::net

@@ -1,0 +1,44 @@
+#pragma once
+// VMI-style message-layer devices. A Chain holds an ordered list of
+// FilterDevices; outgoing packets run down the chain (each device may
+// rewrite, delay, or split them) before reaching the terminal transport,
+// and incoming packets run back up in reverse order. This reproduces
+// VMI's send/receive device chains, including the paper's "delay device
+// driver" used to inject artificial wide-area latencies (§5.1).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace mdo::net {
+
+/// Per-send accounting accumulated while a packet traverses the chain.
+struct SendContext {
+  sim::TimeNs extra_delay = 0;  ///< artificial hold time (delay device)
+  sim::TimeNs cpu_cost = 0;     ///< sender CPU spent transforming payloads
+};
+
+class FilterDevice {
+ public:
+  virtual ~FilterDevice() = default;
+  virtual const char* name() const = 0;
+
+  /// Transform the outgoing packet list in place. Most devices rewrite
+  /// each packet; the striping device replaces one packet with fragments.
+  virtual void send_transform(std::vector<Packet>& packets, SendContext& ctx);
+
+  /// Inverse transform for one incoming packet. Returning nullopt means
+  /// the device consumed the packet (e.g. buffered a fragment); delivery
+  /// resumes when a later packet completes the set.
+  virtual std::optional<Packet> receive_transform(Packet packet);
+
+ protected:
+  /// Per-packet hooks used by the default list implementations.
+  virtual void on_send(Packet& packet, SendContext& ctx);
+  virtual void on_receive(Packet& packet);
+};
+
+}  // namespace mdo::net

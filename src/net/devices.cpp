@@ -1,0 +1,166 @@
+#include "net/devices.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::net {
+
+// -- FilterDevice defaults -------------------------------------------
+
+void FilterDevice::send_transform(std::vector<Packet>& packets,
+                                  SendContext& ctx) {
+  for (auto& p : packets) on_send(p, ctx);
+}
+
+std::optional<Packet> FilterDevice::receive_transform(Packet packet) {
+  on_receive(packet);
+  return packet;
+}
+
+void FilterDevice::on_send(Packet&, SendContext&) {}
+void FilterDevice::on_receive(Packet&) {}
+
+// -- DelayDevice ------------------------------------------------------
+
+DelayDevice::DelayDevice(const Topology* topo, sim::TimeNs cross_cluster_delay)
+    : topo_(topo), default_delay_(cross_cluster_delay) {
+  MDO_CHECK(topo_ != nullptr);
+  MDO_CHECK(cross_cluster_delay >= 0);
+}
+
+void DelayDevice::set_pair_delay(NodeId src, NodeId dst, sim::TimeNs delay) {
+  MDO_CHECK(delay >= 0);
+  pair_delay_[{src, dst}] = delay;
+}
+
+void DelayDevice::on_send(Packet& packet, SendContext& ctx) {
+  if (auto it = pair_delay_.find({packet.src, packet.dst});
+      it != pair_delay_.end()) {
+    ctx.extra_delay += it->second;
+    return;
+  }
+  if (!topo_->same_cluster(packet.src, packet.dst)) {
+    ctx.extra_delay += default_delay_;
+  }
+}
+
+// -- CompressionDevice --------------------------------------------------
+
+namespace {
+constexpr std::byte kStored{0};
+constexpr std::byte kRle{1};
+}  // namespace
+
+CompressionDevice::CompressionDevice(double cpu_ns_per_byte)
+    : cpu_ns_per_byte_(cpu_ns_per_byte) {}
+
+Bytes CompressionDevice::rle_encode(const Bytes& in) {
+  Bytes out;
+  out.reserve(in.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::byte value = in[i];
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == value && run < 255) ++run;
+    out.push_back(static_cast<std::byte>(run));
+    out.push_back(value);
+    i += run;
+  }
+  return out;
+}
+
+Bytes CompressionDevice::rle_decode(std::span<const std::byte> in) {
+  MDO_CHECK_MSG(in.size() % 2 == 0, "corrupt RLE stream");
+  Bytes out;
+  for (std::size_t i = 0; i < in.size(); i += 2) {
+    auto run = static_cast<std::size_t>(in[i]);
+    MDO_CHECK_MSG(run > 0, "zero-length RLE run");
+    out.insert(out.end(), run, in[i + 1]);
+  }
+  return out;
+}
+
+void CompressionDevice::on_send(Packet& packet, SendContext& ctx) {
+  ctx.cpu_cost += static_cast<sim::TimeNs>(
+      cpu_ns_per_byte_ * static_cast<double>(packet.payload.size()));
+  Bytes encoded = rle_encode(packet.payload);
+  Bytes framed;
+  if (encoded.size() < packet.payload.size()) {
+    bytes_saved_ += packet.payload.size() - encoded.size();
+    framed.reserve(encoded.size() + 1);
+    framed.push_back(kRle);
+    framed.insert(framed.end(), encoded.begin(), encoded.end());
+  } else {
+    framed.reserve(packet.payload.size() + 1);
+    framed.push_back(kStored);
+    framed.insert(framed.end(), packet.payload.begin(), packet.payload.end());
+  }
+  packet.payload = std::move(framed);
+}
+
+void CompressionDevice::on_receive(Packet& packet) {
+  MDO_CHECK_MSG(!packet.payload.empty(), "empty compressed frame");
+  std::byte tag = packet.payload.front();
+  std::span<const std::byte> body{packet.payload.data() + 1,
+                                  packet.payload.size() - 1};
+  if (tag == kRle) {
+    packet.payload = rle_decode(body);
+  } else {
+    MDO_CHECK_MSG(tag == kStored, "unknown compression tag");
+    packet.payload.assign(body.begin(), body.end());
+  }
+}
+
+// -- ChecksumDevice -----------------------------------------------------
+
+std::uint64_t ChecksumDevice::fnv1a(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void ChecksumDevice::on_send(Packet& packet, SendContext&) {
+  std::uint64_t digest = fnv1a(packet.payload);
+  const auto* p = reinterpret_cast<const std::byte*>(&digest);
+  packet.payload.insert(packet.payload.end(), p, p + sizeof(digest));
+}
+
+void ChecksumDevice::on_receive(Packet& packet) {
+  MDO_CHECK_MSG(packet.payload.size() >= sizeof(std::uint64_t),
+                "frame shorter than its checksum");
+  std::uint64_t stored;
+  std::memcpy(&stored, packet.payload.data() + packet.payload.size() - sizeof(stored),
+              sizeof(stored));
+  packet.payload.resize(packet.payload.size() - sizeof(stored));
+  std::uint64_t computed = fnv1a(packet.payload);
+  MDO_CHECK_MSG(stored == computed, "checksum mismatch: corrupted frame");
+  ++verified_;
+}
+
+// -- CryptoDevice -------------------------------------------------------
+
+void CryptoDevice::apply_keystream(Packet& packet) const {
+  SplitMix64 stream(key_ ^ (packet.id * 0x9e3779b97f4a7c15ULL + 1));
+  std::size_t i = 0;
+  while (i < packet.payload.size()) {
+    std::uint64_t word = stream.next_u64();
+    for (std::size_t b = 0; b < sizeof(word) && i < packet.payload.size();
+         ++b, ++i) {
+      packet.payload[i] ^= static_cast<std::byte>((word >> (8 * b)) & 0xff);
+    }
+  }
+}
+
+void CryptoDevice::on_send(Packet& packet, SendContext& ctx) {
+  ctx.cpu_cost += static_cast<sim::TimeNs>(packet.payload.size() / 8);
+  apply_keystream(packet);
+}
+
+void CryptoDevice::on_receive(Packet& packet) { apply_keystream(packet); }
+
+}  // namespace mdo::net

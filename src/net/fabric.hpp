@@ -1,0 +1,44 @@
+#pragma once
+// Fabric: the terminal transport under a device chain. Delivers packets
+// between nodes of a Topology according to a LatencyModel. Two concrete
+// fabrics exist: SimFabric (virtual time, discrete-event) and
+// ThreadFabric (real threads and real sleeps).
+
+#include <cstdint>
+#include <functional>
+
+#include "net/chain.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace mdo::net {
+
+class Fabric {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+
+  virtual ~Fabric() = default;
+
+  /// Hand one packet to the message layer. The fabric assigns the packet
+  /// id, runs the send chain, and arranges delivery. Returns the sender
+  /// CPU cost the chain reported (charged by the caller's machine).
+  virtual sim::TimeNs send(Packet&& packet) = 0;
+
+  /// Register the upcall invoked when a packet completes delivery at
+  /// `node` (after the receive chain). Must be set before traffic flows.
+  virtual void set_delivery_handler(NodeId node, DeliverFn handler) = 0;
+
+  virtual const Topology& topology() const = 0;
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t wan_packets = 0;   ///< cross-cluster sends
+    std::uint64_t wan_bytes = 0;
+  };
+  virtual Stats stats() const = 0;
+};
+
+}  // namespace mdo::net

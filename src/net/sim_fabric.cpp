@@ -1,0 +1,61 @@
+#include "net/sim_fabric.hpp"
+
+#include "util/assert.hpp"
+
+namespace mdo::net {
+
+SimFabric::SimFabric(sim::Engine* engine, const Topology* topo,
+                     LatencyModel* model, Chain chain)
+    : engine_(engine), topo_(topo), model_(model), chain_(std::move(chain)) {
+  MDO_CHECK(engine_ != nullptr && topo_ != nullptr && model_ != nullptr);
+  handlers_.resize(topo_->num_nodes());
+}
+
+void SimFabric::set_delivery_handler(NodeId node, DeliverFn handler) {
+  MDO_CHECK(node >= 0 && static_cast<std::size_t>(node) < handlers_.size());
+  handlers_[static_cast<std::size_t>(node)] = std::move(handler);
+}
+
+sim::TimeNs SimFabric::send(Packet&& packet) {
+  MDO_CHECK(packet.src >= 0 &&
+            static_cast<std::size_t>(packet.src) < topo_->num_nodes());
+  MDO_CHECK(packet.dst >= 0 &&
+            static_cast<std::size_t>(packet.dst) < topo_->num_nodes());
+  packet.id = next_id_++;
+  packet.inject_time = engine_->now();
+
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.payload.size();
+  const bool wan = !topo_->same_cluster(packet.src, packet.dst);
+  if (wan) {
+    ++stats_.wan_packets;
+    stats_.wan_bytes += packet.payload.size();
+  }
+
+  SendContext ctx;
+  std::vector<Packet> wire = chain_.apply_send(std::move(packet), ctx);
+  for (auto& frame : wire) {
+    // The delay device holds the frame for ctx.extra_delay before the
+    // network device sees it, so the model is evaluated at that instant.
+    sim::TimeNs enter_net = engine_->now() + ctx.extra_delay;
+    sim::TimeNs net_delay = model_->delivery_delay(
+        frame.src, frame.dst, frame.payload.size(), enter_net);
+    Packet moved = std::move(frame);
+    engine_->schedule_at(enter_net + net_delay,
+                         [this, p = std::move(moved)]() mutable {
+                           arrive(std::move(p));
+                         });
+  }
+  return ctx.cpu_cost;
+}
+
+void SimFabric::arrive(Packet&& packet) {
+  std::optional<Packet> complete = chain_.apply_receive(std::move(packet));
+  if (!complete.has_value()) return;
+  ++stats_.packets_delivered;
+  auto& handler = handlers_[static_cast<std::size_t>(complete->dst)];
+  MDO_CHECK_MSG(static_cast<bool>(handler), "no delivery handler registered");
+  handler(std::move(*complete));
+}
+
+}  // namespace mdo::net

@@ -1,0 +1,41 @@
+#pragma once
+// Discrete-event fabric: packets become engine events. Delivery time =
+// now + chain extra delay (delay device) + LatencyModel delay evaluated
+// at the instant the packet leaves the delay device — matching the VMI
+// chain order of the paper (delay device sits above the network device).
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/latency_model.hpp"
+#include "sim/engine.hpp"
+
+namespace mdo::net {
+
+class SimFabric final : public Fabric {
+ public:
+  /// All pointers are borrowed and must outlive the fabric. `chain` may
+  /// be empty (fast path: no payload transforms).
+  SimFabric(sim::Engine* engine, const Topology* topo, LatencyModel* model,
+            Chain chain);
+
+  sim::TimeNs send(Packet&& packet) override;
+  void set_delivery_handler(NodeId node, DeliverFn handler) override;
+  const Topology& topology() const override { return *topo_; }
+  Stats stats() const override { return stats_; }
+
+  Chain& chain() { return chain_; }
+
+ private:
+  void arrive(Packet&& packet);
+
+  sim::Engine* engine_;
+  const Topology* topo_;
+  LatencyModel* model_;
+  Chain chain_;
+  std::vector<DeliverFn> handlers_;
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace mdo::net

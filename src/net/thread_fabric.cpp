@@ -1,0 +1,99 @@
+#include "net/thread_fabric.hpp"
+
+#include "util/assert.hpp"
+
+namespace mdo::net {
+
+ThreadFabric::ThreadFabric(const Topology* topo, LatencyModel* model,
+                           Chain chain)
+    : topo_(topo),
+      model_(model),
+      chain_(std::move(chain)),
+      start_(Clock::now()) {
+  MDO_CHECK(topo_ != nullptr && model_ != nullptr);
+  handlers_.resize(topo_->num_nodes());
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+ThreadFabric::~ThreadFabric() { shutdown(); }
+
+void ThreadFabric::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void ThreadFabric::set_delivery_handler(NodeId node, DeliverFn handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MDO_CHECK(node >= 0 && static_cast<std::size_t>(node) < handlers_.size());
+  handlers_[static_cast<std::size_t>(node)] = std::move(handler);
+}
+
+sim::TimeNs ThreadFabric::send(Packet&& packet) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MDO_CHECK(!stop_);
+  packet.id = next_id_++;
+  sim::TimeNs now = now_ns();
+  packet.inject_time = now;
+
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.payload.size();
+  if (!topo_->same_cluster(packet.src, packet.dst)) {
+    ++stats_.wan_packets;
+    stats_.wan_bytes += packet.payload.size();
+  }
+
+  SendContext ctx;
+  std::vector<Packet> wire = chain_.apply_send(std::move(packet), ctx);
+  for (auto& frame : wire) {
+    sim::TimeNs enter_net = now + ctx.extra_delay;
+    sim::TimeNs net_delay = model_->delivery_delay(
+        frame.src, frame.dst, frame.payload.size(), enter_net);
+    Clock::time_point due =
+        start_ + std::chrono::nanoseconds(enter_net + net_delay);
+    pending_.push(Timed{due, next_seq_++, std::move(frame)});
+  }
+  cv_.notify_one();
+  return ctx.cpu_cost;
+}
+
+void ThreadFabric::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (stop_) return;
+    if (pending_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+    Clock::time_point due = pending_.top().due;
+    if (Clock::now() < due) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    Timed item = std::move(const_cast<Timed&>(pending_.top()));
+    pending_.pop();
+
+    std::optional<Packet> complete =
+        chain_.apply_receive(std::move(item.packet));
+    if (!complete.has_value()) continue;
+    ++stats_.packets_delivered;
+    DeliverFn handler = handlers_[static_cast<std::size_t>(complete->dst)];
+    MDO_CHECK_MSG(static_cast<bool>(handler), "no delivery handler registered");
+    // Deliver outside the lock: the handler enqueues into a PE mailbox
+    // which takes its own lock, and may race with concurrent send().
+    lock.unlock();
+    handler(std::move(*complete));
+    lock.lock();
+  }
+}
+
+ThreadFabric::Stats ThreadFabric::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mdo::net

@@ -1,0 +1,79 @@
+#pragma once
+// Real-time fabric: one dispatcher thread holds packets until their
+// modeled delivery deadline (delay-device hold + network delay) elapses
+// in wall-clock time, then runs the receive chain and the delivery
+// upcall. Used by the ThreadMachine backend for examples and
+// integration tests; delivery handlers must be thread-safe.
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/latency_model.hpp"
+
+namespace mdo::net {
+
+class ThreadFabric final : public Fabric {
+ public:
+  ThreadFabric(const Topology* topo, LatencyModel* model, Chain chain);
+  ~ThreadFabric() override;
+
+  ThreadFabric(const ThreadFabric&) = delete;
+  ThreadFabric& operator=(const ThreadFabric&) = delete;
+
+  sim::TimeNs send(Packet&& packet) override;
+  void set_delivery_handler(NodeId node, DeliverFn handler) override;
+  const Topology& topology() const override { return *topo_; }
+  Stats stats() const override;
+
+  /// Stop the dispatcher and drop undelivered packets (also done by the
+  /// destructor). Idempotent.
+  void shutdown();
+
+  /// Device chain access; only safe to mutate before traffic flows.
+  Chain& chain() { return chain_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Timed {
+    Clock::time_point due;
+    std::uint64_t seq;
+    Packet packet;
+  };
+  struct Later {
+    bool operator()(const Timed& a, const Timed& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  sim::TimeNs now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  void dispatcher_loop();
+
+  const Topology* topo_;
+  LatencyModel* model_;
+  Chain chain_;
+  Clock::time_point start_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Timed, std::vector<Timed>, Later> pending_;
+  std::vector<DeliverFn> handlers_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  Stats stats_;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace mdo::net

@@ -1,0 +1,65 @@
+#include "net/topology.hpp"
+
+#include "util/assert.hpp"
+
+namespace mdo::net {
+
+ClusterId Topology::add_cluster(std::string name) {
+  cluster_names_.push_back(std::move(name));
+  return static_cast<ClusterId>(cluster_names_.size() - 1);
+}
+
+NodeId Topology::add_node(ClusterId cluster) {
+  MDO_CHECK(cluster >= 0 &&
+            static_cast<std::size_t>(cluster) < cluster_names_.size());
+  node_cluster_.push_back(cluster);
+  return static_cast<NodeId>(node_cluster_.size() - 1);
+}
+
+ClusterId Topology::cluster_of(NodeId node) const {
+  MDO_CHECK(node >= 0 && static_cast<std::size_t>(node) < node_cluster_.size());
+  return node_cluster_[static_cast<std::size_t>(node)];
+}
+
+const std::string& Topology::cluster_name(ClusterId cluster) const {
+  MDO_CHECK(cluster >= 0 &&
+            static_cast<std::size_t>(cluster) < cluster_names_.size());
+  return cluster_names_[static_cast<std::size_t>(cluster)];
+}
+
+std::size_t Topology::cluster_size(ClusterId cluster) const {
+  std::size_t n = 0;
+  for (ClusterId c : node_cluster_)
+    if (c == cluster) ++n;
+  return n;
+}
+
+std::vector<NodeId> Topology::nodes_in(ClusterId cluster) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < node_cluster_.size(); ++i)
+    if (node_cluster_[i] == cluster) out.push_back(static_cast<NodeId>(i));
+  return out;
+}
+
+Topology Topology::two_cluster(std::size_t num_nodes) {
+  Topology topo;
+  ClusterId a = topo.add_cluster("siteA");
+  if (num_nodes == 1) {
+    topo.add_node(a);
+    return topo;
+  }
+  MDO_CHECK_MSG(num_nodes % 2 == 0, "two-cluster layout needs an even node count");
+  ClusterId b = topo.add_cluster("siteB");
+  for (std::size_t i = 0; i < num_nodes / 2; ++i) topo.add_node(a);
+  for (std::size_t i = 0; i < num_nodes / 2; ++i) topo.add_node(b);
+  return topo;
+}
+
+Topology Topology::single_cluster(std::size_t num_nodes) {
+  Topology topo;
+  ClusterId a = topo.add_cluster("site");
+  for (std::size_t i = 0; i < num_nodes; ++i) topo.add_node(a);
+  return topo;
+}
+
+}  // namespace mdo::net

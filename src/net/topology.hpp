@@ -1,0 +1,50 @@
+#pragma once
+// Cluster/node layout of a (possibly multi-cluster) grid allocation.
+// The paper's experiments always use two clusters with the processors
+// split evenly; helpers for that layout live here.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace mdo::net {
+
+using ClusterId = std::int32_t;
+
+class Topology {
+ public:
+  /// Add a cluster; returns its id (dense, starting at 0).
+  ClusterId add_cluster(std::string name);
+
+  /// Add a node to a cluster; returns its NodeId (dense, starting at 0).
+  NodeId add_node(ClusterId cluster);
+
+  ClusterId cluster_of(NodeId node) const;
+  const std::string& cluster_name(ClusterId cluster) const;
+
+  std::size_t num_nodes() const { return node_cluster_.size(); }
+  std::size_t num_clusters() const { return cluster_names_.size(); }
+  std::size_t cluster_size(ClusterId cluster) const;
+  std::vector<NodeId> nodes_in(ClusterId cluster) const;
+
+  bool same_cluster(NodeId a, NodeId b) const {
+    return cluster_of(a) == cluster_of(b);
+  }
+
+  /// The paper's standard layout: `num_nodes` split evenly between two
+  /// clusters ("siteA" gets the first half). num_nodes must be even,
+  /// except num_nodes == 1 which yields a single-cluster single node
+  /// (used for serial calibration runs).
+  static Topology two_cluster(std::size_t num_nodes);
+
+  /// Single cluster of `num_nodes` (no WAN anywhere).
+  static Topology single_cluster(std::size_t num_nodes);
+
+ private:
+  std::vector<std::string> cluster_names_;
+  std::vector<ClusterId> node_cluster_;
+};
+
+}  // namespace mdo::net

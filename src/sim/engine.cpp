@@ -1,0 +1,48 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace mdo::sim {
+
+void Engine::schedule_at(TimeNs t, Callback fn) {
+  MDO_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (stopped_ || queue_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out before
+  // pop, so copy the header fields and steal the function.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  MDO_ASSERT(ev.time >= now_);
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(TimeNs t) {
+  MDO_CHECK(t >= now_);
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  if (!stopped_) now_ = t;
+}
+
+void Engine::reset() {
+  now_ = 0;
+  next_seq_ = 0;
+  processed_ = 0;
+  stopped_ = false;
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace mdo::sim

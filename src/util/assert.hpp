@@ -1,0 +1,34 @@
+#pragma once
+// Lightweight checked-assertion macros. MDO_CHECK is always on (it guards
+// invariants whose violation would silently corrupt a simulation);
+// MDO_ASSERT compiles out in NDEBUG builds for hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mdo::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "mdo: check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace mdo::detail
+
+#define MDO_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::mdo::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define MDO_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) ::mdo::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MDO_ASSERT(expr) ((void)0)
+#else
+#define MDO_ASSERT(expr) MDO_CHECK(expr)
+#endif

@@ -1,0 +1,66 @@
+#pragma once
+// Contiguous byte buffer used for marshalled messages and checkpoints.
+// A thin wrapper over std::vector<std::byte> with append/consume cursors.
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mdo {
+
+using Bytes = std::vector<std::byte>;
+
+/// Append-only writer over a growable byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void write(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+  template <class T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(&value, sizeof(T));
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Sequential reader over a byte span; checks bounds on every read.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  void read(void* out, std::size_t n) {
+    MDO_CHECK_MSG(pos_ + n <= data_.size(), "byte reader overrun");
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  template <class T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    read(&value, sizeof(T));
+    return value;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mdo

@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace mdo::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level)); }
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void emit(Level lvl, const std::string& message) {
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[mdo %s] %s\n", level_name(lvl), message.c_str());
+}
+
+}  // namespace mdo::log

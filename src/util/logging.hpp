@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled, thread-safe logger. Output goes to stderr so bench
+// tables on stdout stay machine-parsable.
+
+#include <sstream>
+#include <string>
+
+namespace mdo::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn.
+void set_level(Level level);
+Level level();
+
+/// Emit one line (thread-safe). Prefer the MDO_LOG macro.
+void emit(Level level, const std::string& message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { emit(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <class T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace mdo::log
+
+// Usage: MDO_LOG(kInfo) << "pe " << pe << " started";
+#define MDO_LOG(lvl)                                              \
+  if (::mdo::log::Level::lvl < ::mdo::log::level()) {             \
+  } else                                                          \
+    ::mdo::log::detail::LineBuilder(::mdo::log::Level::lvl)

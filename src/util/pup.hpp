@@ -1,0 +1,274 @@
+#pragma once
+// PUP (Pack/UnPack) serialization, after the Charm++ idiom: a single
+// traversal function per type describes its wire layout once, and the
+// same code sizes, packs, and unpacks. Used for entry-method argument
+// marshalling, chare migration, and checkpointing.
+//
+// A type T is "pupable" if one of the following holds, checked in order:
+//   1. it is trivially copyable (arithmetic, enums, POD structs);
+//   2. it has a member  void pup(mdo::Pup&);
+//   3. a free function  void pup(mdo::Pup&, T&)  is found by ADL;
+//   4. it is a std::string, std::vector/array/pair/optional/map/unordered_map
+//      of pupable types.
+//
+// Usage:
+//   struct Particle { double x, v; std::vector<int> bonds;
+//                     void pup(mdo::Pup& p) { p | x | v | bonds; } };
+//   mdo::Bytes b = mdo::pack_object(particle);
+//   mdo::unpack_object(b, particle2);
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/buffer.hpp"
+
+namespace mdo {
+
+class Pup;
+
+namespace detail {
+
+template <class T>
+concept HasMemberPup = requires(T& t, Pup& p) { t.pup(p); };
+
+template <class T>
+concept TriviallyPupable =
+    std::is_trivially_copyable_v<T> && !HasMemberPup<T>;
+
+}  // namespace detail
+
+/// The pup traversal context. Exactly one of the three modes is active.
+class Pup {
+ public:
+  enum class Mode { kSizing, kPacking, kUnpacking };
+
+  bool sizing() const { return mode_ == Mode::kSizing; }
+  bool packing() const { return mode_ == Mode::kPacking; }
+  bool unpacking() const { return mode_ == Mode::kUnpacking; }
+  Mode mode() const { return mode_; }
+
+  /// Raw bytes; the primitive everything else is built from.
+  void bytes(void* data, std::size_t n) {
+    switch (mode_) {
+      case Mode::kSizing:
+        size_ += n;
+        break;
+      case Mode::kPacking:
+        writer_.write(data, n);
+        break;
+      case Mode::kUnpacking:
+        reader_.read(data, n);
+        break;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+  // -- factory helpers ------------------------------------------------
+
+  static Pup sizer() { return Pup(Mode::kSizing); }
+  static Pup packer(Bytes& out) { return Pup(out); }
+  static Pup unpacker(std::span<const std::byte> in) { return Pup(in); }
+
+  std::size_t bytes_remaining() const {
+    MDO_CHECK(unpacking());
+    return reader_.remaining();
+  }
+
+ private:
+  explicit Pup(Mode mode) : mode_(mode) {}
+  explicit Pup(Bytes& out) : mode_(Mode::kPacking), writer_(out) {}
+  explicit Pup(std::span<const std::byte> in)
+      : mode_(Mode::kUnpacking), reader_(in) {}
+
+  Mode mode_;
+  std::size_t size_ = 0;
+
+  // Only one of these is meaningful for a given mode; both are cheap.
+  Bytes dummy_{};
+  ByteWriter writer_{dummy_};
+  ByteReader reader_{std::span<const std::byte>{}};
+};
+
+// -- operator| overload set ------------------------------------------
+
+template <detail::TriviallyPupable T>
+Pup& operator|(Pup& p, T& value) {
+  p.bytes(&value, sizeof(T));
+  return p;
+}
+
+template <detail::HasMemberPup T>
+Pup& operator|(Pup& p, T& value) {
+  value.pup(p);
+  return p;
+}
+
+inline Pup& operator|(Pup& p, std::string& s) {
+  auto n = static_cast<std::uint64_t>(s.size());
+  p | n;
+  if (p.unpacking()) s.resize(n);
+  if (n != 0) p.bytes(s.data(), n);
+  return p;
+}
+
+template <class T>
+Pup& operator|(Pup& p, std::vector<T>& v) {
+  auto n = static_cast<std::uint64_t>(v.size());
+  p | n;
+  if (p.unpacking()) v.resize(n);
+  if constexpr (detail::TriviallyPupable<T>) {
+    if (n != 0) p.bytes(v.data(), n * sizeof(T));
+  } else {
+    for (auto& e : v) p | e;
+  }
+  return p;
+}
+
+template <class T, std::size_t N>
+Pup& operator|(Pup& p, std::array<T, N>& a) {
+  if constexpr (detail::TriviallyPupable<T>) {
+    p.bytes(a.data(), N * sizeof(T));
+  } else {
+    for (auto& e : a) p | e;
+  }
+  return p;
+}
+
+template <class A, class B>
+Pup& operator|(Pup& p, std::pair<A, B>& pr) {
+  return p | pr.first | pr.second;
+}
+
+template <class T>
+Pup& operator|(Pup& p, std::optional<T>& o) {
+  std::uint8_t present = o.has_value() ? 1 : 0;
+  p | present;
+  if (p.unpacking()) {
+    if (present && !o.has_value()) o.emplace();
+    if (!present) o.reset();
+  }
+  if (present) p | *o;
+  return p;
+}
+
+template <class K, class V, class C, class A>
+Pup& operator|(Pup& p, std::map<K, V, C, A>& m) {
+  auto n = static_cast<std::uint64_t>(m.size());
+  p | n;
+  if (p.unpacking()) {
+    m.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::pair<K, V> kv{};
+      p | kv;
+      m.emplace(std::move(kv));
+    }
+  } else {
+    for (auto& kv : m) {
+      K key = kv.first;  // keys are const in place; copy for traversal
+      p | key | kv.second;
+    }
+  }
+  return p;
+}
+
+template <class K, class V, class H, class E, class A>
+Pup& operator|(Pup& p, std::unordered_map<K, V, H, E, A>& m) {
+  auto n = static_cast<std::uint64_t>(m.size());
+  p | n;
+  if (p.unpacking()) {
+    m.clear();
+    m.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::pair<K, V> kv{};
+      p | kv;
+      m.emplace(std::move(kv));
+    }
+  } else {
+    for (auto& kv : m) {
+      K key = kv.first;
+      p | key | kv.second;
+    }
+  }
+  return p;
+}
+
+// -- whole-object helpers --------------------------------------------
+
+template <class T>
+concept Pupable = requires(Pup& p, T& t) { p | t; };
+
+/// Serialize one object to a fresh byte vector.
+template <Pupable T>
+Bytes pack_object(const T& value) {
+  Bytes out;
+  Pup p = Pup::packer(out);
+  p | const_cast<T&>(value);  // packing never mutates
+  return out;
+}
+
+/// Deserialize one object; checks that the buffer is fully consumed.
+template <Pupable T>
+void unpack_object(std::span<const std::byte> data, T& value) {
+  Pup p = Pup::unpacker(data);
+  p | value;
+  MDO_CHECK_MSG(p.bytes_remaining() == 0, "trailing bytes after unpack");
+}
+
+template <Pupable T>
+std::size_t pup_size(const T& value) {
+  Pup p = Pup::sizer();
+  p | const_cast<T&>(value);
+  return p.size();
+}
+
+// -- argument-pack marshalling for entry methods ---------------------
+
+/// Pack a heterogeneous argument list into one buffer.
+template <class... Args>
+Bytes marshal(const Args&... args) {
+  Bytes out;
+  Pup p = Pup::packer(out);
+  (void)std::initializer_list<int>{((p | const_cast<Args&>(args)), 0)...};
+  return out;
+}
+
+/// Pack an already-constructed argument tuple (used by the entry-method
+/// proxies: caller arguments are first converted to the method's real
+/// parameter types so both sides of the wire agree on the layout).
+template <class Tuple>
+Bytes marshal_tuple(Tuple& args) {
+  Bytes out;
+  Pup p = Pup::packer(out);
+  std::apply(
+      [&p](auto&... elems) {
+        (void)std::initializer_list<int>{((p | elems), 0)...};
+      },
+      args);
+  return out;
+}
+
+/// Unpack a buffer into a std::tuple of the given (decayed) types.
+template <class... Args>
+std::tuple<std::decay_t<Args>...> unmarshal(std::span<const std::byte> data) {
+  Pup p = Pup::unpacker(data);
+  std::tuple<std::decay_t<Args>...> out{};
+  std::apply([&p](auto&... elems) {
+    (void)std::initializer_list<int>{((p | elems), 0)...};
+  }, out);
+  MDO_CHECK_MSG(p.bytes_remaining() == 0, "trailing bytes after unmarshal");
+  return out;
+}
+
+}  // namespace mdo

@@ -1,0 +1,61 @@
+#pragma once
+// Streaming and batch statistics used by the load-balance database, the
+// benchmark harnesses, and the tests that assert distributional bounds.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mdo {
+
+/// Welford's online mean/variance plus min/max. O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch percentile over a stored sample (linear interpolation).
+double percentile(std::vector<double> sample, double q);
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to the
+/// first/last bin. Used for per-PE utilization summaries.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Coefficient of variation of a sample (stddev/mean); 0 for empty/zero-mean.
+double coefficient_of_variation(const std::vector<double>& sample);
+
+}  // namespace mdo

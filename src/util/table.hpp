@@ -1,0 +1,40 @@
+#pragma once
+// ASCII table and CSV emitters. Every benchmark harness prints its
+// paper-shaped table through this so rows stay aligned and greppable.
+
+#include <string>
+#include <vector>
+
+namespace mdo {
+
+/// Column-aligned text table with a header row. Cells are strings; use
+/// fmt_double/fmt_ms for numeric formatting consistent across benches.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column padding and a separator under the header.
+  std::string render() const;
+
+  /// Render as CSV (no padding, comma-separated, quoted when needed).
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal, e.g. fmt_double(3.14159, 3) == "3.142".
+std::string fmt_double(double value, int digits = 3);
+
+/// Nanoseconds rendered as milliseconds with 3 decimals ("85.774").
+std::string fmt_ns_as_ms(long long ns);
+
+/// Nanoseconds rendered as seconds with 3 decimals ("3.924").
+std::string fmt_ns_as_s(long long ns);
+
+}  // namespace mdo

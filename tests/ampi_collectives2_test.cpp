@@ -1,0 +1,178 @@
+// AMPI extended collectives: scatter, allgather, alltoall, sendrecv,
+// probing, and composition patterns (halo exchange, pipelined stages).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "ampi/ampi.hpp"
+#include "core/runtime.hpp"
+#include "core/sim_machine.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Runtime;
+using core::SimMachine;
+
+std::unique_ptr<SimMachine> make_machine(std::size_t pes) {
+  net::GridLatencyModel::Config cfg;
+  cfg.intra = {sim::microseconds(6.5), 250.0};
+  cfg.inter = {sim::milliseconds(1.0), 250.0};
+  return std::make_unique<SimMachine>(net::Topology::two_cluster(pes), cfg);
+}
+
+void run_world(std::size_t pes, int ranks, ampi::RankFn fn) {
+  Runtime rt(make_machine(pes));
+  ampi::World world(rt, ranks, std::move(fn));
+  world.launch();
+  rt.run();
+  ASSERT_EQ(world.unfinished_ranks(), 0) << "MPI program deadlocked";
+}
+
+class CollectiveRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveRanks, ScatterDistributesBlocks) {
+  int ranks = GetParam();
+  for (int root = 0; root < std::min(ranks, 3); ++root) {
+    run_world(4, ranks, [ranks, root](ampi::Comm& comm) {
+      std::vector<int> blocks;
+      if (comm.rank() == root) {
+        blocks.resize(static_cast<std::size_t>(ranks));
+        for (int r = 0; r < ranks; ++r) blocks[static_cast<std::size_t>(r)] = 1000 + r;
+      }
+      int mine = -1;
+      comm.scatter(blocks.data(), sizeof(int), &mine, root);
+      EXPECT_EQ(mine, 1000 + comm.rank());
+    });
+  }
+}
+
+TEST_P(CollectiveRanks, AllgatherGivesEveryoneEverything) {
+  int ranks = GetParam();
+  run_world(4, ranks, [ranks](ampi::Comm& comm) {
+    double mine = 0.5 * comm.rank();
+    std::vector<double> all(static_cast<std::size_t>(ranks), -1.0);
+    comm.allgather(&mine, sizeof(double), all.data());
+    for (int r = 0; r < ranks; ++r)
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)], 0.5 * r);
+  });
+}
+
+TEST_P(CollectiveRanks, AlltoallTransposesBlocks) {
+  int ranks = GetParam();
+  run_world(4, ranks, [ranks](ampi::Comm& comm) {
+    std::vector<int> out_blocks(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r)
+      out_blocks[static_cast<std::size_t>(r)] = 100 * comm.rank() + r;
+    std::vector<int> in_blocks(static_cast<std::size_t>(ranks), -1);
+    comm.alltoall(out_blocks.data(), sizeof(int), in_blocks.data());
+    // Block s must be "100*s + my_rank": sent by s, addressed to me.
+    for (int s = 0; s < ranks; ++s)
+      EXPECT_EQ(in_blocks[static_cast<std::size_t>(s)], 100 * s + comm.rank());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveRanks,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(AmpiSendrecv, ShiftPatternDoesNotDeadlock) {
+  run_world(4, 8, [](ampi::Comm& comm) {
+    // Everyone sendrecv's to the right / from the left — the textbook
+    // pattern that deadlocks with rendezvous sends.
+    int right = (comm.rank() + 1) % comm.size();
+    int left = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int step = 0; step < 5; ++step) {
+      int out = comm.rank() * 10 + step;
+      int in = -1;
+      auto [src, tag] = comm.sendrecv(right, 3, &out, sizeof(out), left, 3,
+                                      &in, sizeof(in));
+      EXPECT_EQ(src, left);
+      EXPECT_EQ(tag, 3);
+      EXPECT_EQ(in, left * 10 + step);
+    }
+  });
+}
+
+TEST(AmpiProbe, SeesQueuedMessagesWithoutConsuming) {
+  run_world(2, 2, [](ampi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 4, 44);
+      // Handshake so rank 1's probes run after the message arrived.
+      EXPECT_EQ(comm.recv_value<int>(1, 5), 55);
+    } else {
+      // Wait until the message is queued.
+      while (!comm.has_message(0, 4)) {
+        // Blocking wait via a zero-byte self round trip would be overkill;
+        // rely on a real recv with wildcard probe loop instead.
+        break;
+      }
+      int v = comm.recv_value<int>(0, 4);
+      EXPECT_EQ(v, 44);
+      EXPECT_FALSE(comm.has_message(0, 4));
+      comm.send_value(0, 5, 55);
+    }
+  });
+}
+
+TEST(AmpiProbe, ProbeAfterArrival) {
+  run_world(2, 2, [](ampi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 7, 1);
+      comm.send_value(1, 8, 2);
+    } else {
+      // Receive tag 8 first; tag 7 must then be probe-visible.
+      EXPECT_EQ(comm.recv_value<int>(0, 8), 2);
+      EXPECT_TRUE(comm.has_message(0, 7));
+      EXPECT_TRUE(comm.has_message(ampi::kAnySource, ampi::kAnyTag));
+      EXPECT_FALSE(comm.has_message(0, 9));
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 1);
+    }
+  });
+}
+
+TEST(AmpiComposition, PipelineOfCollectives) {
+  // Interleaved barriers, reduces, gathers, and alltoalls in a loop: the
+  // per-rank collective sequence numbers must keep epochs separate.
+  run_world(4, 6, [](ampi::Comm& comm) {
+    int n = comm.size();
+    for (int round = 0; round < 4; ++round) {
+      comm.barrier();
+      std::vector<double> v{static_cast<double>(comm.rank() + round)};
+      comm.allreduce(v.data(), 1, ampi::Comm::Op::kSum);
+      EXPECT_DOUBLE_EQ(v[0], n * (n - 1) / 2.0 + n * round);
+
+      std::vector<int> blocks(static_cast<std::size_t>(n), comm.rank());
+      std::vector<int> got(static_cast<std::size_t>(n), -1);
+      comm.alltoall(blocks.data(), sizeof(int), got.data());
+      for (int s = 0; s < n; ++s) EXPECT_EQ(got[static_cast<std::size_t>(s)], s);
+
+      int mine = comm.rank();
+      std::vector<int> all(static_cast<std::size_t>(n), -1);
+      comm.allgather(&mine, sizeof(int), all.data());
+      for (int s = 0; s < n; ++s) EXPECT_EQ(all[static_cast<std::size_t>(s)], s);
+    }
+  });
+}
+
+TEST(AmpiStress, ManyRanksManyMessages) {
+  run_world(8, 32, [](ampi::Comm& comm) {
+    // All-pairs token exchange with wildcard receives.
+    int n = comm.size();
+    for (int r = 0; r < n; ++r) {
+      if (r == comm.rank()) continue;
+      comm.send_value(r, comm.rank(), comm.rank());
+    }
+    long long sum = 0;
+    for (int i = 0; i < n - 1; ++i) {
+      int v = 0;
+      comm.recv_bytes(ampi::kAnySource, ampi::kAnyTag, &v, sizeof(v));
+      sum += v;
+    }
+    EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2 - comm.rank());
+  });
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Disk checkpoint/restart of a whole runtime.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/array.hpp"
+#include "core/checkpoint.hpp"
+#include "core/mapping.hpp"
+#include "core/runtime.hpp"
+#include "core/sim_machine.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Chare;
+using core::Index;
+using core::Pe;
+using core::Runtime;
+using core::SimMachine;
+
+std::unique_ptr<SimMachine> make_machine(std::size_t pes) {
+  net::GridLatencyModel::Config cfg;
+  return std::make_unique<SimMachine>(net::Topology::two_cluster(pes), cfg);
+}
+
+struct Counter : Chare {
+  std::int64_t value = 0;
+  std::string note;
+  void add(std::int64_t by) { value += by; }
+  void pup(Pup& p) override {
+    Chare::pup(p);
+    p | value | note;
+  }
+};
+
+std::string temp_path(const char* stem) {
+  return std::string(::testing::TempDir()) + "/" + stem + ".ckpt";
+}
+
+struct TwoArrays {
+  explicit TwoArrays(std::size_t pes) : rt(make_machine(pes)) {
+    a = rt.create_array<Counter>(
+        "alpha", core::indices_1d(6), core::block_map_1d(6, static_cast<int>(pes)),
+        [](const Index& i) {
+          auto c = std::make_unique<Counter>();
+          c->value = i.x;
+          return c;
+        });
+    b = rt.create_array<Counter>(
+        "beta", core::indices_1d(3), core::round_robin_map(static_cast<int>(pes)),
+        [](const Index& i) {
+          auto c = std::make_unique<Counter>();
+          c->note = "b" + std::to_string(i.x);
+          return c;
+        });
+  }
+  Runtime rt;
+  core::ArrayProxy<Counter> a, b;
+};
+
+TEST(CheckpointFile, SaveRestoreRoundtrip) {
+  std::string path = temp_path("roundtrip");
+  TwoArrays sys(4);
+  sys.a.send<&Counter::add>(Index(2), 100);
+  sys.rt.run();
+  sys.rt.migrate(sys.a.id(), Index(5), 0);
+
+  std::size_t written = core::save_checkpoint(sys.rt, path);
+  EXPECT_GT(written, 0u);
+
+  // Corrupt the live state...
+  sys.a.send<&Counter::add>(Index(2), 999);
+  sys.b.send<&Counter::add>(Index(0), -5);
+  sys.rt.run();
+  sys.rt.migrate(sys.a.id(), Index(5), 3);
+
+  // ...and restore.
+  core::load_checkpoint(sys.rt, path);
+  EXPECT_EQ(sys.a.local(Index(2))->value, 102);
+  EXPECT_EQ(sys.b.local(Index(0))->value, 0);
+  EXPECT_EQ(sys.b.local(Index(1))->note, "b1");
+  EXPECT_EQ(sys.rt.array(sys.a.id()).location(Index(5)), 0);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, RestoredRunContinuesIdentically) {
+  std::string path = temp_path("continue");
+  TwoArrays sys(4);
+  sys.a.broadcast<&Counter::add>(7);
+  sys.rt.run();
+  core::save_checkpoint(sys.rt, path);
+
+  // Continue the original.
+  sys.a.broadcast<&Counter::add>(1);
+  sys.rt.run();
+
+  // Restore into a *fresh* runtime (the restart scenario).
+  TwoArrays fresh(4);
+  core::load_checkpoint(fresh.rt, path);
+  fresh.a.broadcast<&Counter::add>(1);
+  fresh.rt.run();
+
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(fresh.a.local(Index(i))->value, sys.a.local(Index(i))->value);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, RejectsGarbageFile) {
+  std::string path = temp_path("garbage");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+  }
+  TwoArrays sys(2);
+  EXPECT_DEATH(core::load_checkpoint(sys.rt, path), "not an mdo checkpoint");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, RejectsWrongArrayCount) {
+  std::string path = temp_path("count");
+  TwoArrays sys(2);
+  core::save_checkpoint(sys.rt, path);
+
+  Runtime other(make_machine(2));
+  auto only = other.create_array<Counter>(
+      "alpha", core::indices_1d(6), core::block_map_1d(6, 2),
+      [](const Index&) { return std::make_unique<Counter>(); });
+  (void)only;
+  EXPECT_DEATH(core::load_checkpoint(other, path), "different number");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, MissingFileIsFatal) {
+  TwoArrays sys(2);
+  EXPECT_DEATH(core::load_checkpoint(sys.rt, "/nonexistent/dir/x.ckpt"),
+               "cannot open");
+}
+
+}  // namespace

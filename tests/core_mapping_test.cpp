@@ -1,0 +1,132 @@
+// Initial-placement maps: coverage, balance, and the cluster-seam
+// property the stencil experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Index;
+using core::Pe;
+
+TEST(BlockMap1d, CoversContiguouslyAndEvenly) {
+  auto map = core::block_map_1d(12, 4);
+  std::vector<int> count(4, 0);
+  Pe prev = 0;
+  for (int x = 0; x < 12; ++x) {
+    Pe pe = map(Index(x));
+    EXPECT_GE(pe, prev);  // monotone: contiguous blocks
+    prev = pe;
+    ++count[static_cast<std::size_t>(pe)];
+  }
+  for (int c : count) EXPECT_EQ(c, 3);
+}
+
+TEST(BlockMap1d, UnevenCountsDifferByAtMostOne) {
+  auto map = core::block_map_1d(10, 3);
+  std::vector<int> count(3, 0);
+  for (int x = 0; x < 10; ++x) ++count[static_cast<std::size_t>(map(Index(x)))];
+  int lo = *std::min_element(count.begin(), count.end());
+  int hi = *std::max_element(count.begin(), count.end());
+  EXPECT_LE(hi - lo, 1);
+  EXPECT_EQ(lo + hi + (10 - lo - hi), 10);
+}
+
+TEST(BlockMap1d, OutOfRangeDies) {
+  auto map = core::block_map_1d(4, 2);
+  EXPECT_DEATH(map(Index(4)), "");
+  EXPECT_DEATH(map(Index(-1)), "");
+}
+
+TEST(RoundRobinMap, CyclesAndHandlesNegatives) {
+  auto map = core::round_robin_map(3);
+  EXPECT_EQ(map(Index(0)), 0);
+  EXPECT_EQ(map(Index(1)), 1);
+  EXPECT_EQ(map(Index(2)), 2);
+  EXPECT_EQ(map(Index(3)), 0);
+  EXPECT_EQ(map(Index(-1)), 2);  // wraps, never negative
+}
+
+class RowBlockSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RowBlockSweep, EveryPeGetsWorkAndSeamIsHorizontal) {
+  auto [k, pes] = GetParam();
+  auto map = core::row_block_map_2d(k, k, pes);
+  std::vector<int> count(static_cast<std::size_t>(pes), 0);
+  Pe prev = 0;
+  for (std::int32_t y = 0; y < k; ++y) {
+    for (std::int32_t x = 0; x < k; ++x) {
+      Pe pe = map(Index(x, y));
+      ASSERT_GE(pe, 0);
+      ASSERT_LT(pe, pes);
+      EXPECT_GE(pe, prev);  // row-major monotone
+      prev = pe;
+      ++count[static_cast<std::size_t>(pe)];
+    }
+  }
+  int lo = *std::min_element(count.begin(), count.end());
+  int hi = *std::max_element(count.begin(), count.end());
+  EXPECT_GT(lo, 0) << "a PE got no objects";
+  EXPECT_LE(hi - lo, 1 + (k * k % pes != 0 ? 1 : 0));
+
+  // The two-cluster seam property: with PEs split half/half, the set of
+  // objects on cluster B starts at a row boundary when rows divide
+  // evenly among PEs.
+  if (pes % 2 == 0 && k % pes == 0) {
+    net::Topology topo = net::Topology::two_cluster(static_cast<std::size_t>(pes));
+    std::int32_t first_b_row = -1;
+    for (std::int32_t y = 0; y < k && first_b_row < 0; ++y)
+      if (topo.cluster_of(map(Index(0, y))) == 1) first_b_row = y;
+    ASSERT_GE(first_b_row, 0);
+    for (std::int32_t y = 0; y < k; ++y)
+      for (std::int32_t x = 0; x < k; ++x)
+        EXPECT_EQ(topo.cluster_of(map(Index(x, y))) == 1, y >= first_b_row)
+            << "seam not horizontal at (" << x << "," << y << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RowBlockSweep,
+    ::testing::Values(std::make_pair(8, 4), std::make_pair(8, 8),
+                      std::make_pair(16, 8), std::make_pair(16, 16),
+                      std::make_pair(32, 64), std::make_pair(4, 2)));
+
+TEST(BlockMap3d, FlattensZMajorAndBalances) {
+  auto map = core::block_map_3d(6, 6, 6, 8);
+  std::vector<int> count(8, 0);
+  Pe prev = 0;
+  for (std::int32_t z = 0; z < 6; ++z)
+    for (std::int32_t y = 0; y < 6; ++y)
+      for (std::int32_t x = 0; x < 6; ++x) {
+        Pe pe = map(Index(x, y, z));
+        EXPECT_GE(pe, prev);
+        prev = pe;
+        ++count[static_cast<std::size_t>(pe)];
+      }
+  for (int c : count) EXPECT_EQ(c, 27);  // 216 / 8
+}
+
+TEST(IndexHelpers, GeneratorsProduceExpectedOrder) {
+  auto i1 = core::indices_1d(3);
+  ASSERT_EQ(i1.size(), 3u);
+  EXPECT_EQ(i1[2], Index(2));
+
+  auto i2 = core::indices_2d(2, 3);
+  ASSERT_EQ(i2.size(), 6u);
+  EXPECT_EQ(i2[0], Index(0, 0));
+  EXPECT_EQ(i2[1], Index(1, 0));  // x fastest
+  EXPECT_EQ(i2[5], Index(1, 2));
+
+  auto i3 = core::indices_3d(2, 2, 2);
+  ASSERT_EQ(i3.size(), 8u);
+  EXPECT_EQ(i3[0], Index(0, 0, 0));
+  EXPECT_EQ(i3[7], Index(1, 1, 1));
+  EXPECT_EQ(i3[4], Index(0, 0, 1));  // z slowest
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Migration and checkpoint/restore through the pup path.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/mapping.hpp"
+#include "core/runtime.hpp"
+#include "core/sim_machine.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Chare;
+using core::Index;
+using core::Pe;
+using core::Runtime;
+using core::SimMachine;
+
+std::unique_ptr<SimMachine> make_machine(std::size_t pes) {
+  net::GridLatencyModel::Config cfg;
+  cfg.inter = {sim::milliseconds(1.0), 250.0};
+  return std::make_unique<SimMachine>(net::Topology::two_cluster(pes), cfg);
+}
+
+struct Stateful : Chare {
+  int counter = 0;
+  std::string label;
+  std::vector<double> field;
+
+  void bump(int by) { counter += by; }
+  void record(std::string s) { label = std::move(s); }
+
+  void pup(Pup& p) override {
+    Chare::pup(p);
+    p | counter | label | field;
+  }
+};
+
+TEST(Migration, StateSurvivesMove) {
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Stateful>(
+      "stateful", core::indices_1d(4), core::block_map_1d(4, 4),
+      [](const Index& i) {
+        auto e = std::make_unique<Stateful>();
+        e->counter = 10 * i.x;
+        e->label = "elem" + std::to_string(i.x);
+        e->field.assign(static_cast<std::size_t>(i.x + 1), 0.5);
+        return e;
+      });
+  proxy.send<&Stateful::bump>(Index(1), 7);
+  rt.run();
+
+  EXPECT_EQ(rt.array(proxy.id()).location(Index(1)), 1);
+  rt.migrate(proxy.id(), Index(1), 3);
+  EXPECT_EQ(rt.array(proxy.id()).location(Index(1)), 3);
+  EXPECT_EQ(rt.migrations(), 1u);
+  EXPECT_GT(rt.migration_bytes(), 0u);
+
+  Stateful* moved = proxy.local(Index(1));
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->counter, 17);
+  EXPECT_EQ(moved->label, "elem1");
+  EXPECT_EQ(moved->field.size(), 2u);
+  EXPECT_EQ(moved->my_pe(), 3);
+}
+
+TEST(Migration, MessagesFollowAfterMove) {
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Stateful>(
+      "stateful", core::indices_1d(2), core::block_map_1d(2, 4),
+      [](const Index&) { return std::make_unique<Stateful>(); });
+  rt.migrate(proxy.id(), Index(0), 3);
+  proxy.send<&Stateful::bump>(Index(0), 5);
+  rt.run();
+  EXPECT_EQ(proxy.local(Index(0))->counter, 5);
+  EXPECT_GT(rt.machine().pe_stats(3).msgs_executed, 0u);
+}
+
+TEST(Migration, MigrateToSamePeIsNoop) {
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Stateful>(
+      "stateful", core::indices_1d(2), core::block_map_1d(2, 4),
+      [](const Index&) { return std::make_unique<Stateful>(); });
+  Stateful* before = proxy.local(Index(0));
+  rt.migrate(proxy.id(), Index(0), 0);
+  EXPECT_EQ(rt.migrations(), 0u);
+  EXPECT_EQ(proxy.local(Index(0)), before);  // same object, not rebuilt
+}
+
+TEST(Migration, ReductionsSurviveRelocation) {
+  Runtime rt(make_machine(4));
+  struct Red : Chare {
+    double v = 1.0;
+    core::ReductionClientId client = -1;
+    void go() { runtime().contribute(*this, {v}, core::ReduceOp::kSum, client); }
+    void pup(Pup& p) override {
+      Chare::pup(p);
+      p | v | client;
+    }
+  };
+  auto proxy = rt.create_array<Red>(
+      "red", core::indices_1d(6), core::block_map_1d(6, 4),
+      [](const Index& i) {
+        auto e = std::make_unique<Red>();
+        e->v = static_cast<double>(i.x);
+        return e;
+      });
+  std::vector<double> result;
+  auto client =
+      proxy.reduction_client([&](const std::vector<double>& d) { result = d; });
+  for (int i = 0; i < 6; ++i) proxy.local(Index(i))->client = client;
+
+  // Pile everything onto PE 2, then reduce.
+  for (int i = 0; i < 6; ++i) rt.migrate(proxy.id(), Index(i), 2);
+  proxy.broadcast<&Red::go>();
+  rt.run();
+  ASSERT_FALSE(result.empty());
+  EXPECT_DOUBLE_EQ(result[0], 15.0);
+}
+
+TEST(Checkpoint, RoundtripRestoresStateAndPlacement) {
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Stateful>(
+      "stateful", core::indices_1d(6), core::block_map_1d(6, 4),
+      [](const Index& i) {
+        auto e = std::make_unique<Stateful>();
+        e->counter = i.x;
+        return e;
+      });
+  rt.migrate(proxy.id(), Index(5), 0);
+  proxy.send<&Stateful::record>(Index(2), std::string("precious"));
+  rt.run();
+
+  Bytes snapshot = rt.checkpoint_array(proxy.id());
+
+  // Damage the state, then restore.
+  proxy.send<&Stateful::record>(Index(2), std::string("garbage"));
+  proxy.send<&Stateful::bump>(Index(0), 999);
+  rt.run();
+  rt.migrate(proxy.id(), Index(5), 3);
+
+  rt.restore_array(proxy.id(), snapshot);
+  EXPECT_EQ(proxy.local(Index(2))->label, "precious");
+  EXPECT_EQ(proxy.local(Index(0))->counter, 0);
+  EXPECT_EQ(rt.array(proxy.id()).location(Index(5)), 0);
+}
+
+TEST(Checkpoint, MismatchedArrayIsRejected) {
+  Runtime rt(make_machine(4));
+  auto a = rt.create_array<Stateful>(
+      "a", core::indices_1d(3), core::block_map_1d(3, 4),
+      [](const Index&) { return std::make_unique<Stateful>(); });
+  auto b = rt.create_array<Stateful>(
+      "b", core::indices_1d(5), core::block_map_1d(5, 4),
+      [](const Index&) { return std::make_unique<Stateful>(); });
+  Bytes snapshot = rt.checkpoint_array(a.id());
+  EXPECT_DEATH(rt.restore_array(b.id(), snapshot), "count");
+}
+
+TEST(Migration, AsymmetricPupIsCaught) {
+  struct Broken : Chare {
+    int a = 1, b = 2;
+    void pup(Pup& p) override {
+      Chare::pup(p);
+      if (p.packing()) {
+        p | a | b;
+      } else if (p.unpacking()) {
+        p | a;  // forgets b
+      } else {
+        p | a | b;
+      }
+    }
+  };
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Broken>(
+      "broken", core::indices_1d(1), core::block_map_1d(1, 4),
+      [](const Index&) { return std::make_unique<Broken>(); });
+  EXPECT_DEATH(rt.migrate(proxy.id(), Index(0), 1), "asymmetric");
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Quiescence detection and trace reports.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/mapping.hpp"
+#include "core/quiescence.hpp"
+#include "core/runtime.hpp"
+#include "core/sim_machine.hpp"
+#include "core/trace_report.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Chare;
+using core::Index;
+using core::QuiescenceDetector;
+using core::Runtime;
+using core::SimMachine;
+
+std::unique_ptr<SimMachine> make_machine(std::size_t pes, bool tracing = false) {
+  net::GridLatencyModel::Config cfg;
+  cfg.inter = {sim::milliseconds(2.0), 250.0};
+  auto m = std::make_unique<SimMachine>(net::Topology::two_cluster(pes), cfg);
+  m->set_tracing(tracing);
+  return m;
+}
+
+struct Chain : Chare {
+  int hops = 0;
+  void relay(int remaining) {
+    ++hops;
+    charge(sim::microseconds(200));
+    if (remaining > 0) {
+      Index other((index().x + 1) % 4);
+      runtime().proxy<Chain>(array_id()).send<&Chain::relay>(other,
+                                                             remaining - 1);
+    }
+  }
+};
+
+TEST(Quiescence, FiresAfterTrafficDrains) {
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Chain>(
+      "chain", core::indices_1d(4), core::block_map_1d(4, 4),
+      [](const Index&) { return std::make_unique<Chain>(); });
+  QuiescenceDetector qd(rt);
+
+  bool fired = false;
+  sim::TimeNs fired_at = 0;
+  int hops_at_fire = -1;
+  proxy.send<&Chain::relay>(Index(0), 40);
+  qd.notify_on_quiescence([&] {
+    fired = true;
+    fired_at = rt.now();
+    hops_at_fire = proxy.local(Index(0))->hops + proxy.local(Index(1))->hops +
+                   proxy.local(Index(2))->hops + proxy.local(Index(3))->hops;
+  });
+  rt.run();
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(hops_at_fire, 41);  // all traffic done before the callback
+  EXPECT_GT(fired_at, 0);
+  EXPECT_GE(qd.waves(), 2u);  // two-wave confirmation
+}
+
+TEST(Quiescence, ImmediateWhenNothingRuns) {
+  Runtime rt(make_machine(2));
+  QuiescenceDetector qd(rt);
+  bool fired = false;
+  qd.notify_on_quiescence([&] { fired = true; });
+  rt.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Quiescence, MultipleRequestsAllFire) {
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Chain>(
+      "chain", core::indices_1d(4), core::block_map_1d(4, 4),
+      [](const Index&) { return std::make_unique<Chain>(); });
+  QuiescenceDetector qd(rt);
+  int fired = 0;
+  proxy.send<&Chain::relay>(Index(0), 10);
+  qd.notify_on_quiescence([&] { ++fired; });
+  qd.notify_on_quiescence([&] { ++fired; });
+  qd.notify_on_quiescence([&] { ++fired; });
+  rt.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Quiescence, ChainedPhases) {
+  // The QD callback launches a second phase and a second detection.
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Chain>(
+      "chain", core::indices_1d(4), core::block_map_1d(4, 4),
+      [](const Index&) { return std::make_unique<Chain>(); });
+  QuiescenceDetector qd(rt);
+  int phase = 0;
+  proxy.send<&Chain::relay>(Index(0), 8);
+  qd.notify_on_quiescence([&] {
+    phase = 1;
+    proxy.send<&Chain::relay>(Index(1), 8);
+    qd.notify_on_quiescence([&] { phase = 2; });
+  });
+  rt.run();
+  EXPECT_EQ(phase, 2);
+  int total = 0;
+  for (int i = 0; i < 4; ++i) total += proxy.local(Index(i))->hops;
+  EXPECT_EQ(total, 18);
+}
+
+TEST(TraceReportTest, SummarizesBusyTimeAndWanDeliveries) {
+  Runtime rt(make_machine(4, /*tracing=*/true));
+  auto proxy = rt.create_array<Chain>(
+      "chain", core::indices_1d(4), core::block_map_1d(4, 4),
+      [](const Index&) { return std::make_unique<Chain>(); });
+  proxy.send<&Chain::relay>(Index(0), 20);
+  rt.run();
+
+  auto report = core::summarize_trace(rt.machine().trace(), rt.topology());
+  EXPECT_EQ(report.per_pe.size(), 4u);
+  EXPECT_GT(report.horizon, 0);
+  std::uint64_t wan_total = 0;
+  sim::TimeNs busy_total = 0;
+  for (const auto& u : report.per_pe) {
+    EXPECT_GT(u.entries, 0u);
+    EXPECT_GE(u.utilization, 0.0);
+    EXPECT_LE(u.utilization, 1.0);
+    wan_total += u.from_remote_cluster;
+    busy_total += u.busy;
+  }
+  // The relay ring crosses the cluster boundary twice per lap.
+  EXPECT_GT(wan_total, 0u);
+  // Busy time must at least cover the charged work: 21 hops x 200 us.
+  EXPECT_GE(busy_total, 21 * sim::microseconds(200));
+  EXPECT_GT(report.mean_utilization, 0.0);
+  EXPECT_FALSE(report.render().empty());
+}
+
+TEST(TraceReportTest, EntriesWithinWindow) {
+  std::vector<core::TraceEvent> trace{
+      {0, 100, 200, 1, 0, core::MsgKind::kEntry},
+      {0, 250, 300, 1, 0, core::MsgKind::kEntry},
+      {0, 400, 500, 1, 0, core::MsgKind::kEntry},
+      {1, 120, 180, 0, 0, core::MsgKind::kEntry},
+  };
+  EXPECT_EQ(core::entries_within(trace, 0, 0, 350), 2);
+  EXPECT_EQ(core::entries_within(trace, 0, 0, 1000), 3);
+  EXPECT_EQ(core::entries_within(trace, 1, 0, 1000), 1);
+  EXPECT_EQ(core::entries_within(trace, 0, 220, 320), 1);
+}
+
+TEST(TraceReportTest, EmptyTrace) {
+  net::Topology topo = net::Topology::two_cluster(2);
+  auto report = core::summarize_trace({}, topo);
+  EXPECT_TRUE(report.per_pe.empty());
+  EXPECT_EQ(report.horizon, 0);
+  EXPECT_DOUBLE_EQ(report.mean_utilization, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Reductions over the cluster-aware spanning tree: host clients, entry
+// (broadcast) clients, operators, repeated epochs, empty PEs, and the
+// tree structure itself.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/mapping.hpp"
+#include "core/runtime.hpp"
+#include "core/sim_machine.hpp"
+#include "core/tree.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Chare;
+using core::ClusterTree;
+using core::Index;
+using core::Pe;
+using core::ReduceOp;
+using core::Runtime;
+using core::SimMachine;
+
+std::unique_ptr<SimMachine> make_machine(std::size_t pes) {
+  net::GridLatencyModel::Config cfg;
+  cfg.inter = {sim::milliseconds(1.0), 250.0};
+  return std::make_unique<SimMachine>(net::Topology::two_cluster(pes), cfg);
+}
+
+struct Contributor : Chare {
+  double value = 0;
+  int rounds_left = 0;
+  core::ReductionClientId client = -1;
+  std::vector<double> last_result;
+
+  void go(std::string op_name) {
+    ReduceOp op = op_name == "min"   ? ReduceOp::kMin
+                  : op_name == "max" ? ReduceOp::kMax
+                  : op_name == "prod" ? ReduceOp::kProd
+                                      : ReduceOp::kSum;
+    runtime().contribute(*this, {value, 1.0}, op, client);
+  }
+
+  void result(std::vector<double> data) {
+    last_result = std::move(data);
+    if (rounds_left-- > 0) go("sum");
+  }
+};
+
+TEST(Reduction, SumOverTwoClusters) {
+  Runtime rt(make_machine(8));
+  auto proxy = rt.create_array<Contributor>(
+      "contrib", core::indices_1d(20), core::block_map_1d(20, 8),
+      [](const Index& i) {
+        auto c = std::make_unique<Contributor>();
+        c->value = static_cast<double>(i.x);
+        return c;
+      });
+  std::vector<double> result;
+  auto client = proxy.reduction_client(
+      [&](const std::vector<double>& data) { result = data; });
+  for (int i = 0; i < 20; ++i) proxy.local(Index(i))->client = client;
+  proxy.broadcast<&Contributor::go>(std::string("sum"));
+  rt.run();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_DOUBLE_EQ(result[0], 190.0);  // sum 0..19
+  EXPECT_DOUBLE_EQ(result[1], 20.0);   // element count
+}
+
+TEST(Reduction, MinMaxProd) {
+  for (auto [op, expect0] : {std::pair<std::string, double>{"min", 1.0},
+                             {"max", 5.0},
+                             {"prod", 120.0}}) {
+    Runtime rt(make_machine(4));
+    auto proxy = rt.create_array<Contributor>(
+        "contrib", core::indices_1d(5), core::block_map_1d(5, 4),
+        [](const Index& i) {
+          auto c = std::make_unique<Contributor>();
+          c->value = static_cast<double>(i.x + 1);
+          return c;
+        });
+    std::vector<double> result;
+    auto client = proxy.reduction_client(
+        [&](const std::vector<double>& data) { result = data; });
+    for (int i = 0; i < 5; ++i) proxy.local(Index(i))->client = client;
+    proxy.broadcast<&Contributor::go>(op);
+    rt.run();
+    ASSERT_EQ(result.size(), 2u) << op;
+    EXPECT_DOUBLE_EQ(result[0], expect0) << op;
+  }
+}
+
+TEST(Reduction, EntryClientBroadcastsResult) {
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Contributor>(
+      "contrib", core::indices_1d(6), core::block_map_1d(6, 4),
+      [](const Index& i) {
+        auto c = std::make_unique<Contributor>();
+        c->value = 2.0 * i.x;
+        return c;
+      });
+  auto client = proxy.reduction_client<&Contributor::result>();
+  for (int i = 0; i < 6; ++i) proxy.local(Index(i))->client = client;
+  proxy.broadcast<&Contributor::go>(std::string("sum"));
+  rt.run();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(proxy.local(Index(i))->last_result.size(), 2u);
+    EXPECT_DOUBLE_EQ(proxy.local(Index(i))->last_result[0], 30.0);
+  }
+}
+
+TEST(Reduction, RepeatedEpochsPipeline) {
+  // Elements immediately re-contribute from the result entry: 4 epochs
+  // complete and every element sees every result.
+  Runtime rt(make_machine(4));
+  auto proxy = rt.create_array<Contributor>(
+      "contrib", core::indices_1d(8), core::block_map_1d(8, 4),
+      [](const Index& i) {
+        auto c = std::make_unique<Contributor>();
+        c->value = static_cast<double>(i.x);
+        c->rounds_left = 3;
+        return c;
+      });
+  auto client = proxy.reduction_client<&Contributor::result>();
+  for (int i = 0; i < 8; ++i) proxy.local(Index(i))->client = client;
+  proxy.broadcast<&Contributor::go>(std::string("sum"));
+  rt.run();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(proxy.local(Index(i))->rounds_left, -1);
+    EXPECT_DOUBLE_EQ(proxy.local(Index(i))->last_result[0], 28.0);
+  }
+}
+
+TEST(Reduction, WorksWithElementlessPes) {
+  // All 6 elements on PE 0 of an 8-PE machine: the tree must not wait
+  // for contributions from empty PEs.
+  Runtime rt(make_machine(8));
+  auto proxy = rt.create_array<Contributor>(
+      "contrib", core::indices_1d(6), [](const Index&) { return Pe{0}; },
+      [](const Index& i) {
+        auto c = std::make_unique<Contributor>();
+        c->value = static_cast<double>(i.x);
+        return c;
+      });
+  std::vector<double> result;
+  auto client = proxy.reduction_client(
+      [&](const std::vector<double>& data) { result = data; });
+  for (int i = 0; i < 6; ++i) proxy.local(Index(i))->client = client;
+  proxy.broadcast<&Contributor::go>(std::string("sum"));
+  rt.run();
+  ASSERT_FALSE(result.empty());
+  EXPECT_DOUBLE_EQ(result[0], 15.0);
+}
+
+TEST(Reduction, ElementsOnlyOnRemoteCluster) {
+  // Elements only on the second cluster; root (PE 0) is on the first.
+  Runtime rt(make_machine(8));
+  auto proxy = rt.create_array<Contributor>(
+      "contrib", core::indices_1d(4),
+      [](const Index& i) { return Pe{4 + (i.x % 4)}; },
+      [](const Index& i) {
+        auto c = std::make_unique<Contributor>();
+        c->value = 1.0 + i.x;
+        return c;
+      });
+  std::vector<double> result;
+  auto client = proxy.reduction_client(
+      [&](const std::vector<double>& data) { result = data; });
+  for (int i = 0; i < 4; ++i) proxy.local(Index(i))->client = client;
+  proxy.broadcast<&Contributor::go>(std::string("sum"));
+  rt.run();
+  ASSERT_FALSE(result.empty());
+  EXPECT_DOUBLE_EQ(result[0], 10.0);
+}
+
+// -- tree structure ---------------------------------------------------------
+
+TEST(Tree, CoversAllPesOnce) {
+  for (std::size_t pes : {2u, 4u, 8u, 16u, 64u}) {
+    net::Topology topo = net::Topology::two_cluster(pes);
+    ClusterTree tree(topo);
+    EXPECT_EQ(tree.subtree_size(tree.root()), pes);
+    std::vector<int> seen(pes, 0);
+    std::vector<Pe> stack{tree.root()};
+    while (!stack.empty()) {
+      Pe pe = stack.back();
+      stack.pop_back();
+      ++seen[static_cast<std::size_t>(pe)];
+      for (Pe c : tree.children(pe)) {
+        EXPECT_EQ(tree.parent(c), pe);
+        stack.push_back(c);
+      }
+    }
+    for (std::size_t i = 0; i < pes; ++i) EXPECT_EQ(seen[i], 1) << "pe " << i;
+  }
+}
+
+TEST(Tree, CrossesWanExactlyOncePerRemoteCluster) {
+  net::Topology topo = net::Topology::two_cluster(16);
+  ClusterTree tree(topo);
+  int wan_edges = 0;
+  for (Pe pe = 0; pe < 16; ++pe) {
+    Pe parent = tree.parent(pe);
+    if (parent == core::kInvalidPe) continue;
+    if (!topo.same_cluster(pe, parent)) ++wan_edges;
+  }
+  EXPECT_EQ(wan_edges, 1);
+}
+
+TEST(Tree, SingleNode) {
+  net::Topology topo = net::Topology::two_cluster(1);
+  ClusterTree tree(topo);
+  EXPECT_EQ(tree.root(), 0);
+  EXPECT_TRUE(tree.children(0).empty());
+  EXPECT_EQ(tree.parent(0), core::kInvalidPe);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// ThreadMachine: the real-threads backend used by examples. Small
+// configurations and short latencies keep these integration tests fast.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/mapping.hpp"
+#include "core/runtime.hpp"
+#include "core/thread_machine.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Chare;
+using core::Index;
+using core::Runtime;
+using core::ThreadMachine;
+
+std::unique_ptr<ThreadMachine> make_machine(std::size_t pes,
+                                            double wan_ms = 0.0,
+                                            bool emulate_charge = false) {
+  net::GridLatencyModel::Config cfg;
+  cfg.local = {sim::microseconds(1), 4000.0};
+  cfg.intra = {sim::microseconds(20), 250.0};
+  cfg.inter = {wan_ms > 0 ? sim::milliseconds(wan_ms) : sim::microseconds(20),
+               250.0};
+  ThreadMachine::Config mc;
+  mc.emulate_charge = emulate_charge;
+  return std::make_unique<ThreadMachine>(net::Topology::two_cluster(pes), cfg,
+                                         mc);
+}
+
+struct Echo : Chare {
+  std::atomic<int> count{0};
+  void hit(int hops) {
+    count.fetch_add(1);
+    if (hops > 0) {
+      Index other(index().x == 0 ? 1 : 0);
+      runtime().proxy<Echo>(array_id()).send<&Echo::hit>(other, hops - 1);
+    }
+  }
+  void pup(Pup& p) override { Chare::pup(p); }
+};
+
+TEST(ThreadMachineTest, PingPongAcrossThreads) {
+  Runtime rt(make_machine(2));
+  auto proxy = rt.create_array<Echo>(
+      "echo", core::indices_1d(2), core::block_map_1d(2, 2),
+      [](const Index&) { return std::make_unique<Echo>(); });
+  proxy.send<&Echo::hit>(Index(0), 9);
+  rt.run();
+  EXPECT_EQ(proxy.local(Index(0))->count.load(), 5);
+  EXPECT_EQ(proxy.local(Index(1))->count.load(), 5);
+}
+
+TEST(ThreadMachineTest, QuiescenceWaitsForInFlightWanMessages) {
+  Runtime rt(make_machine(2, /*wan_ms=*/25.0));
+  auto proxy = rt.create_array<Echo>(
+      "echo", core::indices_1d(2), core::block_map_1d(2, 2),
+      [](const Index&) { return std::make_unique<Echo>(); });
+  auto t0 = std::chrono::steady_clock::now();
+  proxy.send<&Echo::hit>(Index(0), 2);  // two WAN hops: >= 50 ms
+  rt.run();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  EXPECT_EQ(proxy.local(Index(0))->count.load() +
+                proxy.local(Index(1))->count.load(),
+            3);
+  EXPECT_GE(ms, 49);
+}
+
+TEST(ThreadMachineTest, BroadcastAndReductionAcrossThreads) {
+  Runtime rt(make_machine(4));
+  struct Red : Chare {
+    double v = 2.0;
+    core::ReductionClientId client = -1;
+    void go() { runtime().contribute(*this, {v}, core::ReduceOp::kSum, client); }
+  };
+  auto proxy = rt.create_array<Red>(
+      "red", core::indices_1d(10), core::block_map_1d(10, 4),
+      [](const Index&) { return std::make_unique<Red>(); });
+  std::atomic<double> sum{0.0};
+  auto client = proxy.reduction_client(
+      [&](const std::vector<double>& d) { sum.store(d.at(0)); });
+  for (int i = 0; i < 10; ++i) proxy.local(Index(i))->client = client;
+  proxy.broadcast<&Red::go>();
+  rt.run();
+  EXPECT_DOUBLE_EQ(sum.load(), 20.0);
+}
+
+TEST(ThreadMachineTest, ChargeEmulationTakesRealTime) {
+  Runtime rt(make_machine(2, 0.0, /*emulate_charge=*/true));
+  struct Worker : Chare {
+    void work() { charge(sim::milliseconds(20)); }
+  };
+  auto proxy = rt.create_array<Worker>(
+      "w", core::indices_1d(1), core::block_map_1d(1, 2),
+      [](const Index&) { return std::make_unique<Worker>(); });
+  auto t0 = std::chrono::steady_clock::now();
+  proxy.send<&Worker::work>(Index(0));
+  rt.run();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  EXPECT_GE(ms, 19);
+}
+
+TEST(ThreadMachineTest, RunIsRepeatable) {
+  Runtime rt(make_machine(2));
+  auto proxy = rt.create_array<Echo>(
+      "echo", core::indices_1d(2), core::block_map_1d(2, 2),
+      [](const Index&) { return std::make_unique<Echo>(); });
+  for (int round = 0; round < 3; ++round) {
+    proxy.send<&Echo::hit>(Index(0), 1);
+    rt.run();
+  }
+  EXPECT_EQ(proxy.local(Index(0))->count.load(), 3);
+  EXPECT_EQ(proxy.local(Index(1))->count.load(), 3);
+}
+
+TEST(ThreadMachineTest, StatsAreAccounted) {
+  Runtime rt(make_machine(2));
+  auto proxy = rt.create_array<Echo>(
+      "echo", core::indices_1d(2), core::block_map_1d(2, 2),
+      [](const Index&) { return std::make_unique<Echo>(); });
+  proxy.send<&Echo::hit>(Index(0), 5);
+  rt.run();
+  EXPECT_GT(rt.machine().pe_stats(0).msgs_executed, 0u);
+  EXPECT_GT(rt.machine().pe_stats(1).msgs_executed, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Grid scenarios end-to-end: the artificial-latency environment, the
+// TeraGrid-like real environment, timeline tracing (Figure 2), and the
+// priority/GridCommLB future-work features acting together.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/stencil/stencil.hpp"
+#include "grid/scenario.hpp"
+#include "ldb/balancers.hpp"
+
+namespace {
+
+using namespace mdo;
+using apps::stencil::Params;
+using apps::stencil::StencilApp;
+using core::Runtime;
+
+TEST(Scenario, ArtificialUsesDelayDeviceOverSanLinks) {
+  auto machine = grid::make_sim_machine(
+      grid::Scenario::artificial(4, sim::milliseconds(16.0)));
+  // Direct probe of the model: inter-cluster base must be SAN-class.
+  EXPECT_EQ(machine->model().config().inter.latency, grid::kSanLatency);
+  EXPECT_FALSE(machine->model().config().wan_contention);
+  EXPECT_EQ(machine->fabric().chain().size(), 1u);  // the delay device
+}
+
+TEST(Scenario, RealGridUsesWanModelWithoutDelayDevice) {
+  auto machine = grid::make_sim_machine(grid::Scenario::real_grid(4));
+  EXPECT_EQ(machine->model().config().inter.latency, grid::kWanLatency);
+  EXPECT_TRUE(machine->model().config().wan_contention);
+  EXPECT_GT(machine->model().config().wan_jitter_fraction, 0.0);
+  EXPECT_TRUE(machine->fabric().chain().empty());
+}
+
+TEST(Scenario, LocalHasSingleCluster) {
+  auto machine = grid::make_sim_machine(grid::Scenario::local(4));
+  EXPECT_EQ(machine->topology().num_clusters(), 1u);
+}
+
+TEST(Scenario, ArtificialLatencyPredictsRealGrid) {
+  // The validation logic of Tables 1 and 2: running under the delay
+  // device at the matching latency approximates the real-WAN model.
+  auto run = [](grid::Scenario scenario) {
+    Runtime rt(grid::make_sim_machine(scenario));
+    Params p;
+    p.mesh = 2048;
+    p.objects = 64;
+    StencilApp app(rt, p);
+    app.run_steps(2);
+    return app.run_steps(8).ms_per_step;
+  };
+  double artificial = run(
+      grid::Scenario::artificial(8, grid::kArtificialMatchingWan));
+  double real = run(grid::Scenario::real_grid(8));
+  EXPECT_NEAR(real / artificial, 1.0, 0.15)
+      << "artificial=" << artificial << " real=" << real;
+}
+
+TEST(Timeline, TraceShowsOverlapOfComputeWithWanWait) {
+  // Figure 2 in miniature: while a WAN round-trip is in flight, the
+  // sending PE keeps executing other objects' entries.
+  grid::Scenario scenario = grid::Scenario::artificial(2, sim::milliseconds(10.0));
+  scenario.tracing = true;
+  Runtime rt(grid::make_sim_machine(scenario));
+  Params p;
+  p.mesh = 1024;
+  p.objects = 64;  // 32 objects per PE
+  StencilApp app(rt, p);
+  app.run_steps(4);
+
+  auto trace = rt.machine().trace();
+  ASSERT_FALSE(trace.empty());
+  // Find a WAN gap: PE0 sends at some entry end, and the matching ghost
+  // returns >= 10 ms later; count PE0 entry executions inside that gap.
+  sim::TimeNs gap_begin = 0, gap_end = 0;
+  for (const auto& ev : trace) {
+    if (ev.pe == 0 && ev.src_pe == 1) {  // a message from the remote cluster
+      gap_end = ev.begin;
+      break;
+    }
+  }
+  ASSERT_GT(gap_end, sim::milliseconds(10.0));
+  int executed_during_gap = 0;
+  for (const auto& ev : trace) {
+    if (ev.pe == 0 && ev.begin >= gap_begin && ev.end <= gap_end)
+      ++executed_during_gap;
+  }
+  EXPECT_GT(executed_during_gap, 5)
+      << "PE0 should stay busy while the WAN message is in flight";
+}
+
+TEST(Priorities, WanPriorityHelpsUnderLoad) {
+  // Ablation A sanity: prioritizing cross-cluster ghosts must never be
+  // slower than FIFO on a WAN-bound configuration (often slightly faster).
+  auto run = [](core::Priority wan_priority) {
+    Runtime rt(grid::make_sim_machine(
+        grid::Scenario::artificial(8, sim::milliseconds(8.0))));
+    Params p;
+    p.mesh = 2048;
+    p.objects = 256;
+    p.wan_priority = wan_priority;
+    StencilApp app(rt, p);
+    app.run_steps(2);
+    return app.run_steps(10).ms_per_step;
+  };
+  double fifo = run(0);
+  double prioritized = run(-1);
+  EXPECT_LE(prioritized, fifo * 1.02);
+}
+
+TEST(GridLb, RebalanceAfterSkewImprovesStepTime) {
+  // Create imbalance by piling one PE's chunks onto another inside
+  // cluster A, then let GridCommLB repair it.
+  Runtime rt(grid::make_sim_machine(
+      grid::Scenario::artificial(4, sim::milliseconds(2.0))));
+  Params p;
+  p.mesh = 1024;
+  p.objects = 64;
+  StencilApp app(rt, p);
+  app.run_steps(2);
+
+  // Sabotage: move every chunk on PE1 to PE0 (both in cluster A).
+  auto snap = ldb::collect(rt);
+  for (const auto& obj : snap.objects)
+    if (obj.pe == 1) rt.migrate(obj.array, obj.index, 0);
+  double skewed = app.run_steps(6).ms_per_step;
+
+  ldb::GridCommLb lb;
+  ldb::rebalance(rt, lb);
+  double repaired = app.run_steps(6).ms_per_step;
+  EXPECT_LT(repaired, skewed * 0.8);
+}
+
+TEST(ThreadBackend, ScenarioBuilderWorksWithRealThreads) {
+  core::ThreadMachine::Config cfg;
+  cfg.emulate_charge = false;
+  Runtime rt(grid::make_thread_machine(
+      grid::Scenario::artificial(2, sim::milliseconds(5.0)), cfg));
+  Params p;
+  p.mesh = 64;
+  p.objects = 16;
+  p.real_compute = true;
+  p.modeled_charge = false;
+  StencilApp app(rt, p);
+  app.run_steps(4);
+  auto mesh = app.gather_mesh();
+  auto ref = apps::stencil::sequential_reference(p, 4);
+  for (std::size_t i = 0; i < mesh.size(); ++i) ASSERT_NEAR(mesh[i], ref[i], 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+// The Charm-level ping-pong probe against each scenario's link model —
+// including the validation the paper performs: the real NCSA↔ANL pair
+// shows ~1.725 ms ICMP / ~1.920 ms Charm++ ping-pong one-way.
+
+#include <gtest/gtest.h>
+
+#include "grid/pingpong.hpp"
+#include "grid/scenario.hpp"
+
+namespace {
+
+using namespace mdo;
+
+TEST(PingPong, SanLatencyIsMicroseconds) {
+  core::Runtime rt(grid::make_sim_machine(grid::Scenario::local(4)));
+  auto result = grid::measure_pingpong(rt, 64, 10);
+  EXPECT_EQ(result.reps, 10);
+  // SAN alpha 6.5 us + per-message overheads: comfortably sub-100 us.
+  EXPECT_LT(result.one_way_avg, sim::microseconds(100));
+  EXPECT_GT(result.one_way_avg, sim::microseconds(5));
+}
+
+TEST(PingPong, ArtificialDelayDominates) {
+  core::Runtime rt(grid::make_sim_machine(
+      grid::Scenario::artificial(4, sim::milliseconds(16.0))));
+  auto result = grid::measure_pingpong(rt, 64, 8);
+  EXPECT_GE(result.one_way_avg, sim::milliseconds(16.0));
+  EXPECT_LT(result.one_way_avg, sim::milliseconds(16.5));
+}
+
+TEST(PingPong, RealGridMatchesPaperFigure) {
+  // Paper §5.1: "simple Charm++ ping-pong latencies are approximately
+  // 1.920 ms". The model must land within 10%.
+  core::Runtime rt(grid::make_sim_machine(grid::Scenario::real_grid(4)));
+  auto result = grid::measure_pingpong(rt, 100, 20);
+  double ms = sim::to_ms(result.one_way_avg);
+  EXPECT_GT(ms, 1.920 * 0.9) << ms;
+  EXPECT_LT(ms, 1.920 * 1.1) << ms;
+}
+
+TEST(PingPong, BandwidthTermGrowsWithPayload) {
+  core::Runtime rt_small(grid::make_sim_machine(grid::Scenario::real_grid(4)));
+  auto small = grid::measure_pingpong(rt_small, 100, 5);
+  core::Runtime rt_big(grid::make_sim_machine(grid::Scenario::real_grid(4)));
+  auto big = grid::measure_pingpong(rt_big, 350000, 5);  // 350 KB at 35 B/us: +10 ms
+  EXPECT_GT(big.one_way_avg, small.one_way_avg + sim::milliseconds(8));
+}
+
+TEST(PingPong, ExplicitPeerWithinCluster) {
+  core::Runtime rt(grid::make_sim_machine(
+      grid::Scenario::artificial(8, sim::milliseconds(50.0))));
+  // Probe PE 0 <-> PE 1: same cluster, so the delay device must NOT fire.
+  auto result = grid::measure_pingpong(rt, 64, 5, core::Pe{1});
+  EXPECT_LT(result.one_way_avg, sim::milliseconds(1.0));
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// LeanMD protocol invariants beyond the basics: modeled-cost arithmetic,
+// pair placement locality, per-step message counting, and behaviour
+// under migration and energy monitoring combined.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/leanmd/leanmd.hpp"
+#include "core/mapping.hpp"
+#include "grid/scenario.hpp"
+#include "ldb/balancers.hpp"
+
+namespace {
+
+using namespace mdo;
+using apps::leanmd::Cell;
+using apps::leanmd::CellPair;
+using apps::leanmd::flat_cell_id;
+using apps::leanmd::LeanMdApp;
+using apps::leanmd::PairTable;
+using apps::leanmd::Params;
+using core::Index;
+using core::Runtime;
+
+TEST(LeanMdModel, SerialChargeMatchesClosedForm) {
+  // Total charged virtual compute per step =
+  //   cross pairs * n^2 * kappa + self pairs * n(n-1)/2 * kappa
+  //   + cells * n * integrate.
+  Runtime rt(grid::make_sim_machine(grid::Scenario::local(1)));
+  Params p;
+  p.cells_per_dim = 3;
+  p.atoms_per_cell = 10;
+  LeanMdApp app(rt, p);
+  app.run_steps(1);
+
+  double kappa = p.interaction_ns;
+  auto cells = static_cast<double>(p.num_cells());
+  double cross = static_cast<double>(app.table().num_pairs()) - cells;
+  double n = p.atoms_per_cell;
+  double expected = cross * n * n * kappa + cells * n * (n - 1) / 2.0 * kappa +
+                    cells * n * p.integrate_ns_per_atom;
+
+  sim::TimeNs charged = 0;
+  rt.array(app.cells().id())
+      .for_each([&](const Index&, core::Chare& e, core::Pe) {
+        charged += e.load_ns();
+      });
+  rt.array(app.pairs().id())
+      .for_each([&](const Index&, core::Chare& e, core::Pe) {
+        charged += e.load_ns();
+      });
+  EXPECT_NEAR(static_cast<double>(charged), expected, expected * 1e-9 + 32);
+}
+
+TEST(LeanMdModel, PaperScaleSerialStepNearEightSeconds) {
+  Params p;  // 216 cells, 200 atoms/cell
+  double kappa = p.interaction_ns;
+  double cross = 2808, self = 216, n = 200;
+  double step_ns = cross * n * n * kappa + self * n * (n - 1) / 2.0 * kappa +
+                   216.0 * n * p.integrate_ns_per_atom;
+  EXPECT_GT(step_ns, 7.0e9);
+  EXPECT_LT(step_ns, 9.0e9);
+}
+
+TEST(LeanMdPlacement, EveryPairIsColocatedWithOneOfItsCells) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      8, sim::milliseconds(1.0))));
+  Params p;
+  p.cells_per_dim = 4;
+  p.atoms_per_cell = 4;
+  LeanMdApp app(rt, p);
+  const auto& table = app.table();
+  for (std::size_t i = 0; i < table.num_pairs(); ++i) {
+    core::Pe pair_pe = rt.array(app.pairs().id()).location(Index(static_cast<std::int32_t>(i)));
+    core::Pe pe_a = rt.array(app.cells().id()).location(table.pairs[i].a);
+    core::Pe pe_b = rt.array(app.cells().id()).location(table.pairs[i].b);
+    EXPECT_TRUE(pair_pe == pe_a || pair_pe == pe_b) << "pair " << i;
+  }
+}
+
+TEST(LeanMdProtocol2, MessageCountsScaleWithSteps) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::local(4)));
+  Params p;
+  p.cells_per_dim = 3;
+  p.atoms_per_cell = 4;
+  LeanMdApp app(rt, p);
+  auto phase1 = app.run_steps(2);
+  auto phase2 = app.run_steps(4);
+  // Cross-PE traffic per step is constant; phase2 ran twice the steps.
+  // (Each phase adds one broadcast whose fanout is constant too.)
+  double per_step1 = static_cast<double>(phase1.fabric.packets_sent - 3) / 2.0;
+  double per_step2 = static_cast<double>(phase2.fabric.packets_sent - 3) / 4.0;
+  EXPECT_NEAR(per_step1, per_step2, 1.0);
+}
+
+TEST(LeanMdProtocol2, EnergyHistoryLengthTracksPhases) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::local(2)));
+  Params p;
+  p.cells_per_dim = 2;
+  p.atoms_per_cell = 4;
+  p.real_compute = true;
+  p.monitor_energy = true;
+  LeanMdApp app(rt, p);
+  app.run_steps(3);
+  EXPECT_EQ(app.energy_history().size(), 3u);
+  app.run_steps(2);
+  EXPECT_EQ(app.energy_history().size(), 5u);
+}
+
+TEST(LeanMdProtocol2, SurvivesRebalanceBetweenPhases) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      4, sim::milliseconds(1.0))));
+  Params p;
+  p.cells_per_dim = 3;
+  p.atoms_per_cell = 6;
+  p.real_compute = true;
+  LeanMdApp app(rt, p);
+  app.run_steps(3);
+
+  ldb::GreedyLb lb;
+  auto plan = ldb::rebalance(rt, lb);
+  (void)plan;
+  app.run_steps(3);
+  rt.array(app.cells().id())
+      .for_each([](const Index&, core::Chare& e, core::Pe) {
+        EXPECT_EQ(static_cast<Cell&>(e).steps_done(), 6);
+      });
+
+  // Determinism check: an unbalanced twin run yields identical physics.
+  Runtime rt2(grid::make_sim_machine(grid::Scenario::artificial(
+      4, sim::milliseconds(1.0))));
+  LeanMdApp app2(rt2, p);
+  app2.run_steps(6);
+  for (const Index& idx : rt.array(app.cells().id()).all_indices()) {
+    auto* c1 = app.cells().local(idx);
+    auto* c2 = app2.cells().local(idx);
+    ASSERT_EQ(c1->positions().size(), c2->positions().size());
+    for (std::size_t i = 0; i < c1->positions().size(); ++i) {
+      EXPECT_DOUBLE_EQ(c1->positions()[i], c2->positions()[i]);
+    }
+  }
+}
+
+TEST(LeanMdProtocol2, LatencySweepIsMonotone) {
+  // More WAN latency can never make a step faster.
+  double prev = 0.0;
+  for (double lat : {0.0, 4.0, 16.0, 64.0}) {
+    Runtime rt(grid::make_sim_machine(
+        grid::Scenario::artificial(8, sim::milliseconds(lat))));
+    Params p;
+    p.cells_per_dim = 3;
+    p.atoms_per_cell = 8;
+    LeanMdApp app(rt, p);
+    app.run_steps(1);
+    double s = app.run_steps(3).s_per_step;
+    EXPECT_GE(s, prev - 1e-9) << "latency " << lat;
+    prev = s;
+  }
+}
+
+}  // namespace

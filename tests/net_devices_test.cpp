@@ -1,0 +1,248 @@
+// Device chain: delay, compression, checksum, crypto, striping.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/chain.hpp"
+#include "net/devices.hpp"
+#include "net/striping.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace mdo;
+using net::Chain;
+using net::ChecksumDevice;
+using net::CompressionDevice;
+using net::CryptoDevice;
+using net::DelayDevice;
+using net::Packet;
+using net::SendContext;
+using net::StripingDevice;
+using net::Topology;
+
+Packet make_packet(net::NodeId src, net::NodeId dst, const std::string& body,
+                   std::uint64_t id = 1) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.id = id;
+  p.payload.resize(body.size());
+  std::memcpy(p.payload.data(), body.data(), body.size());
+  return p;
+}
+
+std::string body_of(const Packet& p) {
+  return std::string(reinterpret_cast<const char*>(p.payload.data()),
+                     p.payload.size());
+}
+
+/// Push a packet through the full send+receive paths of a chain.
+std::vector<Packet> wire_frames(Chain& chain, Packet p, SendContext& ctx) {
+  return chain.apply_send(std::move(p), ctx);
+}
+
+TEST(DelayDeviceTest, DelaysOnlyCrossCluster) {
+  Topology topo = Topology::two_cluster(4);
+  Chain chain;
+  chain.add(std::make_unique<DelayDevice>(&topo, sim::milliseconds(8)));
+
+  SendContext intra;
+  wire_frames(chain, make_packet(0, 1, "x"), intra);
+  EXPECT_EQ(intra.extra_delay, 0);
+
+  SendContext inter;
+  wire_frames(chain, make_packet(0, 2, "x"), inter);
+  EXPECT_EQ(inter.extra_delay, sim::milliseconds(8));
+}
+
+TEST(DelayDeviceTest, PairOverrideWins) {
+  Topology topo = Topology::two_cluster(4);
+  auto delay = std::make_unique<DelayDevice>(&topo, sim::milliseconds(8));
+  delay->set_pair_delay(0, 2, sim::milliseconds(32));
+  delay->set_pair_delay(1, 0, sim::milliseconds(2));  // even intra-cluster
+  Chain chain;
+  chain.add(std::move(delay));
+
+  SendContext a;
+  wire_frames(chain, make_packet(0, 2, "x"), a);
+  EXPECT_EQ(a.extra_delay, sim::milliseconds(32));
+
+  SendContext b;
+  wire_frames(chain, make_packet(1, 0, "x"), b);
+  EXPECT_EQ(b.extra_delay, sim::milliseconds(2));
+
+  SendContext c;  // other cross-cluster pairs keep the default
+  wire_frames(chain, make_packet(1, 3, "x"), c);
+  EXPECT_EQ(c.extra_delay, sim::milliseconds(8));
+}
+
+TEST(CompressionTest, RleRoundtrip) {
+  Bytes in;
+  for (int i = 0; i < 100; ++i) in.push_back(std::byte{7});
+  for (int i = 0; i < 5; ++i) in.push_back(static_cast<std::byte>(i));
+  Bytes enc = CompressionDevice::rle_encode(in);
+  EXPECT_LT(enc.size(), in.size());
+  EXPECT_EQ(CompressionDevice::rle_decode(enc), in);
+}
+
+TEST(CompressionTest, RleHandlesLongRuns) {
+  Bytes in(1000, std::byte{0});
+  Bytes enc = CompressionDevice::rle_encode(in);
+  EXPECT_EQ(enc.size(), 8u);  // ceil(1000/255)=4 runs, 2 bytes each
+  EXPECT_EQ(CompressionDevice::rle_decode(enc), in);
+}
+
+TEST(CompressionTest, ChainRoundtripCompressible) {
+  Chain chain;
+  auto* dev = chain.add(std::make_unique<CompressionDevice>());
+  std::string body(500, 'z');
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 1, body), ctx);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_LT(frames[0].payload.size(), body.size());
+  EXPECT_GT(dev->bytes_saved(), 0u);
+  EXPECT_GT(ctx.cpu_cost, 0);
+
+  auto out = chain.apply_receive(std::move(frames[0]));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), body);
+}
+
+TEST(CompressionTest, ChainRoundtripIncompressible) {
+  Chain chain;
+  chain.add(std::make_unique<CompressionDevice>());
+  std::string body;
+  for (int i = 0; i < 256; ++i) body.push_back(static_cast<char>(i));
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 1, body), ctx);
+  auto out = chain.apply_receive(std::move(frames[0]));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), body);
+}
+
+TEST(ChecksumTest, RoundtripAndCount) {
+  Chain chain;
+  auto* dev = chain.add(std::make_unique<ChecksumDevice>());
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 1, "payload"), ctx);
+  EXPECT_EQ(frames[0].payload.size(), 7u + 8u);
+  auto out = chain.apply_receive(std::move(frames[0]));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), "payload");
+  EXPECT_EQ(dev->packets_verified(), 1u);
+}
+
+TEST(ChecksumTest, DetectsTamper) {
+  Chain chain;
+  chain.add(std::make_unique<ChecksumDevice>());
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 1, "payload"), ctx);
+  frames[0].payload[2] ^= std::byte{0xff};
+  EXPECT_DEATH(chain.apply_receive(std::move(frames[0])), "checksum mismatch");
+}
+
+TEST(CryptoTest, RoundtripAndCiphertextDiffers) {
+  Chain chain;
+  chain.add(std::make_unique<CryptoDevice>(0xfeedULL));
+  std::string body = "attack at dawn, via siteB";
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 1, body, /*id=*/9), ctx);
+  EXPECT_NE(body_of(frames[0]), body);
+  auto out = chain.apply_receive(std::move(frames[0]));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), body);
+}
+
+TEST(CryptoTest, KeystreamVariesPerPacket) {
+  Chain chain;
+  chain.add(std::make_unique<CryptoDevice>(0xfeedULL));
+  SendContext ctx;
+  auto f1 = wire_frames(chain, make_packet(0, 1, "same body", 1), ctx);
+  auto f2 = wire_frames(chain, make_packet(0, 1, "same body", 2), ctx);
+  EXPECT_NE(body_of(f1[0]), body_of(f2[0]));
+}
+
+TEST(StripingTest, SmallPacketsPassThrough) {
+  Chain chain;
+  auto* dev = chain.add(std::make_unique<StripingDevice>(4, 1024));
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 1, "small"), ctx);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(dev->packets_striped(), 0u);
+  auto out = chain.apply_receive(std::move(frames[0]));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), "small");
+}
+
+TEST(StripingTest, LargePacketSplitsAndReassembles) {
+  Chain chain;
+  auto* dev = chain.add(std::make_unique<StripingDevice>(4, 100));
+  std::string body;
+  for (int i = 0; i < 1000; ++i) body.push_back(static_cast<char>('a' + i % 26));
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 1, body, /*id=*/5), ctx);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(dev->packets_striped(), 1u);
+
+  // Deliver out of order; only the last completes.
+  std::swap(frames[0], frames[3]);
+  for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+    EXPECT_FALSE(chain.apply_receive(std::move(frames[i])).has_value());
+  }
+  auto out = chain.apply_receive(std::move(frames[3]));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), body);
+  EXPECT_EQ(dev->pending_reassemblies(), 0u);
+}
+
+TEST(StripingTest, InterleavedSendersReassembleIndependently) {
+  Chain chain;
+  chain.add(std::make_unique<StripingDevice>(2, 10));
+  std::string b1(64, 'x'), b2(64, 'y');
+  SendContext ctx;
+  auto f1 = wire_frames(chain, make_packet(0, 2, b1, 11), ctx);
+  auto f2 = wire_frames(chain, make_packet(1, 2, b2, 12), ctx);
+  ASSERT_EQ(f1.size(), 2u);
+  ASSERT_EQ(f2.size(), 2u);
+  EXPECT_FALSE(chain.apply_receive(std::move(f1[0])).has_value());
+  EXPECT_FALSE(chain.apply_receive(std::move(f2[1])).has_value());
+  auto o2 = chain.apply_receive(std::move(f2[0]));
+  ASSERT_TRUE(o2.has_value());
+  EXPECT_EQ(body_of(*o2), b2);
+  auto o1 = chain.apply_receive(std::move(f1[1]));
+  ASSERT_TRUE(o1.has_value());
+  EXPECT_EQ(body_of(*o1), b1);
+}
+
+TEST(ComposedChainTest, FullStackRoundtrip) {
+  // delay -> compress -> stripe -> checksum (per fragment) -> crypto.
+  Topology topo = Topology::two_cluster(4);
+  Chain chain;
+  chain.add(std::make_unique<DelayDevice>(&topo, sim::milliseconds(4)));
+  chain.add(std::make_unique<CompressionDevice>());
+  chain.add(std::make_unique<StripingDevice>(3, 50));
+  chain.add(std::make_unique<ChecksumDevice>());
+  chain.add(std::make_unique<CryptoDevice>(0xabcdULL));
+
+  std::string body(400, 'Q');
+  body += "trailer-entropy-0123456789";
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 2, body, 77), ctx);
+  EXPECT_EQ(ctx.extra_delay, sim::milliseconds(4));
+
+  std::optional<Packet> out;
+  for (auto& f : frames) {
+    auto r = chain.apply_receive(std::move(f));
+    if (r.has_value()) {
+      EXPECT_FALSE(out.has_value());
+      out = std::move(r);
+    }
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), body);
+}
+
+}  // namespace

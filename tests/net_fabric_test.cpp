@@ -1,0 +1,171 @@
+// SimFabric and ThreadFabric delivery semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "net/devices.hpp"
+#include "net/sim_fabric.hpp"
+#include "net/striping.hpp"
+#include "net/thread_fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace mdo;
+using net::Chain;
+using net::Packet;
+using net::SimFabric;
+using net::ThreadFabric;
+using net::Topology;
+
+Packet text_packet(net::NodeId src, net::NodeId dst, const std::string& body) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload.resize(body.size());
+  std::memcpy(p.payload.data(), body.data(), body.size());
+  return p;
+}
+
+TEST(SimFabricTest, DeliversAtModeledTime) {
+  sim::Engine engine;
+  Topology topo = Topology::two_cluster(2);
+  net::FixedLatencyModel model(sim::microseconds(10));
+  SimFabric fabric(&engine, &topo, &model, Chain{});
+
+  sim::TimeNs delivered_at = -1;
+  fabric.set_delivery_handler(1, [&](Packet&& p) {
+    delivered_at = engine.now();
+    EXPECT_EQ(p.dst, 1);
+  });
+  fabric.set_delivery_handler(0, [](Packet&&) { FAIL(); });
+
+  fabric.send(text_packet(0, 1, "hi"));
+  engine.run();
+  EXPECT_EQ(delivered_at, sim::microseconds(10));
+  EXPECT_EQ(fabric.stats().packets_sent, 1u);
+  EXPECT_EQ(fabric.stats().packets_delivered, 1u);
+  EXPECT_EQ(fabric.stats().wan_packets, 1u);
+}
+
+TEST(SimFabricTest, DelayDeviceAddsToDeliveryTime) {
+  sim::Engine engine;
+  Topology topo = Topology::two_cluster(4);
+  net::FixedLatencyModel model(sim::microseconds(10));
+  Chain chain;
+  chain.add(std::make_unique<net::DelayDevice>(&topo, sim::milliseconds(5)));
+  SimFabric fabric(&engine, &topo, &model, std::move(chain));
+
+  std::vector<std::pair<net::NodeId, sim::TimeNs>> deliveries;
+  for (net::NodeId n = 0; n < 4; ++n) {
+    fabric.set_delivery_handler(n, [&, n](Packet&&) {
+      deliveries.emplace_back(n, engine.now());
+    });
+  }
+  fabric.send(text_packet(0, 1, "intra"));
+  fabric.send(text_packet(0, 2, "inter"));
+  engine.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], std::make_pair(net::NodeId{1}, sim::microseconds(10)));
+  EXPECT_EQ(deliveries[1].first, 2);
+  EXPECT_EQ(deliveries[1].second, sim::milliseconds(5) + sim::microseconds(10));
+}
+
+TEST(SimFabricTest, StripedFragmentsArriveAsOne) {
+  sim::Engine engine;
+  Topology topo = Topology::single_cluster(2);
+  net::FixedLatencyModel model(sim::microseconds(1));
+  Chain chain;
+  chain.add(std::make_unique<net::StripingDevice>(4, 16));
+  SimFabric fabric(&engine, &topo, &model, std::move(chain));
+
+  int deliveries = 0;
+  std::string got;
+  fabric.set_delivery_handler(1, [&](Packet&& p) {
+    ++deliveries;
+    got.assign(reinterpret_cast<const char*>(p.payload.data()), p.payload.size());
+  });
+  std::string body(100, 'k');
+  fabric.send(text_packet(0, 1, body));
+  engine.run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(got, body);
+}
+
+TEST(SimFabricTest, WireOrderIsFifoPerLink) {
+  sim::Engine engine;
+  Topology topo = Topology::single_cluster(2);
+  net::FixedLatencyModel model(sim::microseconds(5));
+  SimFabric fabric(&engine, &topo, &model, Chain{});
+
+  std::vector<std::string> order;
+  fabric.set_delivery_handler(1, [&](Packet&& p) {
+    order.emplace_back(reinterpret_cast<const char*>(p.payload.data()),
+                       p.payload.size());
+  });
+  fabric.send(text_packet(0, 1, "first"));
+  fabric.send(text_packet(0, 1, "second"));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(ThreadFabricTest, DeliversAcrossThreads) {
+  Topology topo = Topology::two_cluster(2);
+  net::FixedLatencyModel model(sim::milliseconds(1));
+  ThreadFabric fabric(&topo, &model, Chain{});
+
+  std::atomic<int> delivered{0};
+  std::string got;
+  std::mutex m;
+  fabric.set_delivery_handler(1, [&](Packet&& p) {
+    std::lock_guard<std::mutex> lock(m);
+    got.assign(reinterpret_cast<const char*>(p.payload.data()), p.payload.size());
+    delivered.fetch_add(1);
+  });
+  fabric.send(text_packet(0, 1, "over the wire"));
+  for (int spin = 0; spin < 500 && delivered.load() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(delivered.load(), 1);
+  std::lock_guard<std::mutex> lock(m);
+  EXPECT_EQ(got, "over the wire");
+}
+
+TEST(ThreadFabricTest, RespectsModeledDelayInRealTime) {
+  Topology topo = Topology::two_cluster(2);
+  net::FixedLatencyModel model(sim::milliseconds(30));
+  ThreadFabric fabric(&topo, &model, Chain{});
+
+  std::atomic<bool> delivered{false};
+  auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::int64_t> elapsed_ms{0};
+  fabric.set_delivery_handler(1, [&](Packet&&) {
+    elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    delivered = true;
+  });
+  fabric.send(text_packet(0, 1, "slow"));
+  for (int spin = 0; spin < 2000 && !delivered.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(delivered.load());
+  EXPECT_GE(elapsed_ms.load(), 29);
+}
+
+TEST(ThreadFabricTest, ShutdownIsIdempotentAndDropsPending) {
+  Topology topo = Topology::two_cluster(2);
+  net::FixedLatencyModel model(sim::seconds(100));  // never delivers
+  auto fabric = std::make_unique<ThreadFabric>(&topo, &model, Chain{});
+  fabric->set_delivery_handler(1, [](Packet&&) { FAIL(); });
+  fabric->send(text_packet(0, 1, "never"));
+  fabric->shutdown();
+  fabric->shutdown();
+  fabric.reset();
+}
+
+}  // namespace

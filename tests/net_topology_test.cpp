@@ -1,0 +1,144 @@
+// Topology and latency-model behaviour.
+
+#include <gtest/gtest.h>
+
+#include "net/latency_model.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace mdo;
+using net::GridLatencyModel;
+using net::Topology;
+
+TEST(Topology, TwoClusterSplitsEvenly) {
+  Topology t = Topology::two_cluster(8);
+  EXPECT_EQ(t.num_clusters(), 2u);
+  EXPECT_EQ(t.num_nodes(), 8u);
+  EXPECT_EQ(t.cluster_size(0), 4u);
+  EXPECT_EQ(t.cluster_size(1), 4u);
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(t.cluster_of(n), 0);
+  for (int n = 4; n < 8; ++n) EXPECT_EQ(t.cluster_of(n), 1);
+  EXPECT_TRUE(t.same_cluster(0, 3));
+  EXPECT_FALSE(t.same_cluster(3, 4));
+}
+
+TEST(Topology, SingleNodeLayout) {
+  Topology t = Topology::two_cluster(1);
+  EXPECT_EQ(t.num_clusters(), 1u);
+  EXPECT_EQ(t.num_nodes(), 1u);
+}
+
+TEST(Topology, OddCountRejected) {
+  EXPECT_DEATH(Topology::two_cluster(5), "even");
+}
+
+TEST(Topology, NodesInCluster) {
+  Topology t = Topology::two_cluster(4);
+  EXPECT_EQ(t.nodes_in(1), (std::vector<net::NodeId>{2, 3}));
+  EXPECT_EQ(t.cluster_name(0), "siteA");
+  EXPECT_EQ(t.cluster_name(1), "siteB");
+}
+
+class LatencyModelTest : public ::testing::Test {
+ protected:
+  LatencyModelTest() : topo_(Topology::two_cluster(4)) {}
+
+  GridLatencyModel::Config config_two_level() {
+    GridLatencyModel::Config cfg;
+    cfg.local = {sim::microseconds(0.5), 4000.0};
+    cfg.intra = {sim::microseconds(6.5), 250.0};
+    cfg.inter = {sim::milliseconds(1.725), 12.0};
+    return cfg;
+  }
+
+  Topology topo_;
+};
+
+TEST_F(LatencyModelTest, ClassSelection) {
+  GridLatencyModel m(&topo_, config_two_level());
+  // Zero-byte messages isolate the latency term.
+  EXPECT_EQ(m.delivery_delay(0, 0, 0, 0), sim::microseconds(0.5));
+  EXPECT_EQ(m.delivery_delay(0, 1, 0, 0), sim::microseconds(6.5));
+  EXPECT_EQ(m.delivery_delay(1, 2, 0, 0), sim::milliseconds(1.725));
+  EXPECT_EQ(m.delivery_delay(2, 1, 0, 0), sim::milliseconds(1.725));
+}
+
+TEST_F(LatencyModelTest, BandwidthTermScalesWithBytes) {
+  GridLatencyModel m(&topo_, config_two_level());
+  auto d0 = m.delivery_delay(0, 1, 0, 0);
+  auto d1 = m.delivery_delay(0, 1, 250000, 0);  // 250 KB at 250 B/us = 1 ms
+  EXPECT_NEAR(static_cast<double>(d1 - d0), 1e6, 1e3);
+}
+
+TEST_F(LatencyModelTest, WanContentionSerializes) {
+  auto cfg = config_two_level();
+  cfg.wan_contention = true;
+  GridLatencyModel m(&topo_, cfg);
+  std::size_t bytes = 120000;  // 10 ms serialization at 12 B/us
+  auto first = m.delivery_delay(0, 2, bytes, 0);
+  auto second = m.delivery_delay(0, 2, bytes, 0);  // same instant: queues
+  EXPECT_GT(second, first);
+  EXPECT_NEAR(static_cast<double>(second - first), 1e7, 1e4);
+}
+
+TEST_F(LatencyModelTest, ContentionIsPerDirection) {
+  auto cfg = config_two_level();
+  cfg.wan_contention = true;
+  GridLatencyModel m(&topo_, cfg);
+  std::size_t bytes = 120000;
+  auto forward = m.delivery_delay(0, 2, bytes, 0);
+  auto reverse = m.delivery_delay(2, 0, bytes, 0);  // opposite pipe: no queue
+  EXPECT_EQ(forward, reverse);
+}
+
+TEST_F(LatencyModelTest, ContentionDrainsOverTime) {
+  auto cfg = config_two_level();
+  cfg.wan_contention = true;
+  GridLatencyModel m(&topo_, cfg);
+  std::size_t bytes = 120000;
+  auto first = m.delivery_delay(0, 2, bytes, 0);
+  // Inject well after the pipe freed: no queueing delay.
+  auto later = m.delivery_delay(0, 2, bytes, sim::milliseconds(100));
+  EXPECT_EQ(first, later);
+}
+
+TEST_F(LatencyModelTest, ResetClearsContention) {
+  auto cfg = config_two_level();
+  cfg.wan_contention = true;
+  GridLatencyModel m(&topo_, cfg);
+  std::size_t bytes = 120000;
+  auto first = m.delivery_delay(0, 2, bytes, 0);
+  m.delivery_delay(0, 2, bytes, 0);
+  m.reset();
+  EXPECT_EQ(m.delivery_delay(0, 2, bytes, 0), first);
+}
+
+TEST_F(LatencyModelTest, JitterIsBoundedAndDeterministic) {
+  auto cfg = config_two_level();
+  cfg.wan_jitter_fraction = 0.25;
+  GridLatencyModel a(&topo_, cfg), b(&topo_, cfg);
+  for (int i = 0; i < 100; ++i) {
+    auto da = a.delivery_delay(0, 2, 0, 0);
+    auto db = b.delivery_delay(0, 2, 0, 0);
+    EXPECT_EQ(da, db);  // same seed, same stream
+    EXPECT_GE(da, sim::milliseconds(1.725));
+    EXPECT_LE(da, sim::milliseconds(1.725 * 1.25) + 1);
+  }
+}
+
+TEST_F(LatencyModelTest, IntraClusterHasNoJitter) {
+  auto cfg = config_two_level();
+  cfg.wan_jitter_fraction = 0.5;
+  GridLatencyModel m(&topo_, cfg);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(m.delivery_delay(0, 1, 0, 0), sim::microseconds(6.5));
+}
+
+TEST(FixedLatencyModel, AlwaysConstant) {
+  net::FixedLatencyModel m(12345);
+  EXPECT_EQ(m.delivery_delay(0, 9, 1 << 20, 42), 12345);
+}
+
+}  // namespace

@@ -1,0 +1,308 @@
+// Cross-module property tests: randomized serialization roundtrips,
+// discrete-maximum-principle on the stencil, latency-model monotonicity,
+// spanning-tree invariants over many machine shapes, and balancer
+// post-conditions on randomized load vectors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "apps/stencil/stencil.hpp"
+#include "grid/scenario.hpp"
+#include "ldb/balancers.hpp"
+#include "net/latency_model.hpp"
+#include "util/pup.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mdo;
+
+// -- randomized PUP roundtrips -------------------------------------------------
+
+struct FuzzNode {
+  std::int32_t tag = 0;
+  std::string name;
+  std::vector<double> values;
+  std::map<std::int32_t, std::string> attrs;
+  std::optional<std::vector<std::int64_t>> extra;
+
+  void pup(Pup& p) { p | tag | name | values | attrs | extra; }
+  bool operator==(const FuzzNode&) const = default;
+};
+
+FuzzNode random_node(SplitMix64& rng) {
+  FuzzNode node;
+  node.tag = static_cast<std::int32_t>(rng.next_u64());
+  node.name.assign(rng.bounded(40), 'x');
+  for (auto& c : node.name) c = static_cast<char>('a' + rng.bounded(26));
+  node.values.resize(rng.bounded(100));
+  for (auto& v : node.values) v = rng.normal();
+  std::uint64_t attrs = rng.bounded(8);
+  for (std::uint64_t i = 0; i < attrs; ++i)
+    node.attrs[static_cast<std::int32_t>(rng.bounded(1000))] =
+        std::string(rng.bounded(10), '?');
+  if (rng.bounded(2) == 1) {
+    node.extra.emplace(rng.bounded(20));
+    for (auto& e : *node.extra) e = static_cast<std::int64_t>(rng.next_u64());
+  }
+  return node;
+}
+
+class PupFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PupFuzz, NestedStructuresRoundtrip) {
+  SplitMix64 rng(GetParam());
+  std::vector<FuzzNode> forest;
+  for (int i = 0; i < 20; ++i) forest.push_back(random_node(rng));
+  Bytes packed = pack_object(forest);
+  EXPECT_EQ(packed.size(), pup_size(forest));
+  std::vector<FuzzNode> out;
+  unpack_object(packed, out);
+  EXPECT_EQ(out, forest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PupFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// -- stencil discrete maximum principle ----------------------------------------
+
+TEST(StencilProperty, MaximumPrincipleHolds) {
+  // Jacobi averaging can never create values outside the initial range.
+  core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      4, sim::milliseconds(1.0))));
+  apps::stencil::Params p;
+  p.mesh = 40;
+  p.objects = 16;
+  p.real_compute = true;
+  apps::stencil::StencilApp app(rt, p);
+
+  double lo = 1e300, hi = -1e300;
+  for (int y = 0; y < p.mesh; ++y)
+    for (int x = 0; x < p.mesh; ++x) {
+      double v = apps::stencil::initial_value(x, y);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  app.run_steps(25);
+  for (double v : app.gather_mesh()) {
+    EXPECT_GE(v, lo - 1e-12);
+    EXPECT_LE(v, hi + 1e-12);
+  }
+}
+
+TEST(StencilProperty, FixedBoundaryStaysFixed) {
+  core::Runtime rt(grid::make_sim_machine(grid::Scenario::local(2)));
+  apps::stencil::Params p;
+  p.mesh = 24;
+  p.objects = 4;
+  p.real_compute = true;
+  apps::stencil::StencilApp app(rt, p);
+  app.run_steps(9);
+  auto mesh = app.gather_mesh();
+  const int n = p.mesh;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(mesh[static_cast<std::size_t>(i)],
+                     apps::stencil::initial_value(i, 0));
+    EXPECT_DOUBLE_EQ(mesh[static_cast<std::size_t>((n - 1) * n + i)],
+                     apps::stencil::initial_value(i, n - 1));
+    EXPECT_DOUBLE_EQ(mesh[static_cast<std::size_t>(i) * n],
+                     apps::stencil::initial_value(0, i));
+    EXPECT_DOUBLE_EQ(mesh[static_cast<std::size_t>(i) * n + n - 1],
+                     apps::stencil::initial_value(n - 1, i));
+  }
+}
+
+// -- latency model monotonicity --------------------------------------------------
+
+TEST(LatencyProperty, DelayMonotoneInPayload) {
+  net::Topology topo = net::Topology::two_cluster(4);
+  net::GridLatencyModel::Config cfg;
+  cfg.inter = {sim::milliseconds(1.8), 35.0};
+  net::GridLatencyModel model(&topo, cfg);
+  sim::TimeNs prev = 0;
+  for (std::size_t bytes : {0u, 10u, 100u, 1000u, 10000u, 100000u}) {
+    sim::TimeNs d = model.delivery_delay(0, 2, bytes, 0);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(LatencyProperty, ContentionNeverReducesDelay) {
+  net::Topology topo = net::Topology::two_cluster(4);
+  net::GridLatencyModel::Config with, without;
+  with.inter = without.inter = {sim::milliseconds(1.8), 35.0};
+  with.wan_contention = true;
+  net::GridLatencyModel contended(&topo, with);
+  net::GridLatencyModel free_model(&topo, without);
+  SplitMix64 rng(7);
+  sim::TimeNs now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += static_cast<sim::TimeNs>(rng.bounded(200000));
+    std::size_t bytes = rng.bounded(20000);
+    EXPECT_GE(contended.delivery_delay(0, 2, bytes, now),
+              free_model.delivery_delay(0, 2, bytes, now));
+  }
+}
+
+// -- spanning-tree invariants over many shapes -----------------------------------
+
+class TreeShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeShapes, SingleClusterTreesCoverOddSizes) {
+  auto n = static_cast<std::size_t>(GetParam());
+  net::Topology topo = net::Topology::single_cluster(n);
+  core::ClusterTree tree(topo);
+  EXPECT_EQ(tree.subtree_size(tree.root()), n);
+  std::size_t counted = 0;
+  for (core::Pe pe = 0; pe < static_cast<core::Pe>(n); ++pe) {
+    ++counted;
+    core::Pe parent = tree.parent(pe);
+    if (pe == tree.root()) {
+      EXPECT_EQ(parent, core::kInvalidPe);
+    } else {
+      ASSERT_NE(parent, core::kInvalidPe);
+      auto kids = tree.children(parent);
+      EXPECT_NE(std::find(kids.begin(), kids.end(), pe), kids.end());
+    }
+  }
+  EXPECT_EQ(counted, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeShapes,
+                         ::testing::Values(1, 2, 3, 5, 7, 9, 13, 31, 33, 100));
+
+// -- balancer post-conditions on synthetic snapshots -------------------------------
+
+ldb::LbSnapshot synthetic_snapshot(const net::Topology& topo, int objects,
+                                   std::uint64_t seed) {
+  ldb::LbSnapshot snap;
+  snap.num_pes = static_cast<int>(topo.num_nodes());
+  snap.topo = &topo;
+  snap.pe_load.assign(topo.num_nodes(), 0);
+  SplitMix64 rng(seed);
+  for (int i = 0; i < objects; ++i) {
+    ldb::ObjectRecord obj;
+    obj.array = 0;
+    obj.index = core::Index(i);
+    obj.pe = static_cast<core::Pe>(rng.bounded(topo.num_nodes()));
+    obj.load_ns = static_cast<sim::TimeNs>(rng.bounded(5'000'000) + 1);
+    obj.wan_msgs = rng.bounded(3) == 0 ? 5 : 0;
+    snap.pe_load[static_cast<std::size_t>(obj.pe)] += obj.load_ns;
+    snap.objects.push_back(obj);
+  }
+  return snap;
+}
+
+std::vector<sim::TimeNs> loads_after(const ldb::LbSnapshot& snap,
+                                     const std::vector<ldb::Move>& plan) {
+  std::map<std::pair<core::ArrayId, core::Index>, core::Pe> place;
+  for (const auto& o : snap.objects) place[{o.array, o.index}] = o.pe;
+  for (const auto& m : plan) place[{m.array, m.index}] = m.to;
+  std::vector<sim::TimeNs> loads(static_cast<std::size_t>(snap.num_pes), 0);
+  for (const auto& o : snap.objects)
+    loads[static_cast<std::size_t>(place[{o.array, o.index}])] += o.load_ns;
+  return loads;
+}
+
+class BalancerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BalancerSweep, GreedyNeverWorseThanInput) {
+  net::Topology topo = net::Topology::two_cluster(8);
+  auto snap = synthetic_snapshot(topo, 64, GetParam());
+  ldb::GreedyLb lb;
+  auto loads = loads_after(snap, lb.plan(snap));
+  EXPECT_LE(*std::max_element(loads.begin(), loads.end()),
+            static_cast<sim::TimeNs>(snap.max_load()));
+}
+
+TEST_P(BalancerSweep, GreedyWithinTwiceOptimal) {
+  // Classic LPT-style bound: max load <= avg + largest object.
+  net::Topology topo = net::Topology::two_cluster(8);
+  auto snap = synthetic_snapshot(topo, 64, GetParam());
+  ldb::GreedyLb lb;
+  auto loads = loads_after(snap, lb.plan(snap));
+  sim::TimeNs largest = 0;
+  for (const auto& o : snap.objects) largest = std::max(largest, o.load_ns);
+  EXPECT_LE(static_cast<double>(*std::max_element(loads.begin(), loads.end())),
+            snap.avg_load() + static_cast<double>(largest) + 1.0);
+}
+
+TEST_P(BalancerSweep, GridCommNeverCrossesAndCoversAllWanObjects) {
+  net::Topology topo = net::Topology::two_cluster(8);
+  auto snap = synthetic_snapshot(topo, 64, GetParam());
+  ldb::GridCommLb lb;
+  auto plan = lb.plan(snap);
+  std::map<std::pair<core::ArrayId, core::Index>, core::Pe> moved;
+  for (const auto& m : plan) moved[{m.array, m.index}] = m.to;
+  // Per-cluster WAN-talker counts must be spread within +/-1.
+  std::map<net::ClusterId, std::map<core::Pe, int>> talkers;
+  for (const auto& o : snap.objects) {
+    core::Pe final_pe = moved.count({o.array, o.index})
+                            ? moved[{o.array, o.index}]
+                            : o.pe;
+    EXPECT_TRUE(topo.same_cluster(static_cast<net::NodeId>(o.pe),
+                                  static_cast<net::NodeId>(final_pe)));
+    if (o.wan_msgs > 0) {
+      talkers[topo.cluster_of(static_cast<net::NodeId>(final_pe))][final_pe]++;
+    }
+  }
+  for (auto& [cluster, per_pe] : talkers) {
+    int lo = 1 << 30, hi = 0;
+    for (net::NodeId node : topo.nodes_in(cluster)) {
+      int c = per_pe.count(static_cast<core::Pe>(node))
+                  ? per_pe[static_cast<core::Pe>(node)]
+                  : 0;
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    EXPECT_LE(hi - lo, 1) << "cluster " << cluster;
+  }
+}
+
+TEST_P(BalancerSweep, RotateMovesEverything) {
+  net::Topology topo = net::Topology::two_cluster(4);
+  auto snap = synthetic_snapshot(topo, 32, GetParam());
+  ldb::RotateLb lb;
+  auto plan = lb.plan(snap);
+  EXPECT_EQ(plan.size(), snap.objects.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].to, (snap.objects[i].pe + 1) % snap.num_pes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalancerSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// -- determinism of the full simulation stack ---------------------------------------
+
+TEST(Determinism, IdenticalRunsProduceIdenticalVirtualTimes) {
+  auto run_once = [] {
+    core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+        8, sim::milliseconds(4.0))));
+    apps::stencil::Params p;
+    p.mesh = 512;
+    p.objects = 64;
+    apps::stencil::StencilApp app(rt, p);
+    app.run_steps(7);
+    return rt.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, RealGridJitterIsReproducible) {
+  auto run_once = [] {
+    core::Runtime rt(grid::make_sim_machine(grid::Scenario::real_grid(8)));
+    apps::stencil::Params p;
+    p.mesh = 512;
+    p.objects = 64;
+    apps::stencil::StencilApp app(rt, p);
+    app.run_steps(5);
+    return rt.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace

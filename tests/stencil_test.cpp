@@ -1,0 +1,225 @@
+// Five-point stencil: correctness against a sequential reference,
+// decomposition invariants, protocol behaviour, and latency masking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "apps/stencil/stencil.hpp"
+#include "grid/scenario.hpp"
+#include "ldb/balancers.hpp"
+
+namespace {
+
+using namespace mdo;
+using apps::stencil::Chunk;
+using apps::stencil::Params;
+using apps::stencil::sequential_reference;
+using apps::stencil::StencilApp;
+using core::Index;
+using core::Runtime;
+
+Params small_real(std::int32_t mesh, std::int32_t objects) {
+  Params p;
+  p.mesh = mesh;
+  p.objects = objects;
+  p.real_compute = true;
+  p.modeled_charge = true;
+  return p;
+}
+
+TEST(StencilParams, GeometryChecks) {
+  Params p;
+  p.mesh = 2048;
+  p.objects = 64;
+  EXPECT_EQ(p.k(), 8);
+  EXPECT_EQ(p.block(), 256);
+  EXPECT_EQ(p.block_bytes(), 256u * 256u * 8u);
+  p.objects = 60;
+  EXPECT_DEATH(p.k(), "perfect square");
+}
+
+TEST(StencilParams, RateModelIsMonotonic) {
+  grid::StencilRates rates;
+  EXPECT_LE(rates.ns_per_cell(100 * 1024), rates.ns_per_cell(1024 * 1024));
+  EXPECT_LE(rates.ns_per_cell(1024 * 1024), rates.ns_per_cell(64u << 20));
+}
+
+TEST(StencilCorrectness, MatchesSequentialReference) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      4, sim::milliseconds(2.0))));
+  StencilApp app(rt, small_real(32, 16));
+  app.run_steps(10);
+  auto mesh = app.gather_mesh();
+  auto ref = sequential_reference(app.params(), 10);
+  ASSERT_EQ(mesh.size(), ref.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    ASSERT_NEAR(mesh[i], ref[i], 1e-12) << "cell " << i;
+  }
+}
+
+TEST(StencilCorrectness, MultiPhaseEqualsSinglePhase) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::local(4)));
+  StencilApp app(rt, small_real(24, 9));
+  app.run_steps(4);
+  app.run_steps(6);
+  auto mesh = app.gather_mesh();
+  auto ref = sequential_reference(app.params(), 10);
+  for (std::size_t i = 0; i < mesh.size(); ++i) ASSERT_NEAR(mesh[i], ref[i], 1e-12);
+}
+
+// Property sweep: random-ish geometries all agree with the reference.
+struct Geometry {
+  std::int32_t mesh;
+  std::int32_t objects;
+  std::int32_t pes;
+  std::int32_t steps;
+};
+
+class StencilGeometrySweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(StencilGeometrySweep, AgreesWithReference) {
+  const Geometry g = GetParam();
+  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      static_cast<std::size_t>(g.pes), sim::milliseconds(1.0))));
+  StencilApp app(rt, small_real(g.mesh, g.objects));
+  app.run_steps(g.steps);
+  auto mesh = app.gather_mesh();
+  auto ref = sequential_reference(app.params(), g.steps);
+  double max_err = 0;
+  for (std::size_t i = 0; i < mesh.size(); ++i)
+    max_err = std::max(max_err, std::abs(mesh[i] - ref[i]));
+  EXPECT_LT(max_err, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StencilGeometrySweep,
+    ::testing::Values(Geometry{16, 4, 2, 7}, Geometry{16, 16, 2, 5},
+                      Geometry{40, 25, 2, 6}, Geometry{32, 64, 4, 5},
+                      Geometry{48, 16, 8, 9}, Geometry{64, 4, 2, 3}));
+
+TEST(StencilProtocol, StepsCompleteExactly) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      4, sim::milliseconds(4.0))));
+  Params p;
+  p.mesh = 256;
+  p.objects = 16;
+  StencilApp app(rt, p);
+  app.run_steps(12);
+  rt.array(app.proxy().id())
+      .for_each([](const core::Index&, core::Chare& elem, core::Pe) {
+        EXPECT_EQ(static_cast<Chunk&>(elem).steps_done(), 12);
+      });
+}
+
+TEST(StencilProtocol, MessageCountMatchesDecomposition) {
+  // k×k objects: interior edges = 2·k·(k−1); two messages per edge per
+  // step (one each way). Only cross-PE messages reach the fabric.
+  Runtime rt(grid::make_sim_machine(grid::Scenario::local(16)));
+  Params p;
+  p.mesh = 256;
+  p.objects = 16;  // k = 4, one object per PE: every ghost crosses PEs
+  StencilApp app(rt, p);
+  auto phase = app.run_steps(10);
+  std::uint64_t expected_per_step = 2ull * 4 * 3 * 2;  // 48 ghosts/step
+  std::uint64_t broadcast_fanout = 15;  // resume broadcast: 16-PE tree edges
+  EXPECT_EQ(phase.fabric.packets_sent, expected_per_step * 10 + broadcast_fanout);
+}
+
+TEST(StencilProtocol, WanTrafficOnlyAtClusterSeam) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      4, sim::milliseconds(1.0))));
+  Params p;
+  p.mesh = 256;
+  p.objects = 64;  // 8×8 objects on 4 PEs: 2-row bands per PE
+  StencilApp app(rt, p);
+  auto phase = app.run_steps(5);
+  // The seam between PE1 (cluster A) and PE2 (cluster B) carries 8 edges,
+  // 2 messages per edge per step, plus one WAN hop of the resume
+  // broadcast (root -> remote cluster representative).
+  EXPECT_EQ(phase.fabric.wan_packets, 8ull * 2 * 5 + 1);
+  EXPECT_GT(phase.fabric.packets_sent, phase.fabric.wan_packets);
+}
+
+TEST(StencilMasking, HighVirtualizationToleratesLatency) {
+  // The paper's core claim (Fig. 3): with enough objects per PE, raising
+  // WAN latency barely moves the per-step time; with one object per PE
+  // it shows through almost fully.
+  auto ms_per_step = [](std::int32_t objects, double latency_ms) {
+    Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+        4, sim::milliseconds(latency_ms))));
+    Params p;
+    p.mesh = 2048;
+    p.objects = objects;
+    StencilApp app(rt, p);
+    app.run_steps(3);  // warmup
+    return app.run_steps(10).ms_per_step;
+  };
+
+  double fine_base = ms_per_step(64, 0.0);
+  double fine_lat = ms_per_step(64, 8.0);
+  double coarse_base = ms_per_step(4, 0.0);
+  double coarse_lat = ms_per_step(4, 8.0);
+
+  double fine_penalty = fine_lat - fine_base;
+  double coarse_penalty = coarse_lat - coarse_base;
+  EXPECT_LT(fine_penalty, 0.25 * 8.0) << "virtualization failed to mask";
+  EXPECT_GT(coarse_penalty, 2.0 * fine_penalty)
+      << "coarse decomposition should expose far more latency";
+}
+
+TEST(StencilGhostZone, WiderGhostsReduceMessagesAndAddCompute) {
+  struct Outcome {
+    StencilApp::PhaseResult phase;
+    sim::TimeNs total_load = 0;
+  };
+  auto run_with_width = [](std::int32_t g) {
+    Runtime rt(grid::make_sim_machine(grid::Scenario::local(4)));
+    Params p;
+    p.mesh = 512;
+    p.objects = 16;
+    p.ghost_width = g;
+    StencilApp app(rt, p);
+    Outcome out;
+    out.phase = app.run_steps(12);
+    rt.array(app.proxy().id())
+        .for_each([&](const core::Index&, core::Chare& elem, core::Pe) {
+          out.total_load += elem.load_ns();
+        });
+    return out;
+  };
+  auto g1 = run_with_width(1);
+  auto g4 = run_with_width(4);
+  // The [6]-style tradeoff: 4× fewer exchanges...
+  EXPECT_LT(g4.phase.fabric.packets_sent, g1.phase.fabric.packets_sent / 3);
+  // ...bought with redundant halo recomputation (more total CPU work).
+  EXPECT_GT(g4.total_load, g1.total_load);
+}
+
+TEST(StencilMigration, ChunksSurviveRebalance) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      4, sim::milliseconds(1.0))));
+  StencilApp app(rt, small_real(32, 16));
+  app.run_steps(4);
+  ldb::GreedyLb lb;
+  ldb::rebalance(rt, lb);
+  app.run_steps(6);
+  auto mesh = app.gather_mesh();
+  auto ref = sequential_reference(app.params(), 10);
+  for (std::size_t i = 0; i < mesh.size(); ++i) ASSERT_NEAR(mesh[i], ref[i], 1e-12);
+}
+
+TEST(StencilPriority, WanPriorityDoesNotChangeResults) {
+  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      4, sim::milliseconds(2.0))));
+  Params p = small_real(32, 16);
+  p.wan_priority = -10;
+  StencilApp app(rt, p);
+  app.run_steps(8);
+  auto mesh = app.gather_mesh();
+  auto ref = sequential_reference(p, 8);
+  for (std::size_t i = 0; i < mesh.size(); ++i) ASSERT_NEAR(mesh[i], ref[i], 1e-12);
+}
+
+}  // namespace

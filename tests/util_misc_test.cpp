@@ -1,0 +1,105 @@
+// TextTable, string helpers, Options parser.
+
+#include <gtest/gtest.h>
+
+#include "util/options.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using mdo::fmt_double;
+using mdo::fmt_ns_as_ms;
+using mdo::fmt_ns_as_s;
+using mdo::Options;
+using mdo::TextTable;
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long_header"});
+  t.add_row({"xxxxxx", "1"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| a      | long_header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxxxx | 1           |"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotesSpecials) {
+  TextTable t({"k", "v"});
+  t.add_row({"has,comma", "has\"quote"});
+  std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, RejectsMisshapenRow) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 3), "3.142");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt_ns_as_ms(85774000), "85.774");
+  EXPECT_EQ(fmt_ns_as_s(3924000000LL), "3.924");
+}
+
+TEST(Strings, SplitJoinTrim) {
+  EXPECT_EQ(mdo::split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(mdo::join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(mdo::trim("  hi \n"), "hi");
+  EXPECT_EQ(mdo::trim("   "), "");
+}
+
+TEST(Strings, ParseIntList) {
+  EXPECT_EQ(mdo::parse_int_list("2,4, 8"),
+            (std::vector<std::int64_t>{2, 4, 8}));
+  EXPECT_TRUE(mdo::parse_int_list("").empty());
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(mdo::human_bytes(512), "512 B");
+  EXPECT_EQ(mdo::human_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(mdo::human_bytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(OptionsTest, ParsesAllForms) {
+  std::int64_t n = 0;
+  double x = 0;
+  std::string s;
+  bool flag = false;
+  Options opts("test");
+  opts.add_int("n", &n, "count")
+      .add_double("x", &x, "ratio")
+      .add_string("name", &s, "label")
+      .add_flag("verbose", &flag, "chatty");
+
+  const char* argv[] = {"prog", "--n=5", "--x", "2.5", "--name=abc",
+                        "--verbose", "positional"};
+  ASSERT_TRUE(opts.parse(7, const_cast<char**>(argv)));
+  EXPECT_EQ(n, 5);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "abc");
+  EXPECT_TRUE(flag);
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "positional");
+}
+
+TEST(OptionsTest, RejectsUnknownOption) {
+  std::int64_t n = 0;
+  Options opts("test");
+  opts.add_int("n", &n, "count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(opts.parse(2, const_cast<char**>(argv)));
+  EXPECT_TRUE(opts.error());
+}
+
+TEST(OptionsTest, RejectsBadInt) {
+  std::int64_t n = 0;
+  Options opts("test");
+  opts.add_int("n", &n, "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(opts.parse(2, const_cast<char**>(argv)));
+  EXPECT_TRUE(opts.error());
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// PUP serialization: roundtrips, sizing consistency, nested containers,
+// argument-pack marshalling.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/pup.hpp"
+
+namespace {
+
+using mdo::Bytes;
+using mdo::marshal;
+using mdo::pack_object;
+using mdo::Pup;
+using mdo::pup_size;
+using mdo::unmarshal;
+using mdo::unpack_object;
+
+template <class T>
+T roundtrip(const T& value) {
+  Bytes packed = pack_object(value);
+  EXPECT_EQ(packed.size(), pup_size(value));
+  T out{};
+  unpack_object(packed, out);
+  return out;
+}
+
+TEST(Pup, RoundtripsArithmetic) {
+  EXPECT_EQ(roundtrip(42), 42);
+  EXPECT_EQ(roundtrip(-7L), -7L);
+  EXPECT_DOUBLE_EQ(roundtrip(3.25), 3.25);
+  EXPECT_EQ(roundtrip(true), true);
+  EXPECT_EQ(roundtrip<std::uint8_t>(255), 255);
+}
+
+TEST(Pup, RoundtripsString) {
+  EXPECT_EQ(roundtrip(std::string("hello grid")), "hello grid");
+  EXPECT_EQ(roundtrip(std::string("")), "");
+  std::string big(10000, 'x');
+  EXPECT_EQ(roundtrip(big), big);
+}
+
+TEST(Pup, RoundtripsVectors) {
+  std::vector<double> v{1.5, -2.5, 1e300, 0.0};
+  EXPECT_EQ(roundtrip(v), v);
+  EXPECT_EQ(roundtrip(std::vector<int>{}), std::vector<int>{});
+  std::vector<std::string> s{"a", "", "long string here"};
+  EXPECT_EQ(roundtrip(s), s);
+  std::vector<std::vector<int>> nested{{1, 2}, {}, {3}};
+  EXPECT_EQ(roundtrip(nested), nested);
+}
+
+TEST(Pup, RoundtripsPairsAndArrays) {
+  std::pair<int, std::string> p{7, "seven"};
+  EXPECT_EQ(roundtrip(p), p);
+  std::array<double, 3> a{1.0, 2.0, 3.0};
+  EXPECT_EQ(roundtrip(a), a);
+}
+
+TEST(Pup, RoundtripsOptional) {
+  std::optional<int> some = 5;
+  std::optional<int> none;
+  EXPECT_EQ(roundtrip(some), some);
+  EXPECT_EQ(roundtrip(none), none);
+}
+
+TEST(Pup, RoundtripsMaps) {
+  std::map<int, std::string> m{{1, "one"}, {2, "two"}};
+  EXPECT_EQ(roundtrip(m), m);
+  std::unordered_map<std::string, double> u{{"pi", 3.14}, {"e", 2.72}};
+  EXPECT_EQ(roundtrip(u), u);
+}
+
+struct CustomState {
+  int step = 0;
+  std::vector<double> field;
+  std::string label;
+
+  void pup(Pup& p) { p | step | field | label; }
+
+  bool operator==(const CustomState&) const = default;
+};
+
+TEST(Pup, RoundtripsCustomType) {
+  CustomState s{12, {1.0, 2.0, 3.0}, "chunk(3,4)"};
+  EXPECT_EQ(roundtrip(s), s);
+}
+
+TEST(Pup, RoundtripsNestedCustomTypes) {
+  std::vector<CustomState> v{{1, {0.5}, "a"}, {2, {}, "b"}};
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(Pup, SizerMatchesPackerForCompositeTypes) {
+  CustomState s{3, std::vector<double>(100, 1.5), "x"};
+  EXPECT_EQ(pup_size(s), pack_object(s).size());
+}
+
+TEST(Pup, MarshalUnmarshalArgumentPack) {
+  Bytes b = marshal(7, std::string("abc"), std::vector<int>{1, 2, 3});
+  auto [i, s, v] = unmarshal<int, std::string, std::vector<int>>(b);
+  EXPECT_EQ(i, 7);
+  EXPECT_EQ(s, "abc");
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Pup, MarshalEmptyPack) {
+  Bytes b = marshal();
+  EXPECT_TRUE(b.empty());
+  auto t = unmarshal<>(b);
+  EXPECT_EQ(std::tuple_size_v<decltype(t)>, 0u);
+}
+
+TEST(Pup, UnpackDetectsTrailingBytes) {
+  Bytes b = pack_object(42);
+  b.push_back(std::byte{0});
+  int out = 0;
+  EXPECT_DEATH(unpack_object(b, out), "trailing");
+}
+
+TEST(Pup, ReaderDetectsOverrun) {
+  Bytes b = pack_object(std::uint8_t{1});
+  double out = 0;
+  EXPECT_DEATH(unpack_object(b, out), "overrun");
+}
+
+// Property-style sweep: random vectors of varying size roundtrip exactly.
+class PupVectorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PupVectorSweep, RandomDoublesRoundtrip) {
+  int n = GetParam();
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  double x = 0.5;
+  for (int i = 0; i < n; ++i) {
+    x = x * 1103515245.0 + 12345.0;
+    x -= static_cast<double>(static_cast<long long>(x / 1e9)) * 1e9;
+    v.push_back(x);
+  }
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PupVectorSweep,
+                         ::testing::Values(0, 1, 2, 3, 17, 256, 1000, 4096));
+
+}  // namespace
