@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ghostzone.dir/ablation_ghostzone.cpp.o"
+  "CMakeFiles/ablation_ghostzone.dir/ablation_ghostzone.cpp.o.d"
+  "ablation_ghostzone"
+  "ablation_ghostzone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ghostzone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

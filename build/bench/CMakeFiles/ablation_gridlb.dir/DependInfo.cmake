@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_gridlb.cpp" "bench/CMakeFiles/ablation_gridlb.dir/ablation_gridlb.cpp.o" "gcc" "bench/CMakeFiles/ablation_gridlb.dir/ablation_gridlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mdo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mdo_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldb/CMakeFiles/mdo_ldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ampi/CMakeFiles/mdo_ampi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

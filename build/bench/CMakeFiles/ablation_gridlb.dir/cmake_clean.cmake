@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gridlb.dir/ablation_gridlb.cpp.o"
+  "CMakeFiles/ablation_gridlb.dir/ablation_gridlb.cpp.o.d"
+  "ablation_gridlb"
+  "ablation_gridlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gridlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stencil_latency.dir/fig3_stencil_latency.cpp.o"
+  "CMakeFiles/fig3_stencil_latency.dir/fig3_stencil_latency.cpp.o.d"
+  "fig3_stencil_latency"
+  "fig3_stencil_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stencil_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

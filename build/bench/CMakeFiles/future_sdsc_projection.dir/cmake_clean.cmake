@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_sdsc_projection.dir/future_sdsc_projection.cpp.o"
+  "CMakeFiles/future_sdsc_projection.dir/future_sdsc_projection.cpp.o.d"
+  "future_sdsc_projection"
+  "future_sdsc_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_sdsc_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_stencil_grid.dir/table1_stencil_grid.cpp.o"
+  "CMakeFiles/table1_stencil_grid.dir/table1_stencil_grid.cpp.o.d"
+  "table1_stencil_grid"
+  "table1_stencil_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_stencil_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

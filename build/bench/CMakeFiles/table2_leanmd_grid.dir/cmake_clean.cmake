@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_leanmd_grid.dir/table2_leanmd_grid.cpp.o"
+  "CMakeFiles/table2_leanmd_grid.dir/table2_leanmd_grid.cpp.o.d"
+  "table2_leanmd_grid"
+  "table2_leanmd_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_leanmd_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

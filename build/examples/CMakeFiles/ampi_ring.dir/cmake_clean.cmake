@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampi_ring.dir/ampi_ring.cpp.o"
+  "CMakeFiles/ampi_ring.dir/ampi_ring.cpp.o.d"
+  "ampi_ring"
+  "ampi_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampi_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

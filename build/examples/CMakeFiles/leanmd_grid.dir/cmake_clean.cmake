@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leanmd_grid.dir/leanmd_grid.cpp.o"
+  "CMakeFiles/leanmd_grid.dir/leanmd_grid.cpp.o.d"
+  "leanmd_grid"
+  "leanmd_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leanmd_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_grid.dir/stencil_grid.cpp.o"
+  "CMakeFiles/stencil_grid.dir/stencil_grid.cpp.o.d"
+  "stencil_grid"
+  "stencil_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_ampi.dir/ampi.cpp.o"
+  "CMakeFiles/mdo_ampi.dir/ampi.cpp.o.d"
+  "CMakeFiles/mdo_ampi.dir/fiber.cpp.o"
+  "CMakeFiles/mdo_ampi.dir/fiber.cpp.o.d"
+  "libmdo_ampi.a"
+  "libmdo_ampi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_ampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

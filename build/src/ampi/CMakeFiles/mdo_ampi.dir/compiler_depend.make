@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mdo_ampi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_apps.dir/leanmd/leanmd.cpp.o"
+  "CMakeFiles/mdo_apps.dir/leanmd/leanmd.cpp.o.d"
+  "CMakeFiles/mdo_apps.dir/stencil/stencil.cpp.o"
+  "CMakeFiles/mdo_apps.dir/stencil/stencil.cpp.o.d"
+  "libmdo_apps.a"
+  "libmdo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

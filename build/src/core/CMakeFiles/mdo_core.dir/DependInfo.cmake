@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/mdo_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/quiescence.cpp" "src/core/CMakeFiles/mdo_core.dir/quiescence.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/quiescence.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/core/CMakeFiles/mdo_core.dir/reduction.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/reduction.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/mdo_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/mdo_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/sim_machine.cpp" "src/core/CMakeFiles/mdo_core.dir/sim_machine.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/sim_machine.cpp.o.d"
+  "/root/repo/src/core/thread_machine.cpp" "src/core/CMakeFiles/mdo_core.dir/thread_machine.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/thread_machine.cpp.o.d"
+  "/root/repo/src/core/trace_report.cpp" "src/core/CMakeFiles/mdo_core.dir/trace_report.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/trace_report.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/core/CMakeFiles/mdo_core.dir/tree.cpp.o" "gcc" "src/core/CMakeFiles/mdo_core.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

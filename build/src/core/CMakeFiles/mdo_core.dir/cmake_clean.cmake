@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/mdo_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/quiescence.cpp.o"
+  "CMakeFiles/mdo_core.dir/quiescence.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/reduction.cpp.o"
+  "CMakeFiles/mdo_core.dir/reduction.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/registry.cpp.o"
+  "CMakeFiles/mdo_core.dir/registry.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/runtime.cpp.o"
+  "CMakeFiles/mdo_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/sim_machine.cpp.o"
+  "CMakeFiles/mdo_core.dir/sim_machine.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/thread_machine.cpp.o"
+  "CMakeFiles/mdo_core.dir/thread_machine.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/trace_report.cpp.o"
+  "CMakeFiles/mdo_core.dir/trace_report.cpp.o.d"
+  "CMakeFiles/mdo_core.dir/tree.cpp.o"
+  "CMakeFiles/mdo_core.dir/tree.cpp.o.d"
+  "libmdo_core.a"
+  "libmdo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

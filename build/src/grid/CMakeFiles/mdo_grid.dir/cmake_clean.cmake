@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_grid.dir/pingpong.cpp.o"
+  "CMakeFiles/mdo_grid.dir/pingpong.cpp.o.d"
+  "CMakeFiles/mdo_grid.dir/scenario.cpp.o"
+  "CMakeFiles/mdo_grid.dir/scenario.cpp.o.d"
+  "libmdo_grid.a"
+  "libmdo_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

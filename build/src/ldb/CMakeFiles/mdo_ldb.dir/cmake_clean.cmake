@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_ldb.dir/balancers.cpp.o"
+  "CMakeFiles/mdo_ldb.dir/balancers.cpp.o.d"
+  "CMakeFiles/mdo_ldb.dir/lb_database.cpp.o"
+  "CMakeFiles/mdo_ldb.dir/lb_database.cpp.o.d"
+  "libmdo_ldb.a"
+  "libmdo_ldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_ldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/chain.cpp" "src/net/CMakeFiles/mdo_net.dir/chain.cpp.o" "gcc" "src/net/CMakeFiles/mdo_net.dir/chain.cpp.o.d"
+  "/root/repo/src/net/devices.cpp" "src/net/CMakeFiles/mdo_net.dir/devices.cpp.o" "gcc" "src/net/CMakeFiles/mdo_net.dir/devices.cpp.o.d"
+  "/root/repo/src/net/latency_model.cpp" "src/net/CMakeFiles/mdo_net.dir/latency_model.cpp.o" "gcc" "src/net/CMakeFiles/mdo_net.dir/latency_model.cpp.o.d"
+  "/root/repo/src/net/sim_fabric.cpp" "src/net/CMakeFiles/mdo_net.dir/sim_fabric.cpp.o" "gcc" "src/net/CMakeFiles/mdo_net.dir/sim_fabric.cpp.o.d"
+  "/root/repo/src/net/striping.cpp" "src/net/CMakeFiles/mdo_net.dir/striping.cpp.o" "gcc" "src/net/CMakeFiles/mdo_net.dir/striping.cpp.o.d"
+  "/root/repo/src/net/thread_fabric.cpp" "src/net/CMakeFiles/mdo_net.dir/thread_fabric.cpp.o" "gcc" "src/net/CMakeFiles/mdo_net.dir/thread_fabric.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/mdo_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/mdo_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_net.dir/chain.cpp.o"
+  "CMakeFiles/mdo_net.dir/chain.cpp.o.d"
+  "CMakeFiles/mdo_net.dir/devices.cpp.o"
+  "CMakeFiles/mdo_net.dir/devices.cpp.o.d"
+  "CMakeFiles/mdo_net.dir/latency_model.cpp.o"
+  "CMakeFiles/mdo_net.dir/latency_model.cpp.o.d"
+  "CMakeFiles/mdo_net.dir/sim_fabric.cpp.o"
+  "CMakeFiles/mdo_net.dir/sim_fabric.cpp.o.d"
+  "CMakeFiles/mdo_net.dir/striping.cpp.o"
+  "CMakeFiles/mdo_net.dir/striping.cpp.o.d"
+  "CMakeFiles/mdo_net.dir/thread_fabric.cpp.o"
+  "CMakeFiles/mdo_net.dir/thread_fabric.cpp.o.d"
+  "CMakeFiles/mdo_net.dir/topology.cpp.o"
+  "CMakeFiles/mdo_net.dir/topology.cpp.o.d"
+  "libmdo_net.a"
+  "libmdo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

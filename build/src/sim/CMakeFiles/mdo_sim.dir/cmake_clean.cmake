@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdo_sim.dir/engine.cpp.o"
+  "CMakeFiles/mdo_sim.dir/engine.cpp.o.d"
+  "libmdo_sim.a"
+  "libmdo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

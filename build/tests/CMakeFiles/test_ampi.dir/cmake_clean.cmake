@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ampi.dir/ampi_collectives2_test.cpp.o"
+  "CMakeFiles/test_ampi.dir/ampi_collectives2_test.cpp.o.d"
+  "CMakeFiles/test_ampi.dir/ampi_test.cpp.o"
+  "CMakeFiles/test_ampi.dir/ampi_test.cpp.o.d"
+  "test_ampi"
+  "test_ampi.pdb"
+  "test_ampi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core_checkpoint_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core_machine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_machine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core_mapping_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_mapping_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core_migration_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_migration_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core_quiescence_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_quiescence_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core_reduction_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_reduction_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core_runtime_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_runtime_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core_thread_machine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_thread_machine_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldb.dir/ldb_test.cpp.o"
+  "CMakeFiles/test_ldb.dir/ldb_test.cpp.o.d"
+  "test_ldb"
+  "test_ldb.pdb"
+  "test_ldb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
