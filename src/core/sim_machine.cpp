@@ -28,6 +28,16 @@ net::DelayDevice* SimMachine::add_delay_device(sim::TimeNs one_way) {
       std::make_unique<net::DelayDevice>(&topo_, one_way));
 }
 
+const net::ReliabilityStack& SimMachine::add_reliability_stack(
+    const net::ReliableConfig& reliable, const net::FaultConfig& faults,
+    sim::TimeNs cross_cluster_one_way) {
+  MDO_CHECK_MSG(!rel_stack_.installed(),
+                "reliability stack already installed");
+  rel_stack_ = net::install_reliability_stack(
+      fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way);
+  return rel_stack_;
+}
+
 void SimMachine::send(Envelope&& env) {
   MDO_CHECK(env.dst_pe >= 0 && env.dst_pe < num_pes());
   // Counted at the send() call, not at dispatch: sends buffered during an

@@ -13,6 +13,7 @@
 #include "core/machine.hpp"
 #include "net/devices.hpp"
 #include "net/latency_model.hpp"
+#include "net/reliable.hpp"
 #include "net/sim_fabric.hpp"
 #include "sim/engine.hpp"
 
@@ -39,6 +40,16 @@ class SimMachine final : public Machine {
 
   /// Convenience: install the paper's artificial-latency delay device.
   net::DelayDevice* add_delay_device(sim::TimeNs cross_cluster_one_way);
+
+  /// Install the reliability stack (reliable + checksum + fault devices,
+  /// plus a delay device when cross_cluster_one_way > 0) at the bottom of
+  /// the chain. Call before traffic flows.
+  const net::ReliabilityStack& add_reliability_stack(
+      const net::ReliableConfig& reliable, const net::FaultConfig& faults,
+      sim::TimeNs cross_cluster_one_way = 0);
+
+  /// The installed reliability stack (devices null if never installed).
+  const net::ReliabilityStack& reliability() const { return rel_stack_; }
 
   // -- Machine interface ---------------------------------------------------
   void bind(Runtime* runtime) override { rt_ = runtime; }
@@ -91,6 +102,7 @@ class SimMachine final : public Machine {
   sim::Engine engine_;
   net::GridLatencyModel model_;
   std::unique_ptr<net::SimFabric> fabric_;
+  net::ReliabilityStack rel_stack_;
   Runtime* rt_ = nullptr;
 
   std::vector<PeState> pes_;

@@ -44,6 +44,18 @@ net::DelayDevice* ThreadMachine::add_delay_device(sim::TimeNs one_way) {
       std::make_unique<net::DelayDevice>(&topo_, one_way));
 }
 
+const net::ReliabilityStack& ThreadMachine::add_reliability_stack(
+    const net::ReliableConfig& reliable, const net::FaultConfig& faults,
+    sim::TimeNs cross_cluster_one_way) {
+  MDO_CHECK_MSG(fabric_->stats().packets_sent == 0,
+                "reliability stack must be installed before traffic flows");
+  MDO_CHECK_MSG(!rel_stack_.installed(),
+                "reliability stack already installed");
+  rel_stack_ = net::install_reliability_stack(
+      fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way);
+  return rel_stack_;
+}
+
 Pe ThreadMachine::current_pe() const {
   return t_current_pe == kInvalidPe ? 0 : t_current_pe;
 }

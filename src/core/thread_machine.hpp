@@ -15,6 +15,7 @@
 #include "core/machine.hpp"
 #include "net/devices.hpp"
 #include "net/latency_model.hpp"
+#include "net/reliable.hpp"
 #include "net/thread_fabric.hpp"
 
 namespace mdo::core {
@@ -36,6 +37,16 @@ class ThreadMachine final : public Machine {
 
   /// Install the artificial-latency delay device (call before traffic).
   net::DelayDevice* add_delay_device(sim::TimeNs cross_cluster_one_way);
+
+  /// Install the reliability stack (reliable + checksum + fault devices,
+  /// plus a delay device when cross_cluster_one_way > 0). Call before
+  /// traffic flows.
+  const net::ReliabilityStack& add_reliability_stack(
+      const net::ReliableConfig& reliable, const net::FaultConfig& faults,
+      sim::TimeNs cross_cluster_one_way = 0);
+
+  /// The installed reliability stack (devices null if never installed).
+  const net::ReliabilityStack& reliability() const { return rel_stack_; }
 
   net::ThreadFabric& fabric() { return *fabric_; }
 
@@ -79,6 +90,7 @@ class ThreadMachine final : public Machine {
   Config config_;
   net::GridLatencyModel model_;
   std::unique_ptr<net::ThreadFabric> fabric_;
+  net::ReliabilityStack rel_stack_;
   Runtime* rt_ = nullptr;
 
   std::vector<std::unique_ptr<PeWorker>> workers_;

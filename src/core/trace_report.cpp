@@ -51,6 +51,22 @@ std::string TraceReport::render() const {
   return table.render();
 }
 
+std::string render_reliability(const net::ReliabilityStack::Report& report) {
+  TextTable table({"data_sent", "retransmits", "delivered", "dup_suppressed",
+                   "dropped", "duplicated", "corrupted", "corrupt_dropped",
+                   "ack_rtt_ms"});
+  table.add_row({std::to_string(report.reliable.data_sent),
+                 std::to_string(report.reliable.retransmits),
+                 std::to_string(report.reliable.delivered),
+                 std::to_string(report.reliable.duplicates_suppressed),
+                 std::to_string(report.faults.dropped),
+                 std::to_string(report.faults.duplicated),
+                 std::to_string(report.faults.corrupted),
+                 std::to_string(report.corrupt_dropped),
+                 fmt_double(report.mean_ack_rtt_ms, 3)});
+  return table.render();
+}
+
 int entries_within(const std::vector<TraceEvent>& trace, Pe pe,
                    sim::TimeNs begin, sim::TimeNs end) {
   int count = 0;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/machine.hpp"
+#include "net/reliable.hpp"
 
 namespace mdo::core {
 
@@ -38,5 +39,9 @@ TraceReport summarize_trace(const std::vector<TraceEvent>& trace,
 /// measure behind Figure 2.
 int entries_within(const std::vector<TraceEvent>& trace, Pe pe,
                    sim::TimeNs begin, sim::TimeNs end);
+
+/// One-row table of the reliability-layer counters (retransmits,
+/// suppressed duplicates, injected losses, ack RTT) for bench reports.
+std::string render_reliability(const net::ReliabilityStack::Report& report);
 
 }  // namespace mdo::core

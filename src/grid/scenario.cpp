@@ -43,10 +43,24 @@ core::SimMachine::Overheads overheads() {
 
 }  // namespace
 
+namespace {
+
+/// The artificial delay belongs inside the reliability stack (below the
+/// fault device) when faults are on, so acks and retransmissions pay WAN
+/// latency too; otherwise it is the classic bare delay device.
+sim::TimeNs stack_delay(const Scenario& s) {
+  return s.mode == Scenario::Mode::kArtificial ? s.artificial_one_way : 0;
+}
+
+}  // namespace
+
 std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
   auto machine = std::make_unique<core::SimMachine>(make_topology(s),
                                                     link_config(s), overheads());
-  if (s.mode == Scenario::Mode::kArtificial && s.artificial_one_way > 0) {
+  if (s.faults.any()) {
+    machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s));
+  } else if (s.mode == Scenario::Mode::kArtificial &&
+             s.artificial_one_way > 0) {
     machine->add_delay_device(s.artificial_one_way);
   }
   machine->set_tracing(s.tracing);
@@ -57,7 +71,10 @@ std::unique_ptr<core::ThreadMachine> make_thread_machine(
     const Scenario& s, core::ThreadMachine::Config config) {
   auto machine = std::make_unique<core::ThreadMachine>(make_topology(s),
                                                        link_config(s), config);
-  if (s.mode == Scenario::Mode::kArtificial && s.artificial_one_way > 0) {
+  if (s.faults.any()) {
+    machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s));
+  } else if (s.mode == Scenario::Mode::kArtificial &&
+             s.artificial_one_way > 0) {
     machine->add_delay_device(s.artificial_one_way);
   }
   return machine;

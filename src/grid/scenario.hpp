@@ -10,6 +10,7 @@
 //    device. Produces the "Real Latency" columns of Tables 1 and 2.
 //  * kLocal     — a single cluster (baseline/serial calibration runs).
 
+#include <algorithm>
 #include <memory>
 
 #include "core/sim_machine.hpp"
@@ -25,6 +26,12 @@ struct Scenario {
   Mode mode = Mode::kArtificial;
   sim::TimeNs artificial_one_way = 0;   ///< the delay-device knob
   bool tracing = false;
+
+  /// Lossy-WAN knobs: when faults.any(), machines install the full
+  /// reliability stack (reliable + checksum + fault devices) instead of a
+  /// bare delay device, and the fault device sits between them.
+  net::FaultConfig faults;
+  net::ReliableConfig reliable;
 
   static Scenario artificial(std::size_t pes, sim::TimeNs one_way) {
     Scenario s;
@@ -43,6 +50,20 @@ struct Scenario {
     Scenario s;
     s.pes = pes;
     s.mode = Mode::kLocal;
+    return s;
+  }
+  /// Artificial-latency scenario over a lossy WAN: drop probability
+  /// `drop` per wire frame, deterministic under `seed`. The RTO is sized
+  /// to a couple of round trips so retransmissions repair losses without
+  /// spurious duplicates.
+  static Scenario lossy(std::size_t pes, sim::TimeNs one_way, double drop,
+                        std::uint64_t seed = 1) {
+    Scenario s = artificial(pes, one_way);
+    s.faults.drop = drop;
+    s.faults.seed = seed;
+    s.reliable.rto_initial =
+        std::max<sim::TimeNs>(2 * one_way + sim::milliseconds(1.0),
+                              sim::milliseconds(2.0));
     return s;
   }
 };

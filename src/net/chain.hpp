@@ -24,9 +24,15 @@ class Chain {
   template <class D>
   D* add(std::unique_ptr<D> device) {
     D* raw = device.get();
+    if (host_ != nullptr) raw->bind_host(host_);
     devices_.push_back(std::move(device));
     return raw;
   }
+
+  /// Attach the owning fabric's DeviceHost; binds every current and
+  /// future device so protocol devices can schedule timers and inject
+  /// packets. Called by the fabric that takes ownership of the chain.
+  void set_host(DeviceHost* host);
 
   /// Run `packet` down the send path. The result may be several packets
   /// (striping) with transformed payloads; `ctx` accumulates artificial
@@ -37,12 +43,27 @@ class Chain {
   /// packet was consumed (a buffered fragment).
   std::optional<Packet> apply_receive(Packet&& packet);
 
+  /// Run `packet` down the send path starting just below `from` — the
+  /// entry point for device-originated traffic (acks, retransmissions),
+  /// which must still traverse checksum/fault/delay devices nearer the
+  /// wire but not the devices above the originator.
+  std::vector<Packet> apply_send_below(const FilterDevice* from,
+                                       Packet&& packet, SendContext& ctx);
+
+  /// Run `packet` up the receive path starting just above `from` — the
+  /// exit path for packets a device buffered and releases later.
+  std::optional<Packet> apply_receive_above(const FilterDevice* from,
+                                            Packet&& packet);
+
   std::size_t size() const { return devices_.size(); }
   bool empty() const { return devices_.empty(); }
   FilterDevice& device(std::size_t i) { return *devices_.at(i); }
 
  private:
+  std::size_t index_of(const FilterDevice* device) const;
+
   std::vector<std::unique_ptr<FilterDevice>> devices_;
+  DeviceHost* host_ = nullptr;
 };
 
 }  // namespace mdo::net

@@ -7,6 +7,7 @@
 // driver" used to inject artificial wide-area latencies (§5.1).
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -21,10 +22,44 @@ struct SendContext {
   sim::TimeNs cpu_cost = 0;     ///< sender CPU spent transforming payloads
 };
 
+class FilterDevice;
+
+/// Services a fabric offers to the devices of its chain. Protocol devices
+/// (the reliability device) need more than pure payload transforms: they
+/// originate packets of their own (acks, retransmissions), complete
+/// buffered packets later, and pace timers. The fabric that owns the
+/// chain implements this interface; time is virtual under a SimFabric
+/// and wall-clock under a ThreadFabric, so devices stay backend-agnostic.
+class DeviceHost {
+ public:
+  virtual ~DeviceHost() = default;
+
+  /// Current fabric time (virtual or wall ns).
+  virtual sim::TimeNs host_now() const = 0;
+
+  /// Run `fn` after `dt` of fabric time. `fn` runs in fabric context
+  /// (DES callback / dispatcher thread) with exclusive chain access.
+  virtual void host_schedule(sim::TimeNs dt, std::function<void()> fn) = 0;
+
+  /// Transmit `packet` through the devices strictly below `from` and out
+  /// the wire — the path of a retransmission or a protocol ack. Lower
+  /// devices (checksum, faults, delay) apply as for a first transmission.
+  virtual void inject_send(const FilterDevice* from, Packet&& packet) = 0;
+
+  /// Deliver `packet` up through the devices strictly above `from` and,
+  /// if it survives, into the node's delivery handler — the path of a
+  /// buffered packet released later (in-order flush).
+  virtual void inject_receive(const FilterDevice* from, Packet&& packet) = 0;
+};
+
 class FilterDevice {
  public:
   virtual ~FilterDevice() = default;
   virtual const char* name() const = 0;
+
+  /// Called by the chain when it is attached to a fabric. Devices that
+  /// never originate traffic can ignore the host.
+  void bind_host(DeviceHost* host) { host_ = host; }
 
   /// Transform the outgoing packet list in place. Most devices rewrite
   /// each packet; the striping device replaces one packet with fragments.
@@ -39,6 +74,8 @@ class FilterDevice {
   /// Per-packet hooks used by the default list implementations.
   virtual void on_send(Packet& packet, SendContext& ctx);
   virtual void on_receive(Packet& packet);
+
+  DeviceHost* host_ = nullptr;  ///< set by Chain::set_host / Chain::add
 };
 
 }  // namespace mdo::net

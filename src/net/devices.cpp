@@ -71,12 +71,14 @@ Bytes CompressionDevice::rle_encode(const Bytes& in) {
   return out;
 }
 
-Bytes CompressionDevice::rle_decode(std::span<const std::byte> in) {
-  MDO_CHECK_MSG(in.size() % 2 == 0, "corrupt RLE stream");
+std::optional<Bytes> CompressionDevice::rle_decode(
+    std::span<const std::byte> in) {
+  if (in.size() % 2 != 0) return std::nullopt;  // truncated (run, value) pair
   Bytes out;
+  out.reserve(in.size());
   for (std::size_t i = 0; i < in.size(); i += 2) {
     auto run = static_cast<std::size_t>(in[i]);
-    MDO_CHECK_MSG(run > 0, "zero-length RLE run");
+    if (run == 0) return std::nullopt;  // the encoder never emits empty runs
     out.insert(out.end(), run, in[i + 1]);
   }
   return out;
@@ -100,17 +102,28 @@ void CompressionDevice::on_send(Packet& packet, SendContext& ctx) {
   packet.payload = std::move(framed);
 }
 
-void CompressionDevice::on_receive(Packet& packet) {
-  MDO_CHECK_MSG(!packet.payload.empty(), "empty compressed frame");
+std::optional<Packet> CompressionDevice::receive_transform(Packet packet) {
+  if (packet.payload.empty()) {
+    ++decode_failures_;
+    return std::nullopt;
+  }
   std::byte tag = packet.payload.front();
   std::span<const std::byte> body{packet.payload.data() + 1,
                                   packet.payload.size() - 1};
   if (tag == kRle) {
-    packet.payload = rle_decode(body);
-  } else {
-    MDO_CHECK_MSG(tag == kStored, "unknown compression tag");
+    std::optional<Bytes> decoded = rle_decode(body);
+    if (!decoded.has_value()) {
+      ++decode_failures_;
+      return std::nullopt;
+    }
+    packet.payload = std::move(*decoded);
+  } else if (tag == kStored) {
     packet.payload.assign(body.begin(), body.end());
+  } else {
+    ++decode_failures_;
+    return std::nullopt;
   }
+  return packet;
 }
 
 // -- ChecksumDevice -----------------------------------------------------
@@ -130,16 +143,30 @@ void ChecksumDevice::on_send(Packet& packet, SendContext&) {
   packet.payload.insert(packet.payload.end(), p, p + sizeof(digest));
 }
 
-void ChecksumDevice::on_receive(Packet& packet) {
-  MDO_CHECK_MSG(packet.payload.size() >= sizeof(std::uint64_t),
-                "frame shorter than its checksum");
+std::optional<Packet> ChecksumDevice::receive_transform(Packet packet) {
+  if (packet.payload.size() < sizeof(std::uint64_t)) {
+    if (drop_on_mismatch_) {
+      ++corrupt_dropped_;
+      return std::nullopt;
+    }
+    MDO_CHECK_MSG(false, "frame shorter than its checksum");
+  }
   std::uint64_t stored;
-  std::memcpy(&stored, packet.payload.data() + packet.payload.size() - sizeof(stored),
+  std::memcpy(&stored,
+              packet.payload.data() + packet.payload.size() - sizeof(stored),
               sizeof(stored));
+  std::uint64_t computed =
+      fnv1a({packet.payload.data(), packet.payload.size() - sizeof(stored)});
+  if (stored != computed) {
+    if (drop_on_mismatch_) {
+      ++corrupt_dropped_;
+      return std::nullopt;
+    }
+    MDO_CHECK_MSG(false, "checksum mismatch: corrupted frame");
+  }
   packet.payload.resize(packet.payload.size() - sizeof(stored));
-  std::uint64_t computed = fnv1a(packet.payload);
-  MDO_CHECK_MSG(stored == computed, "checksum mismatch: corrupted frame");
   ++verified_;
+  return packet;
 }
 
 // -- CryptoDevice -------------------------------------------------------

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "net/device.hpp"
@@ -38,43 +39,58 @@ class DelayDevice final : public FilterDevice {
 
 /// Byte-level run-length encoding; falls back to a stored (uncompressed)
 /// block when RLE would grow the payload. One flag byte leads the wire
-/// format. Charges cpu_ns_per_byte to the send context.
+/// format. Charges cpu_ns_per_byte to the send context. Malformed or
+/// truncated frames (possible once fault injection corrupts the wire)
+/// are counted and dropped, never decoded past their bounds.
 class CompressionDevice final : public FilterDevice {
  public:
   explicit CompressionDevice(double cpu_ns_per_byte = 0.35);
   const char* name() const override { return "compress"; }
 
   static Bytes rle_encode(const Bytes& in);
-  static Bytes rle_decode(std::span<const std::byte> in);
+  /// nullopt for malformed input (odd length, zero-length run).
+  static std::optional<Bytes> rle_decode(std::span<const std::byte> in);
 
   std::uint64_t bytes_saved() const { return bytes_saved_; }
+  std::uint64_t decode_failures() const { return decode_failures_; }
+
+  std::optional<Packet> receive_transform(Packet packet) override;
 
  protected:
   void on_send(Packet& packet, SendContext& ctx) override;
-  void on_receive(Packet& packet) override;
 
  private:
   double cpu_ns_per_byte_;
   std::uint64_t bytes_saved_ = 0;
+  std::uint64_t decode_failures_ = 0;
 };
 
 /// Appends a 64-bit FNV-1a digest on send and verifies/strips it on
-/// receive. A mismatch aborts (corruption in an in-process fabric is a
-/// program bug, not an operational event).
+/// receive. By default a mismatch aborts (corruption in an in-process
+/// fabric is a program bug, not an operational event); with
+/// drop_on_mismatch the frame is silently discarded instead so that a
+/// reliability device above can recover it by retransmission — the mode
+/// used under fault injection.
 class ChecksumDevice final : public FilterDevice {
  public:
+  explicit ChecksumDevice(bool drop_on_mismatch = false)
+      : drop_on_mismatch_(drop_on_mismatch) {}
   const char* name() const override { return "checksum"; }
 
   static std::uint64_t fnv1a(std::span<const std::byte> data);
 
   std::uint64_t packets_verified() const { return verified_; }
+  std::uint64_t corrupt_dropped() const { return corrupt_dropped_; }
+
+  std::optional<Packet> receive_transform(Packet packet) override;
 
  protected:
   void on_send(Packet& packet, SendContext& ctx) override;
-  void on_receive(Packet& packet) override;
 
  private:
+  bool drop_on_mismatch_;
   std::uint64_t verified_ = 0;
+  std::uint64_t corrupt_dropped_ = 0;
 };
 
 /// Xor keystream derived from (key, packet id): self-inverse, stateless

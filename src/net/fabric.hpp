@@ -37,6 +37,8 @@ class Fabric {
     std::uint64_t packets_delivered = 0;
     std::uint64_t wan_packets = 0;   ///< cross-cluster sends
     std::uint64_t wan_bytes = 0;
+    std::uint64_t frames_injected = 0;  ///< device-originated wire frames
+                                        ///< (acks, retransmissions)
   };
   virtual Stats stats() const = 0;
 };

@@ -1,0 +1,64 @@
+#include "net/faults.hpp"
+
+#include "util/assert.hpp"
+
+namespace mdo::net {
+
+FaultDevice::FaultDevice(FaultConfig config)
+    : config_(config), rng_(config.seed) {
+  MDO_CHECK(config_.drop >= 0.0 && config_.drop <= 1.0);
+  MDO_CHECK(config_.duplicate >= 0.0 && config_.duplicate <= 1.0);
+  MDO_CHECK(config_.corrupt >= 0.0 && config_.corrupt <= 1.0);
+  MDO_CHECK(config_.reorder >= 0.0 && config_.reorder <= 1.0);
+  MDO_CHECK(config_.reorder_jitter >= 0);
+}
+
+void FaultDevice::corrupt_one_byte(Packet& packet) {
+  if (packet.payload.empty()) return;
+  std::size_t pos = rng_.bounded(packet.payload.size());
+  // Flip a nonzero mask so the byte always changes.
+  auto mask = static_cast<std::byte>(1 + rng_.bounded(255));
+  packet.payload[pos] ^= mask;
+  ++counters_.corrupted;
+}
+
+void FaultDevice::maybe_jitter(Packet& packet) {
+  if (config_.reorder > 0.0 && rng_.next_double() < config_.reorder &&
+      config_.reorder_jitter > 0) {
+    packet.hold_ns +=
+        static_cast<sim::TimeNs>(rng_.bounded(
+            static_cast<std::uint64_t>(config_.reorder_jitter)));
+    ++counters_.reordered;
+  }
+}
+
+void FaultDevice::send_transform(std::vector<Packet>& packets, SendContext&) {
+  std::vector<Packet> out;
+  out.reserve(packets.size());
+  for (auto& p : packets) {
+    ++counters_.seen;
+    if (config_.drop > 0.0 && rng_.next_double() < config_.drop) {
+      ++counters_.dropped;
+      continue;
+    }
+    if (config_.corrupt > 0.0 && rng_.next_double() < config_.corrupt) {
+      corrupt_one_byte(p);
+    }
+    bool duplicate =
+        config_.duplicate > 0.0 && rng_.next_double() < config_.duplicate;
+    // The copy is taken before either twin draws jitter, so the pair
+    // lands at independent times — in either order.
+    Packet twin;
+    if (duplicate) twin = p;
+    maybe_jitter(p);
+    if (duplicate) {
+      maybe_jitter(twin);
+      ++counters_.duplicated;
+      out.push_back(std::move(twin));
+    }
+    out.push_back(std::move(p));
+  }
+  packets = std::move(out);
+}
+
+}  // namespace mdo::net

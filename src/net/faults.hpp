@@ -1,0 +1,59 @@
+#pragma once
+// Fault-injection filter device: a hostile WAN in a box. Sits near the
+// wire end of a device chain and probabilistically drops, duplicates,
+// corrupts, and jitters (reorders) every frame that passes on the send
+// path — data, acks, and retransmissions alike. All randomness comes
+// from one seeded SplitMix64 stream, so a SimMachine run under fault
+// injection is reproducible bit-for-bit: same seed, same faults, same
+// retransmit/duplicate/drop counters. Pair with ReliableDevice (above)
+// and ChecksumDevice in drop_on_mismatch mode (between the two) to give
+// the runtime exactly-once in-order delivery over this lossy wire.
+
+#include <cstdint>
+
+#include "net/device.hpp"
+#include "util/rng.hpp"
+
+namespace mdo::net {
+
+struct FaultConfig {
+  double drop = 0.0;        ///< P(frame silently vanishes)
+  double duplicate = 0.0;   ///< P(frame is delivered twice)
+  double corrupt = 0.0;     ///< P(one payload byte is flipped)
+  double reorder = 0.0;     ///< P(frame is held for extra jitter)
+  sim::TimeNs reorder_jitter = sim::milliseconds(1.0);  ///< max extra hold
+  std::uint64_t seed = 0x5eedULL;
+
+  bool any() const {
+    return drop > 0.0 || duplicate > 0.0 || corrupt > 0.0 || reorder > 0.0;
+  }
+};
+
+class FaultDevice final : public FilterDevice {
+ public:
+  explicit FaultDevice(FaultConfig config);
+
+  const char* name() const override { return "fault"; }
+
+  void send_transform(std::vector<Packet>& packets, SendContext& ctx) override;
+
+  struct Counters {
+    std::uint64_t seen = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t reordered = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  void corrupt_one_byte(Packet& packet);
+  void maybe_jitter(Packet& packet);
+
+  FaultConfig config_;
+  SplitMix64 rng_;
+  Counters counters_;
+};
+
+}  // namespace mdo::net

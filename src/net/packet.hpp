@@ -18,6 +18,9 @@ struct Packet {
   std::uint64_t id = 0;          ///< fabric-assigned, unique per fabric
   std::int32_t priority = 0;     ///< passed through to the runtime scheduler
   sim::TimeNs inject_time = 0;   ///< when send() was called (virtual or real ns)
+  sim::TimeNs hold_ns = 0;       ///< per-frame extra hold before the network
+                                 ///< device (fault-injected jitter); consumed
+                                 ///< by the fabric, never serialized
   Bytes payload;
 
   std::size_t size_bytes() const { return payload.size(); }

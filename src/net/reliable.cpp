@@ -1,0 +1,218 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace mdo::net {
+namespace {
+
+constexpr std::uint8_t kData = 0;
+constexpr std::uint8_t kAck = 1;
+
+struct WireHeader {
+  std::uint32_t seq = 0;  ///< DATA: sequence number; ACK: cumulative ack
+  std::uint8_t type = kData;
+};
+
+void frame(Packet& packet, std::uint8_t type, std::uint32_t seq) {
+  WireHeader hdr{seq, type};
+  Bytes framed;
+  framed.reserve(sizeof(hdr) + packet.payload.size());
+  const auto* hp = reinterpret_cast<const std::byte*>(&hdr);
+  framed.insert(framed.end(), hp, hp + sizeof(hdr));
+  framed.insert(framed.end(), packet.payload.begin(), packet.payload.end());
+  packet.payload = std::move(framed);
+}
+
+bool deframe(Packet& packet, WireHeader& hdr) {
+  if (packet.payload.size() < sizeof(hdr)) return false;
+  std::memcpy(&hdr, packet.payload.data(), sizeof(hdr));
+  if (hdr.type != kData && hdr.type != kAck) return false;
+  packet.payload.erase(packet.payload.begin(),
+                       packet.payload.begin() +
+                           static_cast<std::ptrdiff_t>(sizeof(hdr)));
+  return true;
+}
+
+}  // namespace
+
+ReliableDevice::ReliableDevice(ReliableConfig config) : config_(config) {
+  MDO_CHECK(config_.rto_initial > 0);
+  MDO_CHECK(config_.rto_backoff >= 1.0);
+  MDO_CHECK(config_.rto_max >= config_.rto_initial);
+  MDO_CHECK(config_.max_retries > 0);
+}
+
+std::size_t ReliableDevice::unacked_frames() const {
+  std::size_t total = 0;
+  for (const auto& [key, flow] : senders_) total += flow.unacked.size();
+  return total;
+}
+
+std::size_t ReliableDevice::buffered_packets() const {
+  std::size_t total = 0;
+  for (const auto& [key, flow] : receivers_) total += flow.buffered.size();
+  return total;
+}
+
+void ReliableDevice::on_send(Packet& packet, SendContext&) {
+  MDO_CHECK_MSG(host_ != nullptr,
+                "ReliableDevice needs a fabric host (timers, injection)");
+  FlowKey key{packet.src, packet.dst};
+  SenderFlow& flow = senders_[key];
+  if (flow.rto == 0) flow.rto = config_.rto_initial;
+  std::uint32_t seq = flow.next_seq++;
+  frame(packet, kData, seq);
+  Pending pending;
+  pending.frame = packet;  // framed copy, pre-checksum/fault/delay
+  pending.first_sent = host_->host_now();
+  flow.unacked.emplace(seq, std::move(pending));
+  ++counters_.data_sent;
+  arm_timer(key);
+}
+
+void ReliableDevice::arm_timer(const FlowKey& key) {
+  SenderFlow& flow = senders_[key];
+  if (flow.timer_armed) return;
+  flow.timer_armed = true;
+  host_->host_schedule(flow.rto, [this, key] { on_timeout(key); });
+}
+
+void ReliableDevice::on_timeout(const FlowKey& key) {
+  SenderFlow& flow = senders_[key];
+  flow.timer_armed = false;
+  if (flow.unacked.empty()) {
+    // Everything acked since the timer was set; quiesce this flow.
+    flow.rto = config_.rto_initial;
+    flow.timeouts_without_progress = 0;
+    return;
+  }
+  ++flow.timeouts_without_progress;
+  MDO_CHECK_MSG(flow.timeouts_without_progress <= config_.max_retries,
+                "reliable: retransmission limit exceeded (flow is dead)");
+  for (auto& [seq, pending] : flow.unacked) {
+    pending.retransmitted = true;
+    ++counters_.retransmits;
+    Packet copy = pending.frame;
+    host_->inject_send(this, std::move(copy));
+  }
+  flow.rto = std::min(
+      static_cast<sim::TimeNs>(static_cast<double>(flow.rto) *
+                               config_.rto_backoff),
+      config_.rto_max);
+  arm_timer(key);
+}
+
+std::optional<Packet> ReliableDevice::receive_transform(Packet packet) {
+  MDO_CHECK_MSG(host_ != nullptr,
+                "ReliableDevice needs a fabric host (timers, injection)");
+  WireHeader hdr;
+  if (!deframe(packet, hdr)) {
+    // Only reachable without a checksum device below; treat like loss.
+    ++counters_.malformed_dropped;
+    return std::nullopt;
+  }
+  if (hdr.type == kAck) {
+    handle_ack(packet, hdr.seq);
+    return std::nullopt;
+  }
+  return handle_data(std::move(packet), hdr.seq);
+}
+
+void ReliableDevice::handle_ack(const Packet& packet, std::uint32_t ack_seq) {
+  ++counters_.acks_received;
+  // The ack travels the reverse direction of its data flow.
+  FlowKey key{packet.dst, packet.src};
+  SenderFlow& flow = senders_[key];
+  bool progress = false;
+  const sim::TimeNs now = host_->host_now();
+  for (auto it = flow.unacked.begin();
+       it != flow.unacked.end() && it->first < ack_seq;) {
+    if (!it->second.retransmitted) {
+      ack_rtt_ns_.add(static_cast<double>(now - it->second.first_sent));
+    }
+    it = flow.unacked.erase(it);
+    progress = true;
+  }
+  if (progress) {
+    flow.rto = config_.rto_initial;
+    flow.timeouts_without_progress = 0;
+  }
+}
+
+std::optional<Packet> ReliableDevice::handle_data(Packet&& packet,
+                                                  std::uint32_t seq) {
+  FlowKey key{packet.src, packet.dst};
+  ReceiverFlow& flow = receivers_[key];
+  const NodeId data_src = packet.src;
+  const NodeId data_dst = packet.dst;
+  if (seq < flow.expected || flow.buffered.count(seq) != 0) {
+    ++counters_.duplicates_suppressed;
+  } else if (seq == flow.expected) {
+    // Release the contiguous run through the devices above us; delivery
+    // happens inside inject_receive, so this transform consumes the
+    // packet uniformly (one code path whether or not a run flushes).
+    ++flow.expected;
+    ++counters_.delivered;
+    host_->inject_receive(this, std::move(packet));
+    for (auto it = flow.buffered.find(flow.expected);
+         it != flow.buffered.end();
+         it = flow.buffered.find(flow.expected)) {
+      Packet next = std::move(it->second);
+      flow.buffered.erase(it);
+      ++flow.expected;
+      ++counters_.delivered;
+      host_->inject_receive(this, std::move(next));
+    }
+  } else {
+    flow.buffered.emplace(seq, std::move(packet));
+    ++counters_.out_of_order_buffered;
+  }
+  send_ack(data_src, data_dst, flow.expected);
+  return std::nullopt;
+}
+
+void ReliableDevice::send_ack(NodeId data_src, NodeId data_dst,
+                              std::uint32_t cumulative) {
+  Packet ack;
+  ack.src = data_dst;  // acks travel receiver -> sender
+  ack.dst = data_src;
+  ack.inject_time = host_->host_now();
+  frame(ack, kAck, cumulative);
+  ++counters_.acks_sent;
+  host_->inject_send(this, std::move(ack));
+}
+
+ReliabilityStack::Report ReliabilityStack::report() const {
+  Report r;
+  if (reliable != nullptr) {
+    r.reliable = reliable->counters();
+    if (reliable->ack_rtt_ns().count() > 0) {
+      r.mean_ack_rtt_ms = reliable->ack_rtt_ns().mean() / 1e6;
+    }
+  }
+  if (faults != nullptr) r.faults = faults->counters();
+  if (checksum != nullptr) r.corrupt_dropped = checksum->corrupt_dropped();
+  return r;
+}
+
+ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
+                                           const ReliableConfig& reliable,
+                                           const FaultConfig& faults,
+                                           sim::TimeNs cross_cluster_delay) {
+  ReliabilityStack stack;
+  stack.reliable = chain.add(std::make_unique<ReliableDevice>(reliable));
+  stack.checksum =
+      chain.add(std::make_unique<ChecksumDevice>(/*drop_on_mismatch=*/true));
+  stack.faults = chain.add(std::make_unique<FaultDevice>(faults));
+  if (cross_cluster_delay > 0) {
+    stack.delay =
+        chain.add(std::make_unique<DelayDevice>(topo, cross_cluster_delay));
+  }
+  return stack;
+}
+
+}  // namespace mdo::net

@@ -1,0 +1,156 @@
+#pragma once
+// Reliability filter device: exactly-once, in-order delivery over a lossy
+// wire. Every (src, dst) ordered node pair is an independent flow with
+// its own sequence numbers. The send path frames each outgoing packet
+// with a DATA header and keeps a copy until it is cumulatively acked;
+// the receive path suppresses duplicates, buffers out-of-order arrivals,
+// releases contiguous runs upward through the chain, and answers every
+// DATA frame with a cumulative ACK. Losses are repaired by timeout-based
+// retransmission with exponential backoff (Karn-style RTT sampling: only
+// never-retransmitted frames feed the RTT estimate).
+//
+// Chain placement (send order, wire last):
+//   [compress/crypto/stripe ...] -> reliable -> checksum(drop) -> fault -> delay
+// The checksum device sits *below* this device so a corrupted frame is
+// dropped before it can be acked, turning integrity failures into
+// retransmissions; fault and delay devices sit below both so protocol
+// traffic (acks, retransmissions) suffers the same loss and WAN latency
+// as first transmissions. install_reliability_stack() builds that order.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "net/chain.hpp"
+#include "net/device.hpp"
+#include "net/devices.hpp"
+#include "net/faults.hpp"
+#include "net/topology.hpp"
+#include "util/stats.hpp"
+
+namespace mdo::net {
+
+struct ReliableConfig {
+  sim::TimeNs rto_initial = sim::milliseconds(20.0);
+  double rto_backoff = 2.0;                        ///< multiplier per timeout
+  sim::TimeNs rto_max = sim::seconds(4.0);
+  std::size_t max_retries = 64;  ///< consecutive no-progress timeouts before
+                                 ///< the flow is declared dead (aborts)
+};
+
+class ReliableDevice final : public FilterDevice {
+ public:
+  explicit ReliableDevice(ReliableConfig config = {});
+
+  const char* name() const override { return "reliable"; }
+
+  std::optional<Packet> receive_transform(Packet packet) override;
+
+  struct Counters {
+    std::uint64_t data_sent = 0;       ///< first transmissions framed
+    std::uint64_t retransmits = 0;     ///< frames re-injected on timeout
+    std::uint64_t acks_sent = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t delivered = 0;       ///< packets released upward in order
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t out_of_order_buffered = 0;
+    std::uint64_t malformed_dropped = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// RTT samples from unambiguous (never-retransmitted) frames.
+  const RunningStats& ack_rtt_ns() const { return ack_rtt_ns_; }
+
+  /// Frames awaiting an ack across all flows (0 once traffic quiesces).
+  std::size_t unacked_frames() const;
+  /// Out-of-order packets parked at receivers across all flows.
+  std::size_t buffered_packets() const;
+
+  const ReliableConfig& config() const { return config_; }
+
+ protected:
+  void on_send(Packet& packet, SendContext& ctx) override;
+
+ private:
+  using FlowKey = std::pair<NodeId, NodeId>;  ///< (data src, data dst)
+
+  struct Pending {
+    Packet frame;               ///< DATA-framed copy, pre-checksum
+    sim::TimeNs first_sent = 0;
+    bool retransmitted = false;
+  };
+  struct SenderFlow {
+    std::uint32_t next_seq = 0;
+    std::map<std::uint32_t, Pending> unacked;
+    sim::TimeNs rto = 0;  ///< 0 = not yet initialized from config
+    std::size_t timeouts_without_progress = 0;
+    bool timer_armed = false;
+  };
+  struct ReceiverFlow {
+    std::uint32_t expected = 0;
+    std::map<std::uint32_t, Packet> buffered;  ///< deframed, keyed by seq
+  };
+
+  void arm_timer(const FlowKey& key);
+  void on_timeout(const FlowKey& key);
+  void handle_ack(const Packet& packet, std::uint32_t ack_seq);
+  std::optional<Packet> handle_data(Packet&& packet, std::uint32_t seq);
+  void send_ack(NodeId data_src, NodeId data_dst, std::uint32_t cumulative);
+
+  ReliableConfig config_;
+  std::map<FlowKey, SenderFlow> senders_;
+  std::map<FlowKey, ReceiverFlow> receivers_;
+  Counters counters_;
+  RunningStats ack_rtt_ns_;
+};
+
+inline bool operator==(const ReliableDevice::Counters& a,
+                       const ReliableDevice::Counters& b) {
+  return a.data_sent == b.data_sent && a.retransmits == b.retransmits &&
+         a.acks_sent == b.acks_sent && a.acks_received == b.acks_received &&
+         a.delivered == b.delivered &&
+         a.duplicates_suppressed == b.duplicates_suppressed &&
+         a.out_of_order_buffered == b.out_of_order_buffered &&
+         a.malformed_dropped == b.malformed_dropped;
+}
+
+inline bool operator==(const FaultDevice::Counters& a,
+                       const FaultDevice::Counters& b) {
+  return a.seen == b.seen && a.dropped == b.dropped &&
+         a.duplicated == b.duplicated && a.corrupted == b.corrupted &&
+         a.reordered == b.reordered;
+}
+
+/// The devices of one reliability stack, in chain order; pointers are
+/// owned by the chain. `delay` is null when no artificial WAN delay was
+/// requested.
+struct ReliabilityStack {
+  ReliableDevice* reliable = nullptr;
+  ChecksumDevice* checksum = nullptr;
+  FaultDevice* faults = nullptr;
+  DelayDevice* delay = nullptr;
+
+  bool installed() const { return reliable != nullptr; }
+
+  /// Flat counter snapshot for reports and replay comparisons.
+  struct Report {
+    ReliableDevice::Counters reliable{};
+    FaultDevice::Counters faults{};
+    std::uint64_t corrupt_dropped = 0;  ///< checksum-detected, pre-reliable
+    double mean_ack_rtt_ms = 0.0;
+
+    bool operator==(const Report&) const = default;
+  };
+  Report report() const;
+};
+
+/// Append the canonical lossy-WAN stack to `chain`:
+///   reliable -> checksum(drop_on_mismatch) -> fault -> [delay]
+/// The delay device is appended only when cross_cluster_delay > 0, below
+/// the fault device so retransmissions and acks pay full WAN latency.
+ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
+                                           const ReliableConfig& reliable,
+                                           const FaultConfig& faults,
+                                           sim::TimeNs cross_cluster_delay);
+
+}  // namespace mdo::net

@@ -8,6 +8,7 @@ SimFabric::SimFabric(sim::Engine* engine, const Topology* topo,
                      LatencyModel* model, Chain chain)
     : engine_(engine), topo_(topo), model_(model), chain_(std::move(chain)) {
   MDO_CHECK(engine_ != nullptr && topo_ != nullptr && model_ != nullptr);
+  chain_.set_host(this);
   handlers_.resize(topo_->num_nodes());
 }
 
@@ -34,10 +35,28 @@ sim::TimeNs SimFabric::send(Packet&& packet) {
 
   SendContext ctx;
   std::vector<Packet> wire = chain_.apply_send(std::move(packet), ctx);
+  transmit(std::move(wire), ctx);
+  return ctx.cpu_cost;
+}
+
+void SimFabric::inject_send(const FilterDevice* from, Packet&& packet) {
+  // Device-originated traffic (acks, retransmissions): wire-level frames,
+  // not runtime sends, so packets_sent/bytes_sent stay envelope-shaped.
+  // The injecting device's CPU cost is absorbed by the fabric.
+  ++stats_.frames_injected;
+  SendContext ctx;
+  std::vector<Packet> wire =
+      chain_.apply_send_below(from, std::move(packet), ctx);
+  transmit(std::move(wire), ctx);
+}
+
+void SimFabric::transmit(std::vector<Packet>&& wire, const SendContext& ctx) {
   for (auto& frame : wire) {
-    // The delay device holds the frame for ctx.extra_delay before the
-    // network device sees it, so the model is evaluated at that instant.
-    sim::TimeNs enter_net = engine_->now() + ctx.extra_delay;
+    // The delay device holds the frame for ctx.extra_delay (plus any
+    // fault-injected jitter) before the network device sees it, so the
+    // model is evaluated at that instant.
+    sim::TimeNs enter_net = engine_->now() + ctx.extra_delay + frame.hold_ns;
+    frame.hold_ns = 0;
     sim::TimeNs net_delay = model_->delivery_delay(
         frame.src, frame.dst, frame.payload.size(), enter_net);
     Packet moved = std::move(frame);
@@ -46,11 +65,17 @@ sim::TimeNs SimFabric::send(Packet&& packet) {
                            arrive(std::move(p));
                          });
   }
-  return ctx.cpu_cost;
 }
 
 void SimFabric::arrive(Packet&& packet) {
-  std::optional<Packet> complete = chain_.apply_receive(std::move(packet));
+  deliver(chain_.apply_receive(std::move(packet)));
+}
+
+void SimFabric::inject_receive(const FilterDevice* from, Packet&& packet) {
+  deliver(chain_.apply_receive_above(from, std::move(packet)));
+}
+
+void SimFabric::deliver(std::optional<Packet>&& complete) {
   if (!complete.has_value()) return;
   ++stats_.packets_delivered;
   auto& handler = handlers_[static_cast<std::size_t>(complete->dst)];

@@ -1,8 +1,11 @@
 #pragma once
 // Discrete-event fabric: packets become engine events. Delivery time =
-// now + chain extra delay (delay device) + LatencyModel delay evaluated
-// at the instant the packet leaves the delay device — matching the VMI
-// chain order of the paper (delay device sits above the network device).
+// now + chain extra delay (delay device) + per-frame fault jitter +
+// LatencyModel delay evaluated at the instant the packet leaves the
+// delay device — matching the VMI chain order of the paper (delay device
+// sits above the network device). Implements DeviceHost so protocol
+// devices in the chain (the reliability device) can pace retransmission
+// timers on virtual time and inject acks/retransmissions mid-chain.
 
 #include <vector>
 
@@ -12,7 +15,7 @@
 
 namespace mdo::net {
 
-class SimFabric final : public Fabric {
+class SimFabric final : public Fabric, public DeviceHost {
  public:
   /// All pointers are borrowed and must outlive the fabric. `chain` may
   /// be empty (fast path: no payload transforms).
@@ -26,8 +29,18 @@ class SimFabric final : public Fabric {
 
   Chain& chain() { return chain_; }
 
+  // -- DeviceHost ----------------------------------------------------------
+  sim::TimeNs host_now() const override { return engine_->now(); }
+  void host_schedule(sim::TimeNs dt, std::function<void()> fn) override {
+    engine_->schedule_after(dt, std::move(fn));
+  }
+  void inject_send(const FilterDevice* from, Packet&& packet) override;
+  void inject_receive(const FilterDevice* from, Packet&& packet) override;
+
  private:
+  void transmit(std::vector<Packet>&& wire, const SendContext& ctx);
   void arrive(Packet&& packet);
+  void deliver(std::optional<Packet>&& complete);
 
   sim::Engine* engine_;
   const Topology* topo_;

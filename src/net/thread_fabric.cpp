@@ -11,6 +11,7 @@ ThreadFabric::ThreadFabric(const Topology* topo, LatencyModel* model,
       chain_(std::move(chain)),
       start_(Clock::now()) {
   MDO_CHECK(topo_ != nullptr && model_ != nullptr);
+  chain_.set_host(this);
   handlers_.resize(topo_->num_nodes());
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
@@ -19,7 +20,7 @@ ThreadFabric::~ThreadFabric() { shutdown(); }
 
 void ThreadFabric::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     if (stop_) return;
     stop_ = true;
   }
@@ -28,17 +29,30 @@ void ThreadFabric::shutdown() {
 }
 
 void ThreadFabric::set_delivery_handler(NodeId node, DeliverFn handler) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   MDO_CHECK(node >= 0 && static_cast<std::size_t>(node) < handlers_.size());
   handlers_[static_cast<std::size_t>(node)] = std::move(handler);
 }
 
+void ThreadFabric::enqueue_frames(std::vector<Packet>&& wire,
+                                  const SendContext& ctx) {
+  const sim::TimeNs now = now_ns();
+  for (auto& frame : wire) {
+    sim::TimeNs enter_net = now + ctx.extra_delay + frame.hold_ns;
+    frame.hold_ns = 0;
+    sim::TimeNs net_delay = model_->delivery_delay(
+        frame.src, frame.dst, frame.payload.size(), enter_net);
+    Clock::time_point due =
+        start_ + std::chrono::nanoseconds(enter_net + net_delay);
+    pending_.push(Timed{due, next_seq_++, std::move(frame)});
+  }
+}
+
 sim::TimeNs ThreadFabric::send(Packet&& packet) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   MDO_CHECK(!stop_);
   packet.id = next_id_++;
-  sim::TimeNs now = now_ns();
-  packet.inject_time = now;
+  packet.inject_time = now_ns();
 
   ++stats_.packets_sent;
   stats_.bytes_sent += packet.payload.size();
@@ -49,29 +63,70 @@ sim::TimeNs ThreadFabric::send(Packet&& packet) {
 
   SendContext ctx;
   std::vector<Packet> wire = chain_.apply_send(std::move(packet), ctx);
-  for (auto& frame : wire) {
-    sim::TimeNs enter_net = now + ctx.extra_delay;
-    sim::TimeNs net_delay = model_->delivery_delay(
-        frame.src, frame.dst, frame.payload.size(), enter_net);
-    Clock::time_point due =
-        start_ + std::chrono::nanoseconds(enter_net + net_delay);
-    pending_.push(Timed{due, next_seq_++, std::move(frame)});
-  }
+  enqueue_frames(std::move(wire), ctx);
   cv_.notify_one();
   return ctx.cpu_cost;
 }
 
+void ThreadFabric::inject_send(const FilterDevice* from, Packet&& packet) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (stop_) return;
+  ++stats_.frames_injected;
+  SendContext ctx;
+  std::vector<Packet> wire =
+      chain_.apply_send_below(from, std::move(packet), ctx);
+  enqueue_frames(std::move(wire), ctx);
+  cv_.notify_one();
+}
+
+void ThreadFabric::inject_receive(const FilterDevice* from, Packet&& packet) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (stop_) return;
+  std::optional<Packet> complete =
+      chain_.apply_receive_above(from, std::move(packet));
+  if (!complete.has_value()) return;
+  ++stats_.packets_delivered;
+  DeliverFn handler = handlers_[static_cast<std::size_t>(complete->dst)];
+  MDO_CHECK_MSG(static_cast<bool>(handler), "no delivery handler registered");
+  // Called with the fabric mutex held (we are nested inside a chain
+  // transform). Safe: delivery handlers only take their own mailbox
+  // locks and never call back into the fabric synchronously.
+  handler(std::move(*complete));
+}
+
+void ThreadFabric::host_schedule(sim::TimeNs dt, std::function<void()> fn) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (stop_) return;
+  Clock::time_point due = Clock::now() + std::chrono::nanoseconds(dt);
+  timers_.push(Timer{due, next_seq_++, std::move(fn)});
+  cv_.notify_one();
+}
+
 void ThreadFabric::dispatcher_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
   while (true) {
     if (stop_) return;
-    if (pending_.empty()) {
-      cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty() && timers_.empty()) {
+      cv_.wait(lock, [this] {
+        return stop_ || !pending_.empty() || !timers_.empty();
+      });
       continue;
     }
-    Clock::time_point due = pending_.top().due;
+    const bool timer_first =
+        !timers_.empty() &&
+        (pending_.empty() || timers_.top().due <= pending_.top().due);
+    Clock::time_point due =
+        timer_first ? timers_.top().due : pending_.top().due;
     if (Clock::now() < due) {
       cv_.wait_until(lock, due);
+      continue;
+    }
+    if (timer_first) {
+      auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+      timers_.pop();
+      // Timer callbacks (retransmission timeouts) mutate chain state and
+      // may inject frames; run them with the mutex held.
+      fn();
       continue;
     }
     Timed item = std::move(const_cast<Timed&>(pending_.top()));
@@ -92,7 +147,7 @@ void ThreadFabric::dispatcher_loop() {
 }
 
 ThreadFabric::Stats ThreadFabric::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return stats_;
 }
 

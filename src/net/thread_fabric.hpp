@@ -1,9 +1,15 @@
 #pragma once
 // Real-time fabric: one dispatcher thread holds packets until their
-// modeled delivery deadline (delay-device hold + network delay) elapses
-// in wall-clock time, then runs the receive chain and the delivery
-// upcall. Used by the ThreadMachine backend for examples and
+// modeled delivery deadline (delay-device hold + fault jitter + network
+// delay) elapses in wall-clock time, then runs the receive chain and the
+// delivery upcall. Used by the ThreadMachine backend for examples and
 // integration tests; delivery handlers must be thread-safe.
+//
+// Implements DeviceHost so protocol devices (the reliability device) can
+// run retransmission timers on wall-clock time and inject acks and
+// retransmissions. Chain state is guarded by the fabric mutex, which is
+// recursive because injections re-enter the fabric from inside chain
+// transforms that already hold it.
 
 #include <condition_variable>
 #include <chrono>
@@ -17,7 +23,7 @@
 
 namespace mdo::net {
 
-class ThreadFabric final : public Fabric {
+class ThreadFabric final : public Fabric, public DeviceHost {
  public:
   ThreadFabric(const Topology* topo, LatencyModel* model, Chain chain);
   ~ThreadFabric() override;
@@ -30,12 +36,18 @@ class ThreadFabric final : public Fabric {
   const Topology& topology() const override { return *topo_; }
   Stats stats() const override;
 
-  /// Stop the dispatcher and drop undelivered packets (also done by the
-  /// destructor). Idempotent.
+  /// Stop the dispatcher and drop undelivered packets and timers (also
+  /// done by the destructor). Idempotent.
   void shutdown();
 
   /// Device chain access; only safe to mutate before traffic flows.
   Chain& chain() { return chain_; }
+
+  // -- DeviceHost ----------------------------------------------------------
+  sim::TimeNs host_now() const override { return now_ns(); }
+  void host_schedule(sim::TimeNs dt, std::function<void()> fn) override;
+  void inject_send(const FilterDevice* from, Packet&& packet) override;
+  void inject_receive(const FilterDevice* from, Packet&& packet) override;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -51,6 +63,17 @@ class ThreadFabric final : public Fabric {
       return a.seq > b.seq;
     }
   };
+  struct Timer {
+    Clock::time_point due;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
 
   sim::TimeNs now_ns() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -58,6 +81,8 @@ class ThreadFabric final : public Fabric {
         .count();
   }
 
+  /// Schedule the wire frames of one transmission (mutex held).
+  void enqueue_frames(std::vector<Packet>&& wire, const SendContext& ctx);
   void dispatcher_loop();
 
   const Topology* topo_;
@@ -65,9 +90,10 @@ class ThreadFabric final : public Fabric {
   Chain chain_;
   Clock::time_point start_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable std::recursive_mutex mutex_;
+  std::condition_variable_any cv_;
   std::priority_queue<Timed, std::vector<Timed>, Later> pending_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
   std::vector<DeliverFn> handlers_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;

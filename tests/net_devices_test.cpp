@@ -79,6 +79,42 @@ TEST(DelayDeviceTest, PairOverrideWins) {
   EXPECT_EQ(c.extra_delay, sim::milliseconds(8));
 }
 
+TEST(DelayDeviceTest, PairOverrideIsDirectional) {
+  // set_pair_delay keys on the ordered (src, dst) pair: overriding A->B
+  // must leave B->A on the default rule for its cluster relation.
+  Topology topo = Topology::two_cluster(4);
+  auto delay = std::make_unique<DelayDevice>(&topo, sim::milliseconds(8));
+  delay->set_pair_delay(0, 2, sim::milliseconds(32));
+  Chain chain;
+  chain.add(std::move(delay));
+
+  SendContext fwd;
+  wire_frames(chain, make_packet(0, 2, "x"), fwd);
+  EXPECT_EQ(fwd.extra_delay, sim::milliseconds(32));
+
+  SendContext rev;  // reverse direction: still the cross-cluster default
+  wire_frames(chain, make_packet(2, 0, "x"), rev);
+  EXPECT_EQ(rev.extra_delay, sim::milliseconds(8));
+}
+
+TEST(DelayDeviceTest, ZeroPairOverrideBeatsCrossClusterDefault) {
+  // An explicit 0 override must win over the nonzero cross-cluster
+  // default, not fall through to it.
+  Topology topo = Topology::two_cluster(4);
+  auto delay = std::make_unique<DelayDevice>(&topo, sim::milliseconds(8));
+  delay->set_pair_delay(1, 3, 0);
+  Chain chain;
+  chain.add(std::move(delay));
+
+  SendContext ctx;
+  wire_frames(chain, make_packet(1, 3, "x"), ctx);
+  EXPECT_EQ(ctx.extra_delay, 0);
+
+  SendContext other;  // a different cross-cluster pair keeps the default
+  wire_frames(chain, make_packet(0, 3, "x"), other);
+  EXPECT_EQ(other.extra_delay, sim::milliseconds(8));
+}
+
 TEST(CompressionTest, RleRoundtrip) {
   Bytes in;
   for (int i = 0; i < 100; ++i) in.push_back(std::byte{7});
@@ -93,6 +129,42 @@ TEST(CompressionTest, RleHandlesLongRuns) {
   Bytes enc = CompressionDevice::rle_encode(in);
   EXPECT_EQ(enc.size(), 8u);  // ceil(1000/255)=4 runs, 2 bytes each
   EXPECT_EQ(CompressionDevice::rle_decode(enc), in);
+}
+
+TEST(CompressionTest, DecodeRejectsTruncatedInput) {
+  Bytes in(300, std::byte{9});
+  Bytes enc = CompressionDevice::rle_encode(in);
+  enc.pop_back();  // odd length: a (run, value) pair lost its value byte
+  EXPECT_FALSE(CompressionDevice::rle_decode(enc).has_value());
+}
+
+TEST(CompressionTest, DecodeRejectsZeroLengthRun) {
+  Bytes enc{std::byte{0}, std::byte{42}};  // the encoder never emits run=0
+  EXPECT_FALSE(CompressionDevice::rle_decode(enc).has_value());
+}
+
+TEST(CompressionTest, ReceiveDropsMalformedFramesInsteadOfCrashing) {
+  Chain chain;
+  auto* dev = chain.add(std::make_unique<CompressionDevice>());
+
+  // Empty frame, unknown tag, and an RLE body with a zero-length run.
+  EXPECT_FALSE(chain.apply_receive(make_packet(0, 1, "")).has_value());
+  Packet bad_tag = make_packet(0, 1, "??");
+  bad_tag.payload[0] = std::byte{7};
+  EXPECT_FALSE(chain.apply_receive(std::move(bad_tag)).has_value());
+  Packet bad_run = make_packet(0, 1, "???");
+  bad_run.payload[0] = std::byte{1};  // kRle
+  bad_run.payload[1] = std::byte{0};  // run length 0
+  EXPECT_FALSE(chain.apply_receive(std::move(bad_run)).has_value());
+  EXPECT_EQ(dev->decode_failures(), 3u);
+
+  // A well-formed frame still decodes after the malformed ones.
+  SendContext ctx;
+  std::string body(80, 'm');
+  auto frames = wire_frames(chain, make_packet(0, 1, body), ctx);
+  auto out = chain.apply_receive(std::move(frames[0]));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), body);
 }
 
 TEST(CompressionTest, ChainRoundtripCompressible) {
@@ -142,6 +214,28 @@ TEST(ChecksumTest, DetectsTamper) {
   auto frames = wire_frames(chain, make_packet(0, 1, "payload"), ctx);
   frames[0].payload[2] ^= std::byte{0xff};
   EXPECT_DEATH(chain.apply_receive(std::move(frames[0])), "checksum mismatch");
+}
+
+TEST(ChecksumTest, DropModeDiscardsCorruptFramesSilently) {
+  Chain chain;
+  auto* dev =
+      chain.add(std::make_unique<ChecksumDevice>(/*drop_on_mismatch=*/true));
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 1, "payload"), ctx);
+  frames[0].payload[2] ^= std::byte{0xff};
+  EXPECT_FALSE(chain.apply_receive(std::move(frames[0])).has_value());
+  EXPECT_EQ(dev->corrupt_dropped(), 1u);
+  EXPECT_EQ(dev->packets_verified(), 0u);
+
+  // Too short to even hold a digest: dropped, not aborted.
+  EXPECT_FALSE(chain.apply_receive(make_packet(0, 1, "tiny")).has_value());
+  EXPECT_EQ(dev->corrupt_dropped(), 2u);
+
+  // An intact frame still verifies.
+  SendContext ctx2;
+  auto ok = wire_frames(chain, make_packet(0, 1, "payload"), ctx2);
+  EXPECT_TRUE(chain.apply_receive(std::move(ok[0])).has_value());
+  EXPECT_EQ(dev->packets_verified(), 1u);
 }
 
 TEST(CryptoTest, RoundtripAndCiphertextDiffers) {

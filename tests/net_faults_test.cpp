@@ -1,0 +1,353 @@
+// Fault injection and the reliability device: deterministic fault
+// streams, exactly-once in-order delivery over a hostile wire, replay
+// reproducibility, and the full stencil application running unharmed
+// across a lossy WAN.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "apps/stencil/stencil.hpp"
+#include "grid/scenario.hpp"
+#include "net/faults.hpp"
+#include "net/reliable.hpp"
+#include "net/sim_fabric.hpp"
+#include "net/thread_fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace mdo;
+using net::Chain;
+using net::FaultConfig;
+using net::FaultDevice;
+using net::Packet;
+using net::ReliableConfig;
+using net::SendContext;
+using net::SimFabric;
+using net::ThreadFabric;
+using net::Topology;
+
+Packet text_packet(net::NodeId src, net::NodeId dst, const std::string& body,
+                   std::uint64_t id = 1) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.id = id;
+  p.payload.resize(body.size());
+  std::memcpy(p.payload.data(), body.data(), body.size());
+  return p;
+}
+
+std::string body_of(const Packet& p) {
+  return std::string(reinterpret_cast<const char*>(p.payload.data()),
+                     p.payload.size());
+}
+
+// -- FaultDevice in isolation --------------------------------------------------
+
+std::vector<Packet> run_faults(FaultDevice& dev, int frames) {
+  std::vector<Packet> out;
+  for (int i = 0; i < frames; ++i) {
+    std::vector<Packet> batch;
+    batch.push_back(text_packet(0, 1, "frame-" + std::to_string(i),
+                                static_cast<std::uint64_t>(i)));
+    SendContext ctx;
+    dev.send_transform(batch, ctx);
+    for (auto& p : batch) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST(FaultDeviceTest, SameSeedSameFaults) {
+  FaultConfig cfg;
+  cfg.drop = 0.1;
+  cfg.duplicate = 0.1;
+  cfg.corrupt = 0.1;
+  cfg.reorder = 0.3;
+  cfg.reorder_jitter = sim::microseconds(500);
+  cfg.seed = 42;
+  FaultDevice a(cfg), b(cfg);
+  auto out_a = run_faults(a, 2000);
+  auto out_b = run_faults(b, 2000);
+
+  EXPECT_EQ(a.counters().dropped, b.counters().dropped);
+  EXPECT_EQ(a.counters().duplicated, b.counters().duplicated);
+  EXPECT_EQ(a.counters().corrupted, b.counters().corrupted);
+  EXPECT_EQ(a.counters().reordered, b.counters().reordered);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].payload, out_b[i].payload);
+    EXPECT_EQ(out_a[i].hold_ns, out_b[i].hold_ns);
+  }
+}
+
+TEST(FaultDeviceTest, DifferentSeedDifferentFaults) {
+  FaultConfig cfg;
+  cfg.drop = 0.5;
+  cfg.seed = 1;
+  FaultDevice a(cfg);
+  cfg.seed = 2;
+  FaultDevice b(cfg);
+  run_faults(a, 500);
+  run_faults(b, 500);
+  EXPECT_NE(a.counters().dropped, b.counters().dropped);
+}
+
+TEST(FaultDeviceTest, DropRateNearConfigured) {
+  FaultConfig cfg;
+  cfg.drop = 0.3;
+  cfg.seed = 7;
+  FaultDevice dev(cfg);
+  const int frames = 20000;
+  run_faults(dev, frames);
+  EXPECT_EQ(dev.counters().seen, static_cast<std::uint64_t>(frames));
+  double rate = static_cast<double>(dev.counters().dropped) / frames;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(FaultDeviceTest, CorruptAlwaysChangesPayload) {
+  FaultConfig cfg;
+  cfg.corrupt = 1.0;
+  FaultDevice dev(cfg);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Packet> batch;
+    batch.push_back(text_packet(0, 1, "x"));  // single byte: worst case
+    SendContext ctx;
+    dev.send_transform(batch, ctx);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_NE(body_of(batch[0]), "x");
+  }
+  EXPECT_EQ(dev.counters().corrupted, 100u);
+}
+
+TEST(FaultDeviceTest, DuplicateEmitsIdenticalTwin) {
+  FaultConfig cfg;
+  cfg.duplicate = 1.0;
+  FaultDevice dev(cfg);
+  std::vector<Packet> batch;
+  batch.push_back(text_packet(0, 1, "twins"));
+  SendContext ctx;
+  dev.send_transform(batch, ctx);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(body_of(batch[0]), "twins");
+  EXPECT_EQ(body_of(batch[1]), "twins");
+  EXPECT_EQ(dev.counters().duplicated, 1u);
+}
+
+// -- reliability over a faulty SimFabric --------------------------------------
+
+struct LossySim {
+  sim::Engine engine;
+  Topology topo = Topology::two_cluster(4);
+  net::FixedLatencyModel model{sim::microseconds(100)};
+  std::unique_ptr<SimFabric> fabric;
+  net::ReliabilityStack stack;
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<std::string>>
+      received;
+
+  explicit LossySim(const FaultConfig& faults,
+                    sim::TimeNs rto = sim::microseconds(500)) {
+    Chain chain;
+    ReliableConfig rel;
+    rel.rto_initial = rto;
+    stack = net::install_reliability_stack(chain, &topo, rel, faults,
+                                           /*cross_cluster_delay=*/0);
+    fabric = std::make_unique<SimFabric>(&engine, &topo, &model,
+                                         std::move(chain));
+    for (net::NodeId n = 0; n < 4; ++n) {
+      fabric->set_delivery_handler(n, [this, n](Packet&& p) {
+        received[{p.src, n}].push_back(body_of(p));
+      });
+    }
+  }
+};
+
+FaultConfig hostile_wan(std::uint64_t seed) {
+  FaultConfig cfg;
+  cfg.drop = 0.05;
+  cfg.duplicate = 0.05;
+  cfg.corrupt = 0.03;
+  cfg.reorder = 0.25;
+  cfg.reorder_jitter = sim::microseconds(400);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ReliableSimTest, ExactlyOnceInOrderUnderAllFaults) {
+  LossySim sim(hostile_wan(17));
+  const int per_flow = 400;
+  std::vector<std::pair<net::NodeId, net::NodeId>> flows{
+      {0, 2}, {2, 0}, {1, 3}};
+  for (int i = 0; i < per_flow; ++i) {
+    for (auto [src, dst] : flows) {
+      sim.fabric->send(text_packet(src, dst, "msg-" + std::to_string(i)));
+    }
+  }
+  sim.engine.run();
+
+  for (auto [src, dst] : flows) {
+    const auto& got = sim.received[{src, dst}];
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(per_flow))
+        << "flow " << src << "->" << dst;
+    for (int i = 0; i < per_flow; ++i) {
+      ASSERT_EQ(got[static_cast<std::size_t>(i)], "msg-" + std::to_string(i));
+    }
+  }
+  // The wire really was hostile, and the protocol really did repair it.
+  EXPECT_GT(sim.stack.faults->counters().dropped, 0u);
+  EXPECT_GT(sim.stack.faults->counters().duplicated, 0u);
+  EXPECT_GT(sim.stack.checksum->corrupt_dropped(), 0u);
+  EXPECT_GT(sim.stack.reliable->counters().retransmits, 0u);
+  EXPECT_GT(sim.stack.reliable->counters().duplicates_suppressed, 0u);
+  // Quiesced: nothing awaiting ack, nothing parked out of order.
+  EXPECT_EQ(sim.stack.reliable->unacked_frames(), 0u);
+  EXPECT_EQ(sim.stack.reliable->buffered_packets(), 0u);
+  EXPECT_EQ(sim.fabric->stats().packets_delivered,
+            static_cast<std::uint64_t>(per_flow) * flows.size());
+}
+
+TEST(ReliableSimTest, ReorderOnlyStillDeliversInOrder) {
+  FaultConfig cfg;
+  cfg.reorder = 1.0;
+  cfg.reorder_jitter = sim::microseconds(800);
+  cfg.seed = 3;
+  LossySim sim(cfg, /*rto=*/sim::milliseconds(5));
+  for (int i = 0; i < 200; ++i) {
+    sim.fabric->send(text_packet(0, 2, std::to_string(i)));
+  }
+  sim.engine.run();
+  const auto& got = sim.received[{0, 2}];
+  ASSERT_EQ(got.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+  EXPECT_GT(sim.stack.reliable->counters().out_of_order_buffered, 0u);
+}
+
+TEST(ReliableSimTest, ReplayWithSameSeedIsBitIdentical) {
+  auto run_once = [] {
+    LossySim sim(hostile_wan(99));
+    for (int i = 0; i < 300; ++i) {
+      sim.fabric->send(text_packet(0, 2, "payload-" + std::to_string(i)));
+      sim.fabric->send(text_packet(3, 1, "reverse-" + std::to_string(i)));
+    }
+    sim.engine.run();
+    return std::make_pair(sim.stack.report(), sim.engine.now());
+  };
+  auto [report_a, end_a] = run_once();
+  auto [report_b, end_b] = run_once();
+  EXPECT_EQ(report_a, report_b);
+  EXPECT_EQ(end_a, end_b);
+  EXPECT_GT(report_a.reliable.retransmits, 0u);
+}
+
+TEST(ReliableSimTest, AckRttIsMeasured) {
+  FaultConfig cfg;  // clean wire: every sample unambiguous
+  cfg.drop = 0.0;
+  LossySim sim(cfg, /*rto=*/sim::milliseconds(10));
+  for (int i = 0; i < 50; ++i) sim.fabric->send(text_packet(0, 2, "ping"));
+  sim.engine.run();
+  ASSERT_GT(sim.stack.reliable->ack_rtt_ns().count(), 0u);
+  // RTT = two fabric traversals at 100us each.
+  EXPECT_NEAR(sim.stack.reliable->ack_rtt_ns().mean(),
+              static_cast<double>(sim::microseconds(200)),
+              static_cast<double>(sim::microseconds(10)));
+}
+
+// -- reliability over a faulty ThreadFabric -----------------------------------
+
+TEST(ReliableThreadTest, LossyWireDeliversEverythingInOrder) {
+  Topology topo = Topology::two_cluster(2);
+  net::FixedLatencyModel model(sim::microseconds(100));
+  Chain chain;
+  ReliableConfig rel;
+  rel.rto_initial = sim::milliseconds(2);
+  FaultConfig faults;
+  faults.drop = 0.1;
+  faults.seed = 5;
+  auto stack = net::install_reliability_stack(chain, &topo, rel, faults,
+                                              /*cross_cluster_delay=*/0);
+  ThreadFabric fabric(&topo, &model, std::move(chain));
+
+  std::mutex m;
+  std::vector<std::string> got;
+  std::atomic<int> delivered{0};
+  fabric.set_delivery_handler(1, [&](Packet&& p) {
+    std::lock_guard<std::mutex> lock(m);
+    got.push_back(body_of(p));
+    delivered.fetch_add(1);
+  });
+  const int count = 50;
+  for (int i = 0; i < count; ++i) {
+    fabric.send(text_packet(0, 1, std::to_string(i)));
+  }
+  for (int spin = 0; spin < 5000 && delivered.load() < count; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(delivered.load(), count);
+  std::lock_guard<std::mutex> lock(m);
+  for (int i = 0; i < count; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+  EXPECT_GT(stack.faults->counters().dropped, 0u);
+  EXPECT_GT(stack.reliable->counters().retransmits, 0u);
+}
+
+// -- the full application across a lossy WAN ----------------------------------
+
+std::vector<double> stencil_mesh(const grid::Scenario& scenario) {
+  core::Runtime rt(grid::make_sim_machine(scenario));
+  apps::stencil::Params p;
+  p.mesh = 24;
+  p.objects = 4;
+  p.real_compute = true;
+  apps::stencil::StencilApp app(rt, p);
+  app.run_steps(8);
+  return app.gather_mesh();
+}
+
+TEST(LossyScenarioTest, StencilAtOnePercentLossMatchesLossless) {
+  auto lossless =
+      stencil_mesh(grid::Scenario::artificial(4, sim::milliseconds(5.0)));
+  auto scenario =
+      grid::Scenario::lossy(4, sim::milliseconds(5.0), /*drop=*/0.01,
+                            /*seed=*/11);
+  scenario.faults.duplicate = 0.01;
+  scenario.faults.reorder = 0.1;
+  scenario.faults.reorder_jitter = sim::milliseconds(1.0);
+  auto lossy = stencil_mesh(scenario);
+  ASSERT_EQ(lossy.size(), lossless.size());
+  for (std::size_t i = 0; i < lossy.size(); ++i) {
+    ASSERT_DOUBLE_EQ(lossy[i], lossless[i]) << "cell " << i;
+  }
+}
+
+TEST(LossyScenarioTest, SimMachineReplayHasIdenticalCounters) {
+  auto run_once = [] {
+    auto scenario =
+        grid::Scenario::lossy(4, sim::milliseconds(2.0), 0.02, /*seed=*/23);
+    auto machine = grid::make_sim_machine(scenario);
+    core::SimMachine* raw = machine.get();
+    core::Runtime rt(std::move(machine));
+    apps::stencil::Params p;
+    p.mesh = 64;
+    p.objects = 16;
+    apps::stencil::StencilApp app(rt, p);
+    app.run_steps(5);
+    return std::make_pair(raw->reliability().report(), rt.now());
+  };
+  auto [report_a, end_a] = run_once();
+  auto [report_b, end_b] = run_once();
+  EXPECT_EQ(report_a, report_b);
+  EXPECT_EQ(end_a, end_b);
+  EXPECT_GT(report_a.faults.dropped, 0u);
+  EXPECT_GT(report_a.reliable.retransmits, 0u);
+}
+
+}  // namespace

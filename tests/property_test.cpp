@@ -12,7 +12,11 @@
 #include "apps/stencil/stencil.hpp"
 #include "grid/scenario.hpp"
 #include "ldb/balancers.hpp"
+#include "net/faults.hpp"
 #include "net/latency_model.hpp"
+#include "net/reliable.hpp"
+#include "net/sim_fabric.hpp"
+#include "net/striping.hpp"
 #include "util/pup.hpp"
 #include "util/rng.hpp"
 
@@ -275,6 +279,100 @@ TEST_P(BalancerSweep, RotateMovesEverything) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BalancerSweep,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// -- exactly-once delivery through random device stacks over a lossy wire ----------
+
+// Any stack of payload-transforming devices above the reliability layer
+// must deliver every payload exactly once, in per-flow order, bit-exact,
+// no matter how the wire drops, duplicates, reorders, or corrupts frames.
+class LossyStackFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
+  SplitMix64 rng(GetParam());
+
+  // A random subset of {compress, crypto, stripe}, in random order, above
+  // the canonical reliable -> checksum(drop) -> fault tail.
+  net::Chain chain;
+  std::vector<int> upper{0, 1, 2};
+  std::shuffle(upper.begin(), upper.end(), rng);
+  std::size_t keep = 1 + rng.bounded(3);
+  for (std::size_t i = 0; i < keep; ++i) {
+    switch (upper[i]) {
+      case 0:
+        chain.add(std::make_unique<net::CompressionDevice>());
+        break;
+      case 1:
+        chain.add(std::make_unique<net::CryptoDevice>(rng.next_u64()));
+        break;
+      default:
+        chain.add(std::make_unique<net::StripingDevice>(
+            2 + static_cast<int>(rng.bounded(3)), 64));
+        break;
+    }
+  }
+  net::ReliableConfig rel;
+  rel.rto_initial = sim::microseconds(400);
+  net::FaultConfig faults;
+  faults.drop = 0.03;
+  faults.duplicate = 0.03;
+  faults.corrupt = 0.02;
+  faults.reorder = 0.3;
+  faults.reorder_jitter = sim::microseconds(300);
+  faults.seed = rng.next_u64();
+  auto stack = net::install_reliability_stack(chain, nullptr, rel, faults,
+                                              /*cross_cluster_delay=*/0);
+
+  sim::Engine engine;
+  net::Topology topo = net::Topology::two_cluster(4);
+  net::FixedLatencyModel model(sim::microseconds(100));
+  net::SimFabric fabric(&engine, &topo, &model, std::move(chain));
+
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<Bytes>> received;
+  for (net::NodeId n = 0; n < 4; ++n) {
+    fabric.set_delivery_handler(n, [&received, n](net::Packet&& p) {
+      received[{p.src, n}].push_back(std::move(p.payload));
+    });
+  }
+
+  const std::vector<std::pair<net::NodeId, net::NodeId>> flows{
+      {0, 2}, {2, 0}, {1, 3}, {3, 1}};
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<Bytes>> sent;
+  const int messages = 2500;
+  for (int i = 0; i < messages; ++i) {
+    auto flow = flows[rng.bounded(flows.size())];
+    net::Packet p;
+    p.src = flow.first;
+    p.dst = flow.second;
+    // Mixed entropy: runs (compressible) plus random bytes, random size.
+    std::size_t run = rng.bounded(120);
+    std::size_t tail = 1 + rng.bounded(80);
+    p.payload.assign(run, static_cast<std::byte>(rng.bounded(256)));
+    for (std::size_t b = 0; b < tail; ++b) {
+      p.payload.push_back(static_cast<std::byte>(rng.bounded(256)));
+    }
+    sent[flow].push_back(p.payload);
+    fabric.send(std::move(p));
+  }
+  engine.run();
+
+  for (const auto& [flow, payloads] : sent) {
+    const auto& got = received[flow];
+    ASSERT_EQ(got.size(), payloads.size())
+        << "flow " << flow.first << "->" << flow.second << " seed "
+        << GetParam();
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      ASSERT_EQ(got[i], payloads[i])
+          << "payload " << i << " of flow " << flow.first << "->"
+          << flow.second << " seed " << GetParam();
+    }
+  }
+  EXPECT_EQ(stack.reliable->unacked_frames(), 0u);
+  EXPECT_EQ(stack.reliable->buffered_packets(), 0u);
+  EXPECT_GT(stack.reliable->counters().retransmits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyStackFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u));
 
 // -- determinism of the full simulation stack ---------------------------------------
 
