@@ -51,6 +51,13 @@ void load_checkpoint(Runtime& rt, const std::string& path) {
   Bytes blob(static_cast<std::size_t>(size));
   MDO_CHECK(std::fread(blob.data(), 1, blob.size(), f.get()) == blob.size());
 
+  // Validate up front so a truncated file fails with a clear message
+  // instead of a generic reader overrun mid-parse. Everything after the
+  // header is guarded by the ByteReader bounds checks and the pup
+  // length-sanity checks (no resize bombs from corrupt counts).
+  MDO_CHECK_MSG(blob.size() >= sizeof(kMagic) + sizeof(std::uint64_t),
+                "checkpoint file truncated (smaller than header)");
+
   Pup p = Pup::unpacker(blob);
   char magic[8];
   p.bytes(magic, sizeof(magic));

@@ -25,6 +25,9 @@ struct PeStats {
   sim::TimeNs busy_ns = 0;          ///< time spent executing entries
   std::uint64_t msgs_executed = 0;
   std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_dropped = 0;   ///< discarded at a crashed PE (counted
+                                    ///< so sent == executed + dropped holds
+                                    ///< for quiescence accounting)
 };
 
 /// One executed-entry interval, recorded when tracing is enabled.
@@ -65,6 +68,17 @@ class Machine {
   virtual void stop() = 0;
 
   virtual PeStats pe_stats(Pe pe) const = 0;
+
+  /// Crash model (fail-stop): machines that support kill_pe report which
+  /// PEs still schedule work. PE 0 hosts the mainchare and is immortal.
+  virtual bool pe_alive(Pe) const { return true; }
+  virtual std::vector<bool> alive_pes() const {
+    std::vector<bool> alive(static_cast<std::size_t>(num_pes()));
+    for (Pe pe = 0; pe < num_pes(); ++pe) {
+      alive[static_cast<std::size_t>(pe)] = pe_alive(pe);
+    }
+    return alive;
+  }
 
   /// Message-layer counters (packets/bytes, WAN share).
   virtual net::Fabric::Stats fabric_stats() const = 0;

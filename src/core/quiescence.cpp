@@ -25,7 +25,9 @@ QuiescenceDetector::Totals QuiescenceDetector::snapshot() const {
   for (Pe pe = 0; pe < rt_->num_pes(); ++pe) {
     PeStats stats = rt_->machine().pe_stats(pe);
     totals.sent += stats.msgs_sent;
-    totals.processed += stats.msgs_executed;
+    // A message discarded at a crashed PE is as final as an executed one:
+    // it can never create new work, so it counts as processed.
+    totals.processed += stats.msgs_executed + stats.msgs_dropped;
   }
   // Exclude the detector's own wave messages (each wave is one host-call
   // envelope, fully sent and processed by the time it snapshots).

@@ -430,6 +430,30 @@ void Runtime::migrate(ArrayId array_id, const Index& index, Pe to) {
   r.subtree_dirty = true;
 }
 
+void Runtime::rebuild_tree(const std::vector<bool>& alive) {
+  tree_ = ClusterTree(topology(), alive);
+  for (auto& r : arrays_) r.subtree_dirty = true;
+}
+
+void Runtime::replace_element(ArrayId array_id, const Index& index, Pe to,
+                              std::span<const std::byte> state) {
+  MDO_CHECK(to >= 0 && to < num_pes());
+  ArrayRec& r = rec(array_id);
+  ArrayBase& arr = *r.array;
+  MDO_CHECK_MSG(arr.contains(index), "replace of nonexistent element");
+  std::unique_ptr<Chare> fresh = arr.make_element();
+  {
+    Pup unpacker = Pup::unpacker(state);
+    fresh->pup(unpacker);
+    MDO_CHECK_MSG(unpacker.bytes_remaining() == 0,
+                  "element pup() is asymmetric between pack and unpack");
+  }
+  fresh->install(this, array_id, index, to);
+  arr.extract(index);  // destroys the stale instance
+  arr.insert(index, to, std::move(fresh));
+  r.subtree_dirty = true;
+}
+
 Bytes Runtime::checkpoint_array(ArrayId array_id) {
   ArrayBase& arr = *rec(array_id).array;
   Bytes out;

@@ -101,6 +101,18 @@ class Runtime {
   std::uint64_t migrations() const { return migrations_; }
   std::uint64_t migration_bytes() const { return migration_bytes_; }
 
+  /// Rebuild the spanning tree over the alive PEs only (fault-recovery
+  /// path; quiescent points only). Subsequent broadcasts/reductions skip
+  /// the dead PEs entirely.
+  void rebuild_tree(const std::vector<bool>& alive);
+
+  /// Overwrite (or relocate) one element from a serialized pup blob —
+  /// the fault-recovery restore primitive. The element must exist; its
+  /// current instance is discarded, a fresh one is unpacked from `state`
+  /// and installed on `to`. Quiescent points only.
+  void replace_element(ArrayId array, const Index& index, Pe to,
+                       std::span<const std::byte> state);
+
   Bytes checkpoint_array(ArrayId array);
   void restore_array(ArrayId array, std::span<const std::byte> data);
 

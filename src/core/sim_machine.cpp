@@ -13,6 +13,9 @@ SimMachine::SimMachine(net::Topology topo, net::GridLatencyModel::Config link,
       pes_(topo_.num_nodes()) {
   fabric_ = std::make_unique<net::SimFabric>(&engine_, &topo_, &model_,
                                              net::Chain{});
+  fabric_->set_node_up_probe([this](net::NodeId node) {
+    return !pes_[static_cast<std::size_t>(node)].dead;
+  });
   for (std::size_t node = 0; node < topo_.num_nodes(); ++node) {
     fabric_->set_delivery_handler(
         static_cast<net::NodeId>(node), [this, node](net::Packet&& packet) {
@@ -30,12 +33,34 @@ net::DelayDevice* SimMachine::add_delay_device(sim::TimeNs one_way) {
 
 const net::ReliabilityStack& SimMachine::add_reliability_stack(
     const net::ReliableConfig& reliable, const net::FaultConfig& faults,
-    sim::TimeNs cross_cluster_one_way) {
+    sim::TimeNs cross_cluster_one_way, const net::HeartbeatConfig& heartbeat) {
   MDO_CHECK_MSG(!rel_stack_.installed(),
                 "reliability stack already installed");
-  rel_stack_ = net::install_reliability_stack(
-      fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way);
+  rel_stack_ = net::install_reliability_stack(fabric_->chain(), &topo_,
+                                              reliable, faults,
+                                              cross_cluster_one_way, heartbeat);
   return rel_stack_;
+}
+
+void SimMachine::kill_pe(Pe pe, sim::TimeNs at) {
+  MDO_CHECK_MSG(pe > 0, "PE 0 hosts the mainchare and cannot be killed");
+  MDO_CHECK(pe < num_pes());
+  MDO_CHECK(at >= engine_.now());
+  engine_.schedule_at(at, [this, pe] { do_kill(pe); });
+}
+
+void SimMachine::do_kill(Pe pe) {
+  PeState& state = pes_[static_cast<std::size_t>(pe)];
+  if (state.dead) return;
+  state.dead = true;
+  ++kills_;
+  // Everything queued at the PE dies with it. A message being executed
+  // right now finishes its busy period, but finish_execution discards
+  // the outbox of a dead PE, so nothing it produced escapes.
+  while (!state.queue.empty()) {
+    state.queue.pop();
+    ++state.stats.msgs_dropped;
+  }
 }
 
 void SimMachine::send(Envelope&& env) {
@@ -68,13 +93,19 @@ sim::TimeNs SimMachine::dispatch(Envelope&& env) {
 
 void SimMachine::enqueue(Pe pe, Envelope&& env) {
   PeState& state = pes_[static_cast<std::size_t>(pe)];
+  if (state.dead) {
+    // Crashed PE: arriving traffic falls on the floor (the sender's
+    // reliability layer, if any, will notice the missing acks).
+    ++state.stats.msgs_dropped;
+    return;
+  }
   state.queue.push(QueueItem{env.priority, next_queue_seq_++, std::move(env)});
   // Defer the scheduling decision into an engine event so that host-side
   // sends issued before run() do not execute synchronously, and so a
   // currently-executing PE picks the message up at its busy-end.
   engine_.schedule_after(0, [this, pe] {
     PeState& s = pes_[static_cast<std::size_t>(pe)];
-    if (!s.busy && !s.queue.empty()) execute_next(pe);
+    if (!s.busy && !s.dead && !s.queue.empty()) execute_next(pe);
   });
 }
 
@@ -118,6 +149,13 @@ void SimMachine::execute_next(Pe pe) {
 
 void SimMachine::finish_execution(Pe pe, std::vector<Envelope>&& outbox) {
   PeState& state = pes_[static_cast<std::size_t>(pe)];
+  if (state.dead) {
+    // The PE crashed mid-execution: whatever the entry produced never
+    // made it onto the wire.
+    state.stats.msgs_dropped += outbox.size();
+    state.busy = false;
+    return;
+  }
   sim::TimeNs chain_cpu = 0;
   for (auto& env : outbox) chain_cpu += dispatch(std::move(env));
 
@@ -126,7 +164,7 @@ void SimMachine::finish_execution(Pe pe, std::vector<Envelope>&& outbox) {
     engine_.schedule_after(chain_cpu, [this, pe] {
       PeState& s = pes_[static_cast<std::size_t>(pe)];
       s.busy = false;
-      if (!s.queue.empty()) execute_next(pe);
+      if (!s.dead && !s.queue.empty()) execute_next(pe);
     });
     return;
   }

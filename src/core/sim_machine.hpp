@@ -16,6 +16,7 @@
 #include "net/reliable.hpp"
 #include "net/sim_fabric.hpp"
 #include "sim/engine.hpp"
+#include "util/assert.hpp"
 
 namespace mdo::core {
 
@@ -41,15 +42,27 @@ class SimMachine final : public Machine {
   /// Convenience: install the paper's artificial-latency delay device.
   net::DelayDevice* add_delay_device(sim::TimeNs cross_cluster_one_way);
 
-  /// Install the reliability stack (reliable + checksum + fault devices,
-  /// plus a delay device when cross_cluster_one_way > 0) at the bottom of
-  /// the chain. Call before traffic flows.
+  /// Install the reliability stack (reliable + optional heartbeat +
+  /// checksum + fault devices, plus a delay device when
+  /// cross_cluster_one_way > 0) at the bottom of the chain. Call before
+  /// traffic flows.
   const net::ReliabilityStack& add_reliability_stack(
       const net::ReliableConfig& reliable, const net::FaultConfig& faults,
-      sim::TimeNs cross_cluster_one_way = 0);
+      sim::TimeNs cross_cluster_one_way = 0,
+      const net::HeartbeatConfig& heartbeat = {});
 
   /// The installed reliability stack (devices null if never installed).
   const net::ReliabilityStack& reliability() const { return rel_stack_; }
+
+  /// Crash-inject: at virtual time `at` (>= now), PE `pe` stops
+  /// scheduling forever — its queued and future messages are dropped and
+  /// the fabric squashes any frame it would still emit. PE 0 hosts the
+  /// mainchare and cannot be killed. Fail-stop: a killed PE never comes
+  /// back (recovery restores its elements elsewhere).
+  void kill_pe(Pe pe, sim::TimeNs at);
+
+  /// PEs killed so far (test/bench convenience).
+  std::uint64_t pes_killed() const { return kills_; }
 
   // -- Machine interface ---------------------------------------------------
   void bind(Runtime* runtime) override { rt_ = runtime; }
@@ -61,6 +74,10 @@ class SimMachine final : public Machine {
   void run() override;
   void stop() override { engine_.stop(); }
   PeStats pe_stats(Pe pe) const override;
+  bool pe_alive(Pe pe) const override {
+    MDO_CHECK(pe >= 0 && pe < num_pes());
+    return !pes_[static_cast<std::size_t>(pe)].dead;
+  }
   net::Fabric::Stats fabric_stats() const override { return fabric_->stats(); }
   void advance_time(sim::TimeNs dt) override;
   void call_after(sim::TimeNs dt, std::function<void()> fn) override {
@@ -87,9 +104,11 @@ class SimMachine final : public Machine {
   struct PeState {
     std::priority_queue<QueueItem, std::vector<QueueItem>, Later> queue;
     bool busy = false;
+    bool dead = false;  ///< fail-stop: set once by kill_pe, never cleared
     PeStats stats;
   };
 
+  void do_kill(Pe pe);
   void enqueue(Pe pe, Envelope&& env);
   void execute_next(Pe pe);
   /// Immediately route one envelope (local enqueue or fabric). Returns
@@ -107,6 +126,7 @@ class SimMachine final : public Machine {
 
   std::vector<PeState> pes_;
   std::uint64_t next_queue_seq_ = 0;
+  std::uint64_t kills_ = 0;
 
   bool executing_ = false;
   Pe exec_pe_ = 0;

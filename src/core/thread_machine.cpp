@@ -17,6 +17,10 @@ ThreadMachine::ThreadMachine(net::Topology topo,
       model_(&topo_, link),
       start_(std::chrono::steady_clock::now()) {
   fabric_ = std::make_unique<net::ThreadFabric>(&topo_, &model_, net::Chain{});
+  fabric_->set_node_up_probe([this](net::NodeId node) {
+    return !workers_[static_cast<std::size_t>(node)]->dead.load(
+        std::memory_order_acquire);
+  });
   workers_.reserve(topo_.num_nodes());
   for (std::size_t pe = 0; pe < topo_.num_nodes(); ++pe) {
     workers_.push_back(std::make_unique<PeWorker>());
@@ -46,14 +50,38 @@ net::DelayDevice* ThreadMachine::add_delay_device(sim::TimeNs one_way) {
 
 const net::ReliabilityStack& ThreadMachine::add_reliability_stack(
     const net::ReliableConfig& reliable, const net::FaultConfig& faults,
-    sim::TimeNs cross_cluster_one_way) {
+    sim::TimeNs cross_cluster_one_way, const net::HeartbeatConfig& heartbeat) {
   MDO_CHECK_MSG(fabric_->stats().packets_sent == 0,
                 "reliability stack must be installed before traffic flows");
   MDO_CHECK_MSG(!rel_stack_.installed(),
                 "reliability stack already installed");
-  rel_stack_ = net::install_reliability_stack(
-      fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way);
+  rel_stack_ = net::install_reliability_stack(fabric_->chain(), &topo_,
+                                              reliable, faults,
+                                              cross_cluster_one_way, heartbeat);
   return rel_stack_;
+}
+
+void ThreadMachine::kill_pe(Pe pe) {
+  MDO_CHECK_MSG(pe > 0, "PE 0 hosts the mainchare and cannot be killed");
+  MDO_CHECK(pe < num_pes());
+  PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
+  bool expected = false;
+  if (!worker.dead.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+    return;
+  }
+  kills_.fetch_add(1, std::memory_order_acq_rel);
+  std::size_t drained = 0;
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    while (!worker.queue.empty()) {
+      worker.queue.pop();
+      ++worker.stats.msgs_dropped;
+      ++drained;
+    }
+  }
+  worker.cv.notify_all();  // wake the worker so it observes `dead` and exits
+  for (std::size_t i = 0; i < drained; ++i) drop_pending();
 }
 
 Pe ThreadMachine::current_pe() const {
@@ -72,7 +100,28 @@ void ThreadMachine::send(Envelope&& env) {
   route(std::move(env));
 }
 
+void ThreadMachine::drop_pending() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+}
+
 void ThreadMachine::route(Envelope&& env) {
+  if (env.src_pe > 0 &&
+      workers_[static_cast<std::size_t>(env.src_pe)]->dead.load(
+          std::memory_order_acquire)) {
+    // A handler that was mid-flight when its PE was killed: its output
+    // never reaches the wire (matches the fabric-level squash for frames
+    // from dead nodes, but keeps the pending count balanced).
+    PeWorker& worker = *workers_[static_cast<std::size_t>(env.src_pe)];
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      ++worker.stats.msgs_dropped;
+    }
+    drop_pending();
+    return;
+  }
   if (env.dst_pe == env.src_pe) {
     enqueue(env.dst_pe, std::move(env));
     return;
@@ -88,12 +137,22 @@ void ThreadMachine::route(Envelope&& env) {
 void ThreadMachine::enqueue(Pe pe, Envelope&& env) {
   PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
   {
+    // The dead check happens under the queue lock so it cannot interleave
+    // with kill_pe's drain (a push after the drain would strand pending_
+    // and run() would never see quiescence).
     std::lock_guard<std::mutex> lock(worker.mutex);
-    worker.queue.push(QueueItem{env.priority,
-                                next_seq_.fetch_add(1, std::memory_order_relaxed),
-                                std::move(env)});
+    if (worker.dead.load(std::memory_order_acquire)) {
+      ++worker.stats.msgs_dropped;
+    } else {
+      worker.queue.push(
+          QueueItem{env.priority,
+                    next_seq_.fetch_add(1, std::memory_order_relaxed),
+                    std::move(env)});
+      worker.cv.notify_one();
+      return;
+    }
   }
-  worker.cv.notify_one();
+  drop_pending();
 }
 
 void ThreadMachine::worker_loop(Pe pe) {
@@ -104,9 +163,12 @@ void ThreadMachine::worker_loop(Pe pe) {
     {
       std::unique_lock<std::mutex> lock(worker.mutex);
       worker.cv.wait(lock, [&] {
-        return stopping_.load(std::memory_order_acquire) || !worker.queue.empty();
+        return stopping_.load(std::memory_order_acquire) ||
+               worker.dead.load(std::memory_order_acquire) ||
+               !worker.queue.empty();
       });
       if (stopping_.load(std::memory_order_acquire)) return;
+      if (worker.dead.load(std::memory_order_acquire)) return;
       item = std::move(const_cast<QueueItem&>(worker.queue.top()));
       worker.queue.pop();
     }
@@ -159,6 +221,12 @@ PeStats ThreadMachine::pe_stats(Pe pe) const {
   PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
   std::lock_guard<std::mutex> lock(worker.mutex);
   return worker.stats;
+}
+
+bool ThreadMachine::pe_alive(Pe pe) const {
+  MDO_CHECK(pe >= 0 && pe < num_pes());
+  return !workers_[static_cast<std::size_t>(pe)]->dead.load(
+      std::memory_order_acquire);
 }
 
 }  // namespace mdo::core

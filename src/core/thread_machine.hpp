@@ -38,12 +38,26 @@ class ThreadMachine final : public Machine {
   /// Install the artificial-latency delay device (call before traffic).
   net::DelayDevice* add_delay_device(sim::TimeNs cross_cluster_one_way);
 
-  /// Install the reliability stack (reliable + checksum + fault devices,
-  /// plus a delay device when cross_cluster_one_way > 0). Call before
-  /// traffic flows.
+  /// Install the reliability stack (reliable + optional heartbeat +
+  /// checksum + fault devices, plus a delay device when
+  /// cross_cluster_one_way > 0). Call before traffic flows.
   const net::ReliabilityStack& add_reliability_stack(
       const net::ReliableConfig& reliable, const net::FaultConfig& faults,
-      sim::TimeNs cross_cluster_one_way = 0);
+      sim::TimeNs cross_cluster_one_way = 0,
+      const net::HeartbeatConfig& heartbeat = {});
+
+  /// Crash-inject: PE `pe` stops scheduling work. Cooperative fail-stop —
+  /// a handler already running finishes, but nothing it sends escapes,
+  /// its queue is drained (counted in msgs_dropped), and the fabric
+  /// squashes frames it would still emit. PE 0 hosts the mainchare and
+  /// cannot be killed. Only sound without injected frame loss: an
+  /// abandoned retransmission flow would strand quiescence accounting.
+  void kill_pe(Pe pe);
+
+  /// PEs killed so far (test convenience).
+  std::uint64_t pes_killed() const {
+    return kills_.load(std::memory_order_acquire);
+  }
 
   /// The installed reliability stack (devices null if never installed).
   const net::ReliabilityStack& reliability() const { return rel_stack_; }
@@ -60,6 +74,7 @@ class ThreadMachine final : public Machine {
   void run() override;
   void stop() override;
   PeStats pe_stats(Pe pe) const override;
+  bool pe_alive(Pe pe) const override;
   net::Fabric::Stats fabric_stats() const override { return fabric_->stats(); }
 
  private:
@@ -79,12 +94,15 @@ class ThreadMachine final : public Machine {
     std::condition_variable cv;
     std::priority_queue<QueueItem, std::vector<QueueItem>, Later> queue;
     PeStats stats;
+    std::atomic<bool> dead{false};  ///< fail-stop: set once, never cleared
     std::thread thread;
   };
 
   void worker_loop(Pe pe);
   void enqueue(Pe pe, Envelope&& env);
   void route(Envelope&& env);
+  /// A message left the pending count without executing (crashed PE).
+  void drop_pending();
 
   net::Topology topo_;
   Config config_;
@@ -96,6 +114,7 @@ class ThreadMachine final : public Machine {
   std::vector<std::unique_ptr<PeWorker>> workers_;
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> kills_{0};
 
   // Quiescence: messages anywhere in the system (queued, in flight, or
   // executing). send() increments; the worker decrements after the

@@ -6,15 +6,25 @@
 
 namespace mdo::core {
 
-ClusterTree::ClusterTree(const net::Topology& topo) {
+ClusterTree::ClusterTree(const net::Topology& topo)
+    : ClusterTree(topo, std::vector<bool>(topo.num_nodes(), true)) {}
+
+ClusterTree::ClusterTree(const net::Topology& topo,
+                         const std::vector<bool>& alive) {
   const auto n = static_cast<std::size_t>(topo.num_nodes());
   MDO_CHECK(n > 0);
+  MDO_CHECK(alive.size() == n);
+  MDO_CHECK_MSG(alive[0], "PE 0 anchors the spanning tree and must be alive");
+  std::size_t num_alive = 0;
+  for (std::size_t pe = 0; pe < n; ++pe) num_alive += alive[pe] ? 1 : 0;
   parent_.assign(n, kInvalidPe);
   children_.assign(n, {});
 
-  // Per-cluster sorted PE lists; the representative is the first entry.
+  // Per-cluster sorted lists of alive PEs; the representative is the
+  // first entry.
   std::vector<std::vector<Pe>> members(topo.num_clusters());
   for (std::size_t pe = 0; pe < n; ++pe) {
+    if (!alive[pe]) continue;
     members[static_cast<std::size_t>(
                 topo.cluster_of(static_cast<net::NodeId>(pe)))]
         .push_back(static_cast<Pe>(pe));
@@ -56,7 +66,8 @@ ClusterTree::ClusterTree(const net::Topology& topo) {
     order.push_back(pe);
     for (Pe c : children_[static_cast<std::size_t>(pe)]) stack.push_back(c);
   }
-  MDO_CHECK_MSG(order.size() == n, "spanning tree does not cover all PEs");
+  MDO_CHECK_MSG(order.size() == num_alive,
+                "spanning tree does not cover all alive PEs");
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     std::size_t total = 1;
     for (Pe c : children_[static_cast<std::size_t>(*it)])

@@ -16,6 +16,12 @@ class ClusterTree {
  public:
   explicit ClusterTree(const net::Topology& topo);
 
+  /// Tree spanning only the alive PEs (fault-tolerant recovery rebuilds
+  /// the tree with this after node deaths). `alive[pe]` must be true for
+  /// PE 0, which anchors the global root. Dead PEs get kInvalidPe
+  /// parents, no children, and subtree size 0.
+  ClusterTree(const net::Topology& topo, const std::vector<bool>& alive);
+
   Pe root() const { return root_; }
   Pe parent(Pe pe) const;                 ///< kInvalidPe for the root
   const std::vector<Pe>& children(Pe pe) const;

@@ -57,8 +57,9 @@ sim::TimeNs stack_delay(const Scenario& s) {
 std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
   auto machine = std::make_unique<core::SimMachine>(make_topology(s),
                                                     link_config(s), overheads());
-  if (s.faults.any()) {
-    machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s));
+  if (s.faults.any() || s.heartbeat.enabled) {
+    machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s),
+                                   s.heartbeat);
   } else if (s.mode == Scenario::Mode::kArtificial &&
              s.artificial_one_way > 0) {
     machine->add_delay_device(s.artificial_one_way);
@@ -71,8 +72,9 @@ std::unique_ptr<core::ThreadMachine> make_thread_machine(
     const Scenario& s, core::ThreadMachine::Config config) {
   auto machine = std::make_unique<core::ThreadMachine>(make_topology(s),
                                                        link_config(s), config);
-  if (s.faults.any()) {
-    machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s));
+  if (s.faults.any() || s.heartbeat.enabled) {
+    machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s),
+                                   s.heartbeat);
   } else if (s.mode == Scenario::Mode::kArtificial &&
              s.artificial_one_way > 0) {
     machine->add_delay_device(s.artificial_one_way);

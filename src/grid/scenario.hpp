@@ -33,6 +33,11 @@ struct Scenario {
   net::FaultConfig faults;
   net::ReliableConfig reliable;
 
+  /// Failure-detector knob: when heartbeat.enabled, the reliability stack
+  /// is installed (even with zero loss) with a HeartbeatDevice between
+  /// the reliable and checksum devices.
+  net::HeartbeatConfig heartbeat;
+
   static Scenario artificial(std::size_t pes, sim::TimeNs one_way) {
     Scenario s;
     s.pes = pes;
@@ -64,6 +69,21 @@ struct Scenario {
     s.reliable.rto_initial =
         std::max<sim::TimeNs>(2 * one_way + sim::milliseconds(1.0),
                               sim::milliseconds(2.0));
+    return s;
+  }
+  /// Crash-tolerant scenario: lossy-WAN reliability stack plus the
+  /// heartbeat failure detector, with detector timeouts and retry budget
+  /// sized to the WAN latency. The timeout tolerates a full round trip
+  /// plus three consecutively lost beats, so a 32 ms one-way latency is
+  /// never misread as a death; the retry budget is small enough that
+  /// flows to a genuinely dead peer are abandoned in bounded time.
+  static Scenario crashy(std::size_t pes, sim::TimeNs one_way,
+                         double drop = 0.0, std::uint64_t seed = 1) {
+    Scenario s = lossy(pes, one_way, drop, seed);
+    s.reliable.max_retries = 5;
+    s.heartbeat.enabled = true;
+    s.heartbeat.period = sim::milliseconds(5.0);
+    s.heartbeat.timeout = 2 * one_way + 4 * s.heartbeat.period;
     return s;
   }
 };

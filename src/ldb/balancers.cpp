@@ -168,6 +168,51 @@ std::vector<Move> GridCommLb::plan(const LbSnapshot& snap) {
   return plan;
 }
 
+core::Pe pick_recovery_pe(const net::Topology& topo, core::Pe old_pe,
+                          const std::vector<bool>& alive,
+                          const std::vector<double>& load) {
+  MDO_CHECK(alive.size() == topo.num_nodes());
+  MDO_CHECK(load.size() == topo.num_nodes());
+  const net::ClusterId home =
+      topo.cluster_of(static_cast<net::NodeId>(old_pe));
+  core::Pe best = core::kInvalidPe;
+  auto consider = [&](core::Pe pe) {
+    if (!alive[static_cast<std::size_t>(pe)]) return;
+    if (best == core::kInvalidPe ||
+        load[static_cast<std::size_t>(pe)] <
+            load[static_cast<std::size_t>(best)]) {
+      best = pe;  // ascending scan: ties keep the lowest PE
+    }
+  };
+  for (net::NodeId node : topo.nodes_in(home)) {
+    consider(static_cast<core::Pe>(node));
+  }
+  if (best != core::kInvalidPe) return best;
+  for (std::size_t pe = 0; pe < alive.size(); ++pe) {
+    consider(static_cast<core::Pe>(pe));
+  }
+  MDO_CHECK_MSG(best != core::kInvalidPe, "no alive PE to place onto");
+  return best;
+}
+
+core::FaultTolerance::PlacementFn recovery_placer(core::Runtime& rt) {
+  return [&rt](core::ArrayId, const core::Index&, core::Pe old_pe,
+               const std::vector<bool>& alive) -> core::Pe {
+    // Element counts as the load measure: FaultTolerance installs each
+    // restored element before asking for the next placement, so the
+    // counts already include earlier restores of the same recovery.
+    const auto n = static_cast<std::size_t>(rt.num_pes());
+    std::vector<double> load(n, 0.0);
+    for (std::size_t a = 0; a < rt.num_arrays(); ++a) {
+      const core::ArrayBase& arr = rt.array(static_cast<core::ArrayId>(a));
+      for (std::size_t pe = 0; pe < n; ++pe) {
+        load[pe] += static_cast<double>(arr.num_local(static_cast<core::Pe>(pe)));
+      }
+    }
+    return pick_recovery_pe(rt.topology(), old_pe, alive, load);
+  };
+}
+
 std::vector<Move> rebalance(core::Runtime& rt, Balancer& balancer) {
   LbSnapshot snap = collect(rt);
   std::vector<Move> plan = balancer.plan(snap);

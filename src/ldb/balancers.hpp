@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault_tolerance.hpp"
 #include "ldb/lb_database.hpp"
 #include "util/rng.hpp"
 
@@ -77,5 +78,20 @@ class GridCommLb final : public Balancer {
 /// time to the machine clock (data volume / SAN bandwidth heuristic) and
 /// resets the measurement window. Returns the plan that was applied.
 std::vector<Move> rebalance(core::Runtime& rt, Balancer& balancer);
+
+/// Pure placement kernel for crash recovery, reusing the GridCommLb
+/// discipline: a lost element stays in its home cluster (never crosses
+/// the WAN) and lands on the least-loaded alive PE there, lowest PE on
+/// ties. Falls back to the global least-loaded alive PE only when the
+/// home cluster has no survivors. `load` is any per-PE load measure
+/// (element counts, load_ns, ...).
+core::Pe pick_recovery_pe(const net::Topology& topo, core::Pe old_pe,
+                          const std::vector<bool>& alive,
+                          const std::vector<double>& load);
+
+/// Grid-aware placement function for FaultTolerance::set_placement.
+/// Loads are live element counts, re-read per placement, so successive
+/// restores within one recovery spread instead of piling onto one PE.
+core::FaultTolerance::PlacementFn recovery_placer(core::Runtime& rt);
 
 }  // namespace mdo::ldb

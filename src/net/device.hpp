@@ -50,6 +50,12 @@ class DeviceHost {
   /// if it survives, into the node's delivery handler — the path of a
   /// buffered packet released later (in-order flush).
   virtual void inject_receive(const FilterDevice* from, Packet&& packet) = 0;
+
+  /// Whether `node` is still scheduling (fail-stop crash model). Devices
+  /// use this to stop emitting on behalf of dead nodes (heartbeats) and
+  /// to quietly abandon their protocol state (retransmission flows whose
+  /// sender died). Fabrics without crash support report everything up.
+  virtual bool host_node_up(NodeId) const { return true; }
 };
 
 class FilterDevice {

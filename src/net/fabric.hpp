@@ -31,6 +31,16 @@ class Fabric {
 
   virtual const Topology& topology() const = 0;
 
+  /// Crash support: `probe(node)` reports whether a node is still alive.
+  /// Wire frames whose *source* is a dead node are squashed before
+  /// transmission — a crashed process cannot put new bytes on the wire
+  /// (its acks and retransmissions die with it). Frames addressed *to* a
+  /// dead node still arrive; the machine discards them at enqueue, so the
+  /// shared in-process device chain keeps consistent protocol state.
+  /// Default: no crash support (every node up forever).
+  using NodeUpProbe = std::function<bool(NodeId)>;
+  virtual void set_node_up_probe(NodeUpProbe) {}
+
   struct Stats {
     std::uint64_t packets_sent = 0;
     std::uint64_t bytes_sent = 0;
@@ -39,6 +49,8 @@ class Fabric {
     std::uint64_t wan_bytes = 0;
     std::uint64_t frames_injected = 0;  ///< device-originated wire frames
                                         ///< (acks, retransmissions)
+    std::uint64_t dead_node_drops = 0;  ///< frames squashed because their
+                                        ///< source node had crashed
   };
   virtual Stats stats() const = 0;
 };

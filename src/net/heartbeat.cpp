@@ -1,0 +1,134 @@
+#include "net/heartbeat.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace mdo::net {
+namespace {
+
+// Beats are exactly these eight bytes. Reliable-device frames can never
+// collide: an ACK frame is also eight bytes but its fifth byte is the
+// type field (0 or 1), which differs from 'B'.
+constexpr char kBeatMagic[8] = {'M', 'D', 'O', 'H', 'B', 'E', 'A', 'T'};
+
+bool is_beat(const Packet& packet) {
+  return packet.payload.size() == sizeof(kBeatMagic) &&
+         std::memcmp(packet.payload.data(), kBeatMagic, sizeof(kBeatMagic)) ==
+             0;
+}
+
+}  // namespace
+
+HeartbeatDevice::HeartbeatDevice(const Topology* topo, HeartbeatConfig config)
+    : topo_(topo), config_(config) {
+  MDO_CHECK(topo_ != nullptr);
+  MDO_CHECK(config_.period > 0);
+  MDO_CHECK_MSG(config_.timeout > config_.period,
+                "heartbeat timeout must exceed the beat period");
+  const std::size_t n = topo_->num_nodes();
+  last_heard_.assign(n, 0);
+  declared_.assign(n, false);
+  detected_at_.assign(n, 0);
+}
+
+bool HeartbeatDevice::declared_dead(NodeId node) const {
+  MDO_CHECK(node >= 0 && static_cast<std::size_t>(node) < declared_.size());
+  return declared_[static_cast<std::size_t>(node)];
+}
+
+sim::TimeNs HeartbeatDevice::detected_at(NodeId node) const {
+  MDO_CHECK(node >= 0 && static_cast<std::size_t>(node) < detected_at_.size());
+  return detected_at_[static_cast<std::size_t>(node)];
+}
+
+void HeartbeatDevice::watch(sim::TimeNs horizon) {
+  MDO_CHECK_MSG(host_ != nullptr,
+                "HeartbeatDevice needs a fabric host (timers, injection)");
+  MDO_CHECK(horizon > 0);
+  // Hop into fabric context: under a ThreadFabric the detector state is
+  // only ever touched on the dispatcher thread; under a SimFabric this
+  // just defers arming until the engine runs.
+  host_->host_schedule(0, [this, horizon] { begin_watch(horizon); });
+}
+
+void HeartbeatDevice::begin_watch(sim::TimeNs horizon) {
+  const sim::TimeNs now = host_->host_now();
+  deadline_ = std::max(deadline_, now + horizon);
+  // Grace period: nobody is suspect at the start of a watch window.
+  for (std::size_t j = 0; j < last_heard_.size(); ++j) {
+    last_heard_[j] = std::max(last_heard_[j], now);
+  }
+  if (!ticker_armed_) {
+    ticker_armed_ = true;
+    host_->host_schedule(config_.period, [this] { tick(); });
+  }
+}
+
+void HeartbeatDevice::tick() {
+  ticker_armed_ = false;
+  const sim::TimeNs now = host_->host_now();
+  if (now > deadline_) return;
+  emit_beats();
+  check_timeouts();
+  if (now + config_.period <= deadline_) {
+    ticker_armed_ = true;
+    host_->host_schedule(config_.period, [this] { tick(); });
+  }
+}
+
+NodeId HeartbeatDevice::ring_successor(NodeId node) const {
+  const auto n = static_cast<NodeId>(topo_->num_nodes());
+  for (NodeId step = 1; step < n; ++step) {
+    NodeId candidate = static_cast<NodeId>((node + step) % n);
+    if (host_->host_node_up(candidate)) return candidate;
+  }
+  return node;  // alone in the world: no one to beat to
+}
+
+void HeartbeatDevice::emit_beats() {
+  const auto n = static_cast<NodeId>(topo_->num_nodes());
+  for (NodeId j = 0; j < n; ++j) {
+    if (!host_->host_node_up(j)) continue;  // the dead emit nothing
+    NodeId monitor = ring_successor(j);
+    if (monitor == j) continue;
+    Packet beat;
+    beat.src = j;
+    beat.dst = monitor;
+    beat.inject_time = host_->host_now();
+    const auto* magic = reinterpret_cast<const std::byte*>(kBeatMagic);
+    beat.payload.assign(magic, magic + sizeof(kBeatMagic));
+    ++counters_.beats_sent;
+    host_->inject_send(this, std::move(beat));
+  }
+}
+
+void HeartbeatDevice::check_timeouts() {
+  const sim::TimeNs now = host_->host_now();
+  for (std::size_t j = 0; j < last_heard_.size(); ++j) {
+    if (declared_[j]) continue;
+    if (now - last_heard_[j] <= config_.timeout) continue;
+    declared_[j] = true;
+    detected_at_[j] = now;
+    ++counters_.peers_declared_dead;
+    if (on_peer_dead_) on_peer_dead_(static_cast<NodeId>(j), now);
+  }
+}
+
+std::optional<Packet> HeartbeatDevice::receive_transform(Packet packet) {
+  // Passive mode: any frame that made it here proves its sender was alive
+  // when it was transmitted — data and acks count as well as beats.
+  if (packet.src >= 0 &&
+      static_cast<std::size_t>(packet.src) < last_heard_.size() &&
+      host_ != nullptr) {
+    last_heard_[static_cast<std::size_t>(packet.src)] = host_->host_now();
+  }
+  if (is_beat(packet)) {
+    ++counters_.beats_received;
+    return std::nullopt;  // consumed; beats never reach the runtime
+  }
+  return packet;
+}
+
+}  // namespace mdo::net

@@ -1,0 +1,94 @@
+#pragma once
+// Heartbeat failure detector as a message-layer filter device. Every
+// `period` of fabric time each live node emits one small beat frame to
+// the next live node on a ring (crossing the WAN where the ring crosses
+// clusters, so beats pay the same latency and loss as data). The device
+// also listens passively: any frame that reaches the receive path —
+// data, ack, or beat — refreshes the sender's liveness timestamp. A node
+// that stays silent for `timeout` is declared dead exactly once and the
+// on_peer_dead callback fires.
+//
+// The timeout must be tuned to the deployment's RTT: on a grid with a
+// 32 ms one-way WAN latency a beat needs >32 ms just to arrive, so a
+// too-tight timeout misreads latency as death. Scenario::crashy sizes it
+// as 2*one_way + 4*period, which tolerates a full round trip plus three
+// consecutively lost beats.
+//
+// Chain placement (send order, wire last):
+//   reliable -> heartbeat -> checksum(drop) -> fault -> [delay]
+// Below the reliability device so beats are fire-and-forget (a beat that
+// is retransmitted minutes later would be a lie), above checksum/fault/
+// delay so beats are integrity-checked and suffer real loss and latency.
+//
+// Ticking is a finite chain of host-scheduled events bounded by the
+// horizon passed to watch(): under a discrete-event fabric a free-running
+// timer would keep the event queue alive forever, so the detector is
+// armed per phase ("watch the next H of time") and quiesces at the
+// horizon. Callers re-arm each phase.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/device.hpp"
+#include "net/topology.hpp"
+
+namespace mdo::net {
+
+struct HeartbeatConfig {
+  bool enabled = false;  ///< gates installation in the reliability stack
+  sim::TimeNs period = sim::milliseconds(5.0);    ///< beat emission cadence
+  sim::TimeNs timeout = sim::milliseconds(50.0);  ///< silence => declared dead
+};
+
+class HeartbeatDevice final : public FilterDevice {
+ public:
+  HeartbeatDevice(const Topology* topo, HeartbeatConfig config);
+
+  const char* name() const override { return "heartbeat"; }
+
+  std::optional<Packet> receive_transform(Packet packet) override;
+
+  /// Arm (or extend) the detector for the next `horizon` of fabric time:
+  /// liveness timestamps are refreshed (grace period) and the beat ticker
+  /// runs until the horizon, then quiesces. Callable from host context;
+  /// the actual arming happens in fabric context.
+  void watch(sim::TimeNs horizon);
+
+  /// Fired at most once per node, from fabric context (the DES callback
+  /// thread under SimFabric, the dispatcher thread under ThreadFabric).
+  using PeerDeadFn = std::function<void(NodeId node, sim::TimeNs when)>;
+  void set_on_peer_dead(PeerDeadFn fn) { on_peer_dead_ = std::move(fn); }
+
+  bool declared_dead(NodeId node) const;
+  /// Fabric time at which `node` was declared dead (0 if it was not).
+  sim::TimeNs detected_at(NodeId node) const;
+
+  struct Counters {
+    std::uint64_t beats_sent = 0;
+    std::uint64_t beats_received = 0;
+    std::uint64_t peers_declared_dead = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  const HeartbeatConfig& config() const { return config_; }
+
+ private:
+  void begin_watch(sim::TimeNs horizon);  ///< fabric context
+  void tick();                            ///< fabric context
+  void emit_beats();
+  void check_timeouts();
+  NodeId ring_successor(NodeId node) const;
+
+  const Topology* topo_;
+  HeartbeatConfig config_;
+  PeerDeadFn on_peer_dead_;
+
+  sim::TimeNs deadline_ = 0;  ///< watch horizon end (fabric time)
+  bool ticker_armed_ = false;
+  std::vector<sim::TimeNs> last_heard_;
+  std::vector<bool> declared_;
+  std::vector<sim::TimeNs> detected_at_;
+  Counters counters_;
+};
+
+}  // namespace mdo::net

@@ -90,9 +90,30 @@ void ReliableDevice::on_timeout(const FlowKey& key) {
     flow.timeouts_without_progress = 0;
     return;
   }
+  if (!host_->host_node_up(key.first)) {
+    // The *sender* crashed: its frames are squashed at the fabric, so
+    // retransmitting is pointless theater. Drop the flow state quietly —
+    // a dead node surfaces no callbacks.
+    flow.unacked.clear();
+    flow.rto = config_.rto_initial;
+    flow.timeouts_without_progress = 0;
+    return;
+  }
   ++flow.timeouts_without_progress;
-  MDO_CHECK_MSG(flow.timeouts_without_progress <= config_.max_retries,
-                "reliable: retransmission limit exceeded (flow is dead)");
+  if (flow.timeouts_without_progress > config_.max_retries) {
+    // Give up: the peer has not acked anything across max_retries backed-
+    // off timeouts. Abandon the in-flight frames (at-most-once from here
+    // on) and surface the unreachable peer — the failure detector's
+    // second, retransmission-based signal.
+    const NodeId self = key.first;
+    const NodeId peer = key.second;
+    flow.unacked.clear();
+    flow.rto = config_.rto_initial;
+    flow.timeouts_without_progress = 0;
+    ++counters_.flows_abandoned;
+    if (on_peer_unreachable_) on_peer_unreachable_(peer, self);
+    return;
+  }
   for (auto& [seq, pending] : flow.unacked) {
     pending.retransmitted = true;
     ++counters_.retransmits;
@@ -202,9 +223,14 @@ ReliabilityStack::Report ReliabilityStack::report() const {
 ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
                                            const ReliableConfig& reliable,
                                            const FaultConfig& faults,
-                                           sim::TimeNs cross_cluster_delay) {
+                                           sim::TimeNs cross_cluster_delay,
+                                           const HeartbeatConfig& heartbeat) {
   ReliabilityStack stack;
   stack.reliable = chain.add(std::make_unique<ReliableDevice>(reliable));
+  if (heartbeat.enabled) {
+    stack.heartbeat =
+        chain.add(std::make_unique<HeartbeatDevice>(topo, heartbeat));
+  }
   stack.checksum =
       chain.add(std::make_unique<ChecksumDevice>(/*drop_on_mismatch=*/true));
   stack.faults = chain.add(std::make_unique<FaultDevice>(faults));

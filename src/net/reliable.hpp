@@ -25,6 +25,7 @@
 #include "net/device.hpp"
 #include "net/devices.hpp"
 #include "net/faults.hpp"
+#include "net/heartbeat.hpp"
 #include "net/topology.hpp"
 #include "util/stats.hpp"
 
@@ -35,7 +36,8 @@ struct ReliableConfig {
   double rto_backoff = 2.0;                        ///< multiplier per timeout
   sim::TimeNs rto_max = sim::seconds(4.0);
   std::size_t max_retries = 64;  ///< consecutive no-progress timeouts before
-                                 ///< the flow is declared dead (aborts)
+                                 ///< the flow is abandoned and the
+                                 ///< peer-unreachable callback fires
 };
 
 class ReliableDevice final : public FilterDevice {
@@ -55,8 +57,19 @@ class ReliableDevice final : public FilterDevice {
     std::uint64_t duplicates_suppressed = 0;
     std::uint64_t out_of_order_buffered = 0;
     std::uint64_t malformed_dropped = 0;
+    std::uint64_t flows_abandoned = 0;  ///< gave up after max_retries
   };
   const Counters& counters() const { return counters_; }
+
+  /// Fired (from fabric context) when a flow exhausts max_retries without
+  /// any ack progress — the retransmission-based second signal of the
+  /// failure detector. `peer` is the unreachable destination, `self` the
+  /// sending node whose flow was abandoned. Not fired for flows whose
+  /// *sender* has crashed (their timers die quietly).
+  using PeerUnreachableFn = std::function<void(NodeId peer, NodeId self)>;
+  void set_on_peer_unreachable(PeerUnreachableFn fn) {
+    on_peer_unreachable_ = std::move(fn);
+  }
 
   /// RTT samples from unambiguous (never-retransmitted) frames.
   const RunningStats& ack_rtt_ns() const { return ack_rtt_ns_; }
@@ -102,6 +115,7 @@ class ReliableDevice final : public FilterDevice {
   std::map<FlowKey, ReceiverFlow> receivers_;
   Counters counters_;
   RunningStats ack_rtt_ns_;
+  PeerUnreachableFn on_peer_unreachable_;
 };
 
 inline bool operator==(const ReliableDevice::Counters& a,
@@ -111,7 +125,8 @@ inline bool operator==(const ReliableDevice::Counters& a,
          a.delivered == b.delivered &&
          a.duplicates_suppressed == b.duplicates_suppressed &&
          a.out_of_order_buffered == b.out_of_order_buffered &&
-         a.malformed_dropped == b.malformed_dropped;
+         a.malformed_dropped == b.malformed_dropped &&
+         a.flows_abandoned == b.flows_abandoned;
 }
 
 inline bool operator==(const FaultDevice::Counters& a,
@@ -126,6 +141,7 @@ inline bool operator==(const FaultDevice::Counters& a,
 /// requested.
 struct ReliabilityStack {
   ReliableDevice* reliable = nullptr;
+  HeartbeatDevice* heartbeat = nullptr;  ///< null unless config enabled it
   ChecksumDevice* checksum = nullptr;
   FaultDevice* faults = nullptr;
   DelayDevice* delay = nullptr;
@@ -145,12 +161,17 @@ struct ReliabilityStack {
 };
 
 /// Append the canonical lossy-WAN stack to `chain`:
-///   reliable -> checksum(drop_on_mismatch) -> fault -> [delay]
+///   reliable -> [heartbeat] -> checksum(drop_on_mismatch) -> fault -> [delay]
 /// The delay device is appended only when cross_cluster_delay > 0, below
 /// the fault device so retransmissions and acks pay full WAN latency.
+/// The heartbeat failure detector is appended only when enabled: below
+/// the reliable device (beats are fire-and-forget, never retransmitted)
+/// and above checksum/fault/delay (beats are integrity-checked and pay
+/// real loss and latency).
 ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
                                            const ReliableConfig& reliable,
                                            const FaultConfig& faults,
-                                           sim::TimeNs cross_cluster_delay);
+                                           sim::TimeNs cross_cluster_delay,
+                                           const HeartbeatConfig& heartbeat = {});
 
 }  // namespace mdo::net

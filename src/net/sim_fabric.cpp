@@ -52,6 +52,13 @@ void SimFabric::inject_send(const FilterDevice* from, Packet&& packet) {
 
 void SimFabric::transmit(std::vector<Packet>&& wire, const SendContext& ctx) {
   for (auto& frame : wire) {
+    // A crashed node cannot put new bytes on the wire: its acks and
+    // retransmissions are squashed here, after the chain transforms (so
+    // shared device state stays consistent) but before the network.
+    if (!host_node_up(frame.src)) {
+      ++stats_.dead_node_drops;
+      continue;
+    }
     // The delay device holds the frame for ctx.extra_delay (plus any
     // fault-injected jitter) before the network device sees it, so the
     // model is evaluated at that instant.

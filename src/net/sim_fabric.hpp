@@ -25,6 +25,9 @@ class SimFabric final : public Fabric, public DeviceHost {
   sim::TimeNs send(Packet&& packet) override;
   void set_delivery_handler(NodeId node, DeliverFn handler) override;
   const Topology& topology() const override { return *topo_; }
+  void set_node_up_probe(NodeUpProbe probe) override {
+    node_up_ = std::move(probe);
+  }
   Stats stats() const override { return stats_; }
 
   Chain& chain() { return chain_; }
@@ -36,6 +39,9 @@ class SimFabric final : public Fabric, public DeviceHost {
   }
   void inject_send(const FilterDevice* from, Packet&& packet) override;
   void inject_receive(const FilterDevice* from, Packet&& packet) override;
+  bool host_node_up(NodeId node) const override {
+    return !node_up_ || node_up_(node);
+  }
 
  private:
   void transmit(std::vector<Packet>&& wire, const SendContext& ctx);
@@ -47,6 +53,7 @@ class SimFabric final : public Fabric, public DeviceHost {
   LatencyModel* model_;
   Chain chain_;
   std::vector<DeliverFn> handlers_;
+  NodeUpProbe node_up_;
   std::uint64_t next_id_ = 1;
   Stats stats_;
 };

@@ -34,10 +34,26 @@ void ThreadFabric::set_delivery_handler(NodeId node, DeliverFn handler) {
   handlers_[static_cast<std::size_t>(node)] = std::move(handler);
 }
 
+void ThreadFabric::set_node_up_probe(NodeUpProbe probe) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  node_up_ = std::move(probe);
+}
+
+bool ThreadFabric::host_node_up(NodeId node) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return !node_up_ || node_up_(node);
+}
+
 void ThreadFabric::enqueue_frames(std::vector<Packet>&& wire,
                                   const SendContext& ctx) {
   const sim::TimeNs now = now_ns();
   for (auto& frame : wire) {
+    // Fail-stop crash model: a dead node's frames (acks, retransmissions)
+    // never reach the wire. See Fabric::set_node_up_probe.
+    if (node_up_ && !node_up_(frame.src)) {
+      ++stats_.dead_node_drops;
+      continue;
+    }
     sim::TimeNs enter_net = now + ctx.extra_delay + frame.hold_ns;
     frame.hold_ns = 0;
     sim::TimeNs net_delay = model_->delivery_delay(

@@ -34,6 +34,7 @@ class ThreadFabric final : public Fabric, public DeviceHost {
   sim::TimeNs send(Packet&& packet) override;
   void set_delivery_handler(NodeId node, DeliverFn handler) override;
   const Topology& topology() const override { return *topo_; }
+  void set_node_up_probe(NodeUpProbe probe) override;
   Stats stats() const override;
 
   /// Stop the dispatcher and drop undelivered packets and timers (also
@@ -48,6 +49,7 @@ class ThreadFabric final : public Fabric, public DeviceHost {
   void host_schedule(sim::TimeNs dt, std::function<void()> fn) override;
   void inject_send(const FilterDevice* from, Packet&& packet) override;
   void inject_receive(const FilterDevice* from, Packet&& packet) override;
+  bool host_node_up(NodeId node) const override;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -95,6 +97,7 @@ class ThreadFabric final : public Fabric, public DeviceHost {
   std::priority_queue<Timed, std::vector<Timed>, Later> pending_;
   std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
   std::vector<DeliverFn> handlers_;
+  NodeUpProbe node_up_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   Stats stats_;

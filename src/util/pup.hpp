@@ -115,10 +115,30 @@ Pup& operator|(Pup& p, T& value) {
   return p;
 }
 
+namespace detail {
+
+/// Containers resize to a wire-encoded length before reading elements; a
+/// corrupt or truncated buffer could encode an absurd length and turn one
+/// flipped byte into a multi-gigabyte allocation. Every element consumes
+/// at least `elem_size` buffer bytes, so the length can never legitimately
+/// exceed remaining / elem_size.
+inline void check_unpack_length(const Pup& p, std::uint64_t n,
+                                std::size_t elem_size) {
+  const std::size_t remaining = p.bytes_remaining();
+  MDO_CHECK_MSG(elem_size == 0 || n <= remaining / elem_size,
+                "pup: encoded length exceeds remaining buffer (corrupt or "
+                "truncated data)");
+}
+
+}  // namespace detail
+
 inline Pup& operator|(Pup& p, std::string& s) {
   auto n = static_cast<std::uint64_t>(s.size());
   p | n;
-  if (p.unpacking()) s.resize(n);
+  if (p.unpacking()) {
+    detail::check_unpack_length(p, n, 1);
+    s.resize(n);
+  }
   if (n != 0) p.bytes(s.data(), n);
   return p;
 }
@@ -127,7 +147,11 @@ template <class T>
 Pup& operator|(Pup& p, std::vector<T>& v) {
   auto n = static_cast<std::uint64_t>(v.size());
   p | n;
-  if (p.unpacking()) v.resize(n);
+  if (p.unpacking()) {
+    detail::check_unpack_length(
+        p, n, detail::TriviallyPupable<T> ? sizeof(T) : 1);
+    v.resize(n);
+  }
   if constexpr (detail::TriviallyPupable<T>) {
     if (n != 0) p.bytes(v.data(), n * sizeof(T));
   } else {
@@ -168,6 +192,7 @@ Pup& operator|(Pup& p, std::map<K, V, C, A>& m) {
   auto n = static_cast<std::uint64_t>(m.size());
   p | n;
   if (p.unpacking()) {
+    detail::check_unpack_length(p, n, 1);
     m.clear();
     for (std::uint64_t i = 0; i < n; ++i) {
       std::pair<K, V> kv{};
@@ -188,6 +213,7 @@ Pup& operator|(Pup& p, std::unordered_map<K, V, H, E, A>& m) {
   auto n = static_cast<std::uint64_t>(m.size());
   p | n;
   if (p.unpacking()) {
+    detail::check_unpack_length(p, n, 1);
     m.clear();
     m.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {

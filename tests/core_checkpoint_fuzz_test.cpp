@@ -1,0 +1,163 @@
+// Fuzz-style hardening of the checkpoint loader: mutated checkpoint
+// blobs must fail cleanly. A corrupt or truncated file may not be
+// silently accepted and may not invoke UB (wild resize, out-of-bounds
+// read): load_checkpoint either succeeds (the mutation hit a value
+// byte, not framing) or dies with an MDO check. Part of the `ft` label
+// so the ft-sanitize preset re-runs every mutation under ASan/UBSan,
+// which turns any out-of-bounds access into a non-SIGABRT failure the
+// exit predicate rejects.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "core/array.hpp"
+#include "core/checkpoint.hpp"
+#include "core/mapping.hpp"
+#include "core/runtime.hpp"
+#include "core/sim_machine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Index;
+using core::Runtime;
+
+struct Counter : core::Chare {
+  std::int64_t value = 0;
+  std::string note;
+  void add(std::int64_t by) { value += by; }
+  void pup(Pup& p) override {
+    Chare::pup(p);
+    p | value | note;
+  }
+};
+
+struct System {
+  System()
+      : rt(std::make_unique<core::SimMachine>(net::Topology::two_cluster(2),
+                                              net::GridLatencyModel::Config{})) {
+    a = rt.create_array<Counter>(
+        "alpha", core::indices_1d(6), core::block_map_1d(6, 2),
+        [](const Index& i) {
+          auto c = std::make_unique<Counter>();
+          c->value = i.x;
+          c->note = "n" + std::to_string(i.x);
+          return c;
+        });
+  }
+  Runtime rt;
+  core::ArrayProxy<Counter> a;
+};
+
+std::string temp_path(const char* stem) {
+  return std::string(::testing::TempDir()) + "/" + stem + ".ckpt";
+}
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<unsigned char> blob(static_cast<std::size_t>(std::ftell(f)));
+  std::rewind(f);
+  EXPECT_EQ(std::fread(blob.data(), 1, blob.size(), f), blob.size());
+  std::fclose(f);
+  return blob;
+}
+
+void write_file(const std::string& path,
+                const std::vector<unsigned char>& blob) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (!blob.empty()) {  // fwrite(nullptr, ...) is UB even for 0 bytes
+    ASSERT_EQ(std::fwrite(blob.data(), 1, blob.size(), f), blob.size());
+  }
+  std::fclose(f);
+}
+
+/// Clean outcomes for a mutated load: normal exit(0) (mutation was
+/// benign) or the SIGABRT of a failed MDO check. Anything else — SIGSEGV,
+/// a sanitizer's exit(1) — is UB escaping the validation layer.
+bool exited_cleanly_or_checked(int status) {
+  return (WIFEXITED(status) && WEXITSTATUS(status) == 0) ||
+         (WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT);
+}
+
+TEST(CheckpointFuzz, TruncationAtEveryPrefixDiesCleanly) {
+  std::string path = temp_path("fuzz_truncate");
+  System sys;
+  sys.a.broadcast<&Counter::add>(3);
+  sys.rt.run();
+  core::save_checkpoint(sys.rt, path);
+  const std::vector<unsigned char> blob = read_file(path);
+  ASSERT_GT(blob.size(), 16u);
+
+  // Every proper prefix is an invalid file; none may parse.
+  for (std::size_t keep = 0; keep < blob.size();
+       keep += std::max<std::size_t>(1, blob.size() / 24)) {
+    std::vector<unsigned char> cut(blob.begin(),
+                                   blob.begin() + static_cast<long>(keep));
+    write_file(path, cut);
+    EXPECT_EXIT(core::load_checkpoint(sys.rt, path),
+                ::testing::KilledBySignal(SIGABRT), "mdo: check failed")
+        << "prefix of " << keep << " bytes parsed as a valid checkpoint";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzz, HugeEncodedLengthIsRejectedBeforeAllocating) {
+  std::string path = temp_path("fuzz_length");
+  System sys;
+  core::save_checkpoint(sys.rt, path);
+  std::vector<unsigned char> blob = read_file(path);
+
+  // Bytes [16, 24) hold the first array-name length (after 8-byte magic
+  // and the 8-byte array count). Pump it to ~2^56: a resize-before-
+  // validate implementation would attempt a 64-PB allocation.
+  ASSERT_GT(blob.size(), 24u);
+  for (std::size_t i = 16; i < 24; ++i) blob[i] = 0xff;
+  blob[23] = 0x00;
+  write_file(path, blob);
+  EXPECT_EXIT(core::load_checkpoint(sys.rt, path),
+              ::testing::KilledBySignal(SIGABRT), "exceeds remaining buffer");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzz, RandomByteFlipsNeverEscapeValidation) {
+  std::string path = temp_path("fuzz_flip");
+  System sys;
+  sys.a.broadcast<&Counter::add>(11);
+  sys.rt.run();
+  core::save_checkpoint(sys.rt, path);
+  const std::vector<unsigned char> blob = read_file(path);
+
+  SplitMix64 rng(0xc0ffee);
+  for (int round = 0; round < 48; ++round) {
+    std::vector<unsigned char> mutated = blob;
+    const int flips = 1 + static_cast<int>(rng.bounded(4));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(rng.bounded(mutated.size()));
+      mutated[pos] ^= static_cast<unsigned char>(1 + rng.bounded(255));
+    }
+    write_file(path, mutated);
+    EXPECT_EXIT(
+        {
+          core::load_checkpoint(sys.rt, path);
+          std::exit(0);
+        },
+        exited_cleanly_or_checked, "")
+        << "mutation round " << round;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Failure detector: heartbeat device behavior on the device chain, WAN
+// tolerance of the timeout, and the reliable layer's retransmission
+// give-up as the second detection signal.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/mapping.hpp"
+#include "core/runtime.hpp"
+#include "grid/scenario.hpp"
+#include "net/heartbeat.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Index;
+using core::Pe;
+using core::Runtime;
+
+TEST(HeartbeatInstall, CrashyScenarioInstallsDetectorLossyDoesNot) {
+  auto crashy =
+      grid::make_sim_machine(grid::Scenario::crashy(4, sim::milliseconds(8.0)));
+  ASSERT_NE(crashy->reliability().heartbeat, nullptr);
+  EXPECT_NE(crashy->reliability().reliable, nullptr);
+
+  auto lossy = grid::make_sim_machine(
+      grid::Scenario::lossy(4, sim::milliseconds(8.0), 0.01));
+  EXPECT_EQ(lossy->reliability().heartbeat, nullptr);
+}
+
+TEST(HeartbeatInstall, TimeoutMustExceedPeriod) {
+  net::Topology topo = net::Topology::two_cluster(4);
+  net::HeartbeatConfig bad;
+  bad.enabled = true;
+  bad.period = sim::milliseconds(10.0);
+  bad.timeout = sim::milliseconds(10.0);
+  EXPECT_DEATH(net::HeartbeatDevice(&topo, bad), "timeout must exceed");
+}
+
+TEST(HeartbeatSim, DetectsKilledPeWithinTimeout) {
+  // Pure message-layer run: beats are consumed at the device, so no
+  // Runtime is needed to drive the DES.
+  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(8.0));
+  auto machine = grid::make_sim_machine(s);
+  net::HeartbeatDevice* hb = machine->reliability().heartbeat;
+  ASSERT_NE(hb, nullptr);
+
+  const sim::TimeNs t_kill = sim::milliseconds(100.0);
+  std::vector<net::NodeId> deaths;
+  hb->set_on_peer_dead(
+      [&](net::NodeId node, sim::TimeNs) { deaths.push_back(node); });
+
+  hb->watch(sim::milliseconds(500.0));
+  machine->kill_pe(2, t_kill);
+  machine->run();
+
+  EXPECT_TRUE(hb->declared_dead(2));
+  ASSERT_EQ(deaths.size(), 1u);
+  EXPECT_EQ(deaths[0], 2);
+  // Silence starts at the victim's last beat, up to one period before
+  // the kill; declaration needs at least the timeout past that and lands
+  // within a couple of beat periods plus the WAN transit after it.
+  EXPECT_GE(hb->detected_at(2),
+            t_kill - s.heartbeat.period + s.heartbeat.timeout);
+  EXPECT_LE(hb->detected_at(2), t_kill + s.heartbeat.timeout +
+                                    2 * s.artificial_one_way +
+                                    3 * s.heartbeat.period);
+  for (net::NodeId alive : {0, 1, 3}) {
+    EXPECT_FALSE(hb->declared_dead(alive)) << "node " << alive;
+  }
+  EXPECT_GT(hb->counters().beats_sent, 0u);
+  EXPECT_EQ(hb->counters().peers_declared_dead, 1u);
+}
+
+TEST(HeartbeatSim, WanLatencyIsNotMisreadAsDeath) {
+  // 32 ms one-way WAN: every cross-cluster beat arrives 32 ms stale. The
+  // crashy timeout (2*one_way + 4*period) must absorb that.
+  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(32.0));
+  ASSERT_GT(s.heartbeat.timeout, sim::milliseconds(32.0));
+  auto machine = grid::make_sim_machine(s);
+  net::HeartbeatDevice* hb = machine->reliability().heartbeat;
+  ASSERT_NE(hb, nullptr);
+
+  hb->watch(sim::milliseconds(800.0));
+  machine->run();
+
+  EXPECT_EQ(hb->counters().peers_declared_dead, 0u);
+  EXPECT_GT(hb->counters().beats_received, 0u);
+  EXPECT_EQ(machine->fabric().stats().dead_node_drops, 0u);
+}
+
+TEST(HeartbeatSim, TooTightTimeoutMisreadsWanLatency) {
+  // The cautionary inverse: a LAN-tuned timeout below the WAN one-way
+  // latency declares healthy peers dead. This is the misconfiguration
+  // the crashy() sizing rule exists to prevent.
+  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(32.0));
+  s.heartbeat.period = sim::milliseconds(2.0);
+  s.heartbeat.timeout = sim::milliseconds(10.0);  // < 32 ms one-way
+  auto machine = grid::make_sim_machine(s);
+  net::HeartbeatDevice* hb = machine->reliability().heartbeat;
+  ASSERT_NE(hb, nullptr);
+
+  hb->watch(sim::milliseconds(400.0));
+  machine->run();
+
+  EXPECT_GT(hb->counters().peers_declared_dead, 0u);
+}
+
+struct Poke : core::Chare {
+  std::int64_t value = 0;
+  void add(std::int64_t by) { value += by; }
+  void pup(Pup& p) override {
+    Chare::pup(p);
+    p | value;
+  }
+};
+
+TEST(ReliableGiveUp, DeadPeerTriggersUnreachableCallback) {
+  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(2.0));
+  auto machine = grid::make_sim_machine(s);
+  core::SimMachine* sim = machine.get();
+  Runtime rt(std::move(machine));
+  auto proxy = rt.create_array<Poke>(
+      "pokes", core::indices_1d(4), core::round_robin_map(4),
+      [](const Index&) { return std::make_unique<Poke>(); });
+
+  std::vector<std::pair<net::NodeId, net::NodeId>> unreachable;
+  sim->reliability().reliable->set_on_peer_unreachable(
+      [&](net::NodeId peer, net::NodeId self) {
+        unreachable.emplace_back(peer, self);
+      });
+
+  sim->kill_pe(2, sim::milliseconds(10.0));
+  // Traffic toward the dead PE, issued well after the crash: data frames
+  // are delivered into the void (dropped at the dead machine), acks from
+  // the dead node are squashed, so the sender's flow backs off and
+  // eventually abandons.
+  rt.machine().call_after(sim::milliseconds(20.0), [&] {
+    proxy.send<&Poke::add>(Index(2), 7);
+    proxy.send<&Poke::add>(Index(2), 8);
+  });
+  rt.run();
+
+  EXPECT_GE(sim->reliability().reliable->counters().flows_abandoned, 1u);
+  ASSERT_FALSE(unreachable.empty());
+  for (const auto& [peer, self] : unreachable) {
+    EXPECT_EQ(peer, 2);
+    EXPECT_NE(self, 2);
+  }
+  EXPECT_GE(rt.machine().pe_stats(2).msgs_dropped, 1u);
+  EXPECT_EQ(sim->pes_killed(), 1u);
+  EXPECT_GT(sim->fabric().stats().dead_node_drops, 0u);
+}
+
+TEST(ReliableGiveUp, LiveLossyPeerIsNotAbandoned) {
+  // Heavy but survivable loss: retransmissions make progress before the
+  // max_retries budget runs out, so no flow is ever abandoned.
+  grid::Scenario s = grid::Scenario::lossy(4, sim::milliseconds(2.0), 0.05, 3);
+  auto machine = grid::make_sim_machine(s);
+  core::SimMachine* sim = machine.get();
+  Runtime rt(std::move(machine));
+  auto proxy = rt.create_array<Poke>(
+      "pokes", core::indices_1d(8), core::round_robin_map(4),
+      [](const Index&) { return std::make_unique<Poke>(); });
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 8; ++i) proxy.send<&Poke::add>(Index(i), 1);
+  }
+  rt.run();
+  EXPECT_EQ(sim->reliability().reliable->counters().flows_abandoned, 0u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(proxy.local(Index(i))->value, 20);
+}
+
+}  // namespace
