@@ -255,6 +255,9 @@ StencilApp::PhaseResult StencilApp::run_steps(std::int32_t steps) {
       after.packets_delivered - before.packets_delivered;
   result.fabric.wan_packets = after.wan_packets - before.wan_packets;
   result.fabric.wan_bytes = after.wan_bytes - before.wan_bytes;
+  result.fabric.wire_frames = after.wire_frames - before.wire_frames;
+  result.fabric.wan_wire_frames =
+      after.wan_wire_frames - before.wan_wire_frames;
   return result;
 }
 

@@ -95,6 +95,12 @@ class Machine {
   /// Entry-interval tracing (SimMachine only by default).
   virtual void set_tracing(bool) {}
   virtual std::vector<TraceEvent> trace() const { return {}; }
+
+  /// Scheduler-idle notification: `fn(pe)` fires whenever a PE finishes
+  /// an entry and finds its queue empty — the signal a coalescing device
+  /// uses to flush pending bundles rather than sit on them while the
+  /// destination starves. Default: unsupported, silently ignored.
+  virtual void set_on_pe_idle(std::function<void(Pe)>) {}
 };
 
 }  // namespace mdo::core

@@ -33,13 +33,23 @@ net::DelayDevice* SimMachine::add_delay_device(sim::TimeNs one_way) {
 
 const net::ReliabilityStack& SimMachine::add_reliability_stack(
     const net::ReliableConfig& reliable, const net::FaultConfig& faults,
-    sim::TimeNs cross_cluster_one_way, const net::HeartbeatConfig& heartbeat) {
+    sim::TimeNs cross_cluster_one_way, const net::HeartbeatConfig& heartbeat,
+    const net::CoalesceConfig& coalesce) {
   MDO_CHECK_MSG(!rel_stack_.installed(),
                 "reliability stack already installed");
-  rel_stack_ = net::install_reliability_stack(fabric_->chain(), &topo_,
-                                              reliable, faults,
-                                              cross_cluster_one_way, heartbeat);
+  rel_stack_ = net::install_reliability_stack(
+      fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way,
+      heartbeat, coalesce);
   return rel_stack_;
+}
+
+net::CoalesceDevice* SimMachine::add_coalesce_device(
+    const net::CoalesceConfig& config) {
+  MDO_CHECK_MSG(coalesce_ == nullptr && rel_stack_.coalesce == nullptr,
+                "coalescing device already installed");
+  coalesce_ = fabric_->chain().add(
+      std::make_unique<net::CoalesceDevice>(&topo_, config));
+  return coalesce_;
 }
 
 void SimMachine::kill_pe(Pe pe, sim::TimeNs at) {
@@ -164,12 +174,20 @@ void SimMachine::finish_execution(Pe pe, std::vector<Envelope>&& outbox) {
     engine_.schedule_after(chain_cpu, [this, pe] {
       PeState& s = pes_[static_cast<std::size_t>(pe)];
       s.busy = false;
-      if (!s.dead && !s.queue.empty()) execute_next(pe);
+      if (!s.dead && !s.queue.empty()) {
+        execute_next(pe);
+      } else if (!s.dead && on_pe_idle_) {
+        on_pe_idle_(pe);
+      }
     });
     return;
   }
   state.busy = false;
-  if (!state.queue.empty()) execute_next(pe);
+  if (!state.queue.empty()) {
+    execute_next(pe);
+  } else if (on_pe_idle_) {
+    on_pe_idle_(pe);
+  }
 }
 
 void SimMachine::run() {

@@ -42,17 +42,28 @@ class SimMachine final : public Machine {
   /// Convenience: install the paper's artificial-latency delay device.
   net::DelayDevice* add_delay_device(sim::TimeNs cross_cluster_one_way);
 
-  /// Install the reliability stack (reliable + optional heartbeat +
-  /// checksum + fault devices, plus a delay device when
-  /// cross_cluster_one_way > 0) at the bottom of the chain. Call before
-  /// traffic flows.
+  /// Install the reliability stack (optional coalesce + reliable +
+  /// optional heartbeat + checksum + fault devices, plus a delay device
+  /// when cross_cluster_one_way > 0) at the bottom of the chain. Call
+  /// before traffic flows.
   const net::ReliabilityStack& add_reliability_stack(
       const net::ReliableConfig& reliable, const net::FaultConfig& faults,
       sim::TimeNs cross_cluster_one_way = 0,
-      const net::HeartbeatConfig& heartbeat = {});
+      const net::HeartbeatConfig& heartbeat = {},
+      const net::CoalesceConfig& coalesce = {});
+
+  /// Install a standalone coalescing device (clean-fabric scenarios with
+  /// no reliability stack). Call before traffic flows and before
+  /// add_delay_device so bundles pay the WAN delay once.
+  net::CoalesceDevice* add_coalesce_device(const net::CoalesceConfig& config);
 
   /// The installed reliability stack (devices null if never installed).
   const net::ReliabilityStack& reliability() const { return rel_stack_; }
+
+  /// The coalescing device, standalone or in-stack (null if none).
+  net::CoalesceDevice* coalesce() const {
+    return coalesce_ != nullptr ? coalesce_ : rel_stack_.coalesce;
+  }
 
   /// Crash-inject: at virtual time `at` (>= now), PE `pe` stops
   /// scheduling forever — its queued and future messages are dropped and
@@ -85,6 +96,9 @@ class SimMachine final : public Machine {
   }
   void set_tracing(bool on) override { tracing_ = on; }
   std::vector<TraceEvent> trace() const override { return trace_; }
+  void set_on_pe_idle(std::function<void(Pe)> fn) override {
+    on_pe_idle_ = std::move(fn);
+  }
 
   /// Total messages executed across PEs (test/bench convenience).
   std::uint64_t total_executed() const;
@@ -122,6 +136,8 @@ class SimMachine final : public Machine {
   net::GridLatencyModel model_;
   std::unique_ptr<net::SimFabric> fabric_;
   net::ReliabilityStack rel_stack_;
+  net::CoalesceDevice* coalesce_ = nullptr;  ///< standalone install only
+  std::function<void(Pe)> on_pe_idle_;
   Runtime* rt_ = nullptr;
 
   std::vector<PeState> pes_;

@@ -50,15 +50,27 @@ net::DelayDevice* ThreadMachine::add_delay_device(sim::TimeNs one_way) {
 
 const net::ReliabilityStack& ThreadMachine::add_reliability_stack(
     const net::ReliableConfig& reliable, const net::FaultConfig& faults,
-    sim::TimeNs cross_cluster_one_way, const net::HeartbeatConfig& heartbeat) {
+    sim::TimeNs cross_cluster_one_way, const net::HeartbeatConfig& heartbeat,
+    const net::CoalesceConfig& coalesce) {
   MDO_CHECK_MSG(fabric_->stats().packets_sent == 0,
                 "reliability stack must be installed before traffic flows");
   MDO_CHECK_MSG(!rel_stack_.installed(),
                 "reliability stack already installed");
-  rel_stack_ = net::install_reliability_stack(fabric_->chain(), &topo_,
-                                              reliable, faults,
-                                              cross_cluster_one_way, heartbeat);
+  rel_stack_ = net::install_reliability_stack(
+      fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way,
+      heartbeat, coalesce);
   return rel_stack_;
+}
+
+net::CoalesceDevice* ThreadMachine::add_coalesce_device(
+    const net::CoalesceConfig& config) {
+  MDO_CHECK_MSG(fabric_->stats().packets_sent == 0,
+                "coalescing device must be installed before traffic flows");
+  MDO_CHECK_MSG(coalesce_ == nullptr && rel_stack_.coalesce == nullptr,
+                "coalescing device already installed");
+  coalesce_ = fabric_->chain().add(
+      std::make_unique<net::CoalesceDevice>(&topo_, config));
+  return coalesce_;
 }
 
 void ThreadMachine::kill_pe(Pe pe) {
@@ -180,12 +192,19 @@ void ThreadMachine::worker_loop(Pe pe) {
     }
     auto t1 = std::chrono::steady_clock::now();
 
+    bool idle_now = false;
     {
       std::lock_guard<std::mutex> lock(worker.mutex);
       worker.stats.busy_ns +=
           std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
       ++worker.stats.msgs_executed;
+      idle_now = worker.queue.empty();
     }
+    // Outside the mailbox lock: the idle callback reaches into the fabric
+    // (coalesce flush), whose lock is taken while delivering into
+    // mailboxes — calling under worker.mutex would invert that order.
+    if (idle_now && on_pe_idle_ && !worker.dead.load(std::memory_order_acquire))
+      on_pe_idle_(pe);
 
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(done_mutex_);

@@ -38,13 +38,23 @@ class ThreadMachine final : public Machine {
   /// Install the artificial-latency delay device (call before traffic).
   net::DelayDevice* add_delay_device(sim::TimeNs cross_cluster_one_way);
 
-  /// Install the reliability stack (reliable + optional heartbeat +
-  /// checksum + fault devices, plus a delay device when
-  /// cross_cluster_one_way > 0). Call before traffic flows.
+  /// Install the reliability stack (optional coalesce + reliable +
+  /// optional heartbeat + checksum + fault devices, plus a delay device
+  /// when cross_cluster_one_way > 0). Call before traffic flows.
   const net::ReliabilityStack& add_reliability_stack(
       const net::ReliableConfig& reliable, const net::FaultConfig& faults,
       sim::TimeNs cross_cluster_one_way = 0,
-      const net::HeartbeatConfig& heartbeat = {});
+      const net::HeartbeatConfig& heartbeat = {},
+      const net::CoalesceConfig& coalesce = {});
+
+  /// Install a standalone coalescing device (clean-fabric scenarios).
+  /// Call before traffic flows and before add_delay_device.
+  net::CoalesceDevice* add_coalesce_device(const net::CoalesceConfig& config);
+
+  /// The coalescing device, standalone or in-stack (null if none).
+  net::CoalesceDevice* coalesce() const {
+    return coalesce_ != nullptr ? coalesce_ : rel_stack_.coalesce;
+  }
 
   /// Crash-inject: PE `pe` stops scheduling work. Cooperative fail-stop —
   /// a handler already running finishes, but nothing it sends escapes,
@@ -76,6 +86,10 @@ class ThreadMachine final : public Machine {
   PeStats pe_stats(Pe pe) const override;
   bool pe_alive(Pe pe) const override;
   net::Fabric::Stats fabric_stats() const override { return fabric_->stats(); }
+  /// Call before traffic flows (workers synchronize on the queue mutex).
+  void set_on_pe_idle(std::function<void(Pe)> fn) override {
+    on_pe_idle_ = std::move(fn);
+  }
 
  private:
   struct QueueItem {
@@ -109,6 +123,8 @@ class ThreadMachine final : public Machine {
   net::GridLatencyModel model_;
   std::unique_ptr<net::ThreadFabric> fabric_;
   net::ReliabilityStack rel_stack_;
+  net::CoalesceDevice* coalesce_ = nullptr;  ///< standalone install only
+  std::function<void(Pe)> on_pe_idle_;
   Runtime* rt_ = nullptr;
 
   std::vector<std::unique_ptr<PeWorker>> workers_;

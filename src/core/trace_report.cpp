@@ -67,6 +67,26 @@ std::string render_reliability(const net::ReliabilityStack::Report& report) {
   return table.render();
 }
 
+std::string render_coalesce(const net::CoalesceDevice::Counters& counters) {
+  TextTable table({"bundles", "pkts_bundled", "bundle_bytes", "mean_occupancy",
+                   "frames_saved", "eager", "flush_size", "flush_timer",
+                   "flush_idle", "flush_bypass", "bypass_urgent",
+                   "bypass_large"});
+  table.add_row({std::to_string(counters.bundles_sent),
+                 std::to_string(counters.packets_bundled),
+                 std::to_string(counters.bundle_bytes),
+                 fmt_double(counters.mean_occupancy(), 2),
+                 std::to_string(counters.frames_saved()),
+                 std::to_string(counters.eager_sent),
+                 std::to_string(counters.flush_size),
+                 std::to_string(counters.flush_timer),
+                 std::to_string(counters.flush_idle),
+                 std::to_string(counters.flush_bypass),
+                 std::to_string(counters.bypass_urgent),
+                 std::to_string(counters.bypass_large)});
+  return table.render();
+}
+
 int entries_within(const std::vector<TraceEvent>& trace, Pe pe,
                    sim::TimeNs begin, sim::TimeNs end) {
   int count = 0;

@@ -44,4 +44,8 @@ int entries_within(const std::vector<TraceEvent>& trace, Pe pe,
 /// suppressed duplicates, injected losses, ack RTT) for bench reports.
 std::string render_reliability(const net::ReliabilityStack::Report& report);
 
+/// One-row table of the coalescing-device counters (bundles, bytes
+/// bundled, mean occupancy, flush-reason histogram) for bench reports.
+std::string render_coalesce(const net::CoalesceDevice::Counters& counters);
+
 }  // namespace mdo::core

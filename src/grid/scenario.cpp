@@ -54,16 +54,37 @@ sim::TimeNs stack_delay(const Scenario& s) {
 
 }  // namespace
 
+namespace {
+
+/// Wire the machine's scheduler-idle notification to the coalescing
+/// device: a PE that runs out of work flushes its pending bundles
+/// immediately instead of waiting out the backstop timer.
+template <class M>
+void wire_idle_flush(M& machine) {
+  net::CoalesceDevice* coalesce = machine.coalesce();
+  if (coalesce == nullptr) return;
+  machine.set_on_pe_idle([coalesce](core::Pe pe) {
+    coalesce->flush_source(static_cast<net::NodeId>(pe));
+  });
+}
+
+}  // namespace
+
 std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
   auto machine = std::make_unique<core::SimMachine>(make_topology(s),
                                                     link_config(s), overheads());
   if (s.faults.any() || s.heartbeat.enabled) {
     machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s),
-                                   s.heartbeat);
-  } else if (s.mode == Scenario::Mode::kArtificial &&
-             s.artificial_one_way > 0) {
-    machine->add_delay_device(s.artificial_one_way);
+                                   s.heartbeat, s.coalesce);
+  } else {
+    // Clean fabric: coalesce (if requested) above the bare delay device,
+    // so a bundle pays the artificial WAN latency once.
+    if (s.coalesce.enabled) machine->add_coalesce_device(s.coalesce);
+    if (s.mode == Scenario::Mode::kArtificial && s.artificial_one_way > 0) {
+      machine->add_delay_device(s.artificial_one_way);
+    }
   }
+  wire_idle_flush(*machine);
   machine->set_tracing(s.tracing);
   return machine;
 }
@@ -74,11 +95,14 @@ std::unique_ptr<core::ThreadMachine> make_thread_machine(
                                                        link_config(s), config);
   if (s.faults.any() || s.heartbeat.enabled) {
     machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s),
-                                   s.heartbeat);
-  } else if (s.mode == Scenario::Mode::kArtificial &&
-             s.artificial_one_way > 0) {
-    machine->add_delay_device(s.artificial_one_way);
+                                   s.heartbeat, s.coalesce);
+  } else {
+    if (s.coalesce.enabled) machine->add_coalesce_device(s.coalesce);
+    if (s.mode == Scenario::Mode::kArtificial && s.artificial_one_way > 0) {
+      machine->add_delay_device(s.artificial_one_way);
+    }
   }
+  wire_idle_flush(*machine);
   return machine;
 }
 

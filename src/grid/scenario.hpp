@@ -38,6 +38,14 @@ struct Scenario {
   /// the reliable and checksum devices.
   net::HeartbeatConfig heartbeat;
 
+  /// Message-coalescing knob: when coalesce.enabled, small cross-cluster
+  /// packets are bundled into fewer, larger wire frames (MPICH-G2 /
+  /// MPWide style). Installed at the top of the chain — above the
+  /// reliability stack when one is present, above the bare delay device
+  /// otherwise — and flushed by thresholds, a latency-sized timer, and
+  /// the machines' scheduler-idle callback.
+  net::CoalesceConfig coalesce;
+
   static Scenario artificial(std::size_t pes, sim::TimeNs one_way) {
     Scenario s;
     s.pes = pes;
@@ -84,6 +92,32 @@ struct Scenario {
     s.heartbeat.enabled = true;
     s.heartbeat.period = sim::milliseconds(5.0);
     s.heartbeat.timeout = 2 * one_way + 4 * s.heartbeat.period;
+    return s;
+  }
+  /// Enable message coalescing on top of any scenario (composes with
+  /// lossy/crashy: `Scenario::lossy(...).with_coalescing()`). The
+  /// backstop flush timer is sized from the latency model — an eighth of
+  /// the one-way WAN latency, clamped to [100 us, 1 ms] — and, when the
+  /// failure detector is on, to at most half a heartbeat period so
+  /// bundling can never widen the detection window.
+  Scenario& with_coalescing() {
+    coalesce.enabled = true;
+    const sim::TimeNs one_way =
+        mode == Mode::kRealGrid ? kWanLatency : artificial_one_way;
+    coalesce.flush_timeout = std::clamp<sim::TimeNs>(
+        one_way / 8, sim::microseconds(100.0), sim::milliseconds(1.0));
+    if (heartbeat.enabled) {
+      coalesce.flush_timeout =
+          std::min(coalesce.flush_timeout, heartbeat.period / 2);
+    }
+    return *this;
+  }
+  /// Artificial-latency scenario with message coalescing on a clean
+  /// fabric: the classic delay-device environment, minus the per-message
+  /// WAN frame tax.
+  static Scenario coalesced(std::size_t pes, sim::TimeNs one_way) {
+    Scenario s = artificial(pes, one_way);
+    s.with_coalescing();
     return s;
   }
 };

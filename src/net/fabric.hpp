@@ -51,6 +51,10 @@ class Fabric {
                                         ///< (acks, retransmissions)
     std::uint64_t dead_node_drops = 0;  ///< frames squashed because their
                                         ///< source node had crashed
+    std::uint64_t wire_frames = 0;      ///< frames actually transmitted,
+                                        ///< post-chain (a coalesced bundle
+                                        ///< counts once)
+    std::uint64_t wan_wire_frames = 0;  ///< of those, cross-cluster
   };
   virtual Stats stats() const = 0;
 };

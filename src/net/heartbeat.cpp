@@ -116,6 +116,13 @@ void HeartbeatDevice::check_timeouts() {
   }
 }
 
+void HeartbeatDevice::note_alive(NodeId node) {
+  if (node >= 0 && static_cast<std::size_t>(node) < last_heard_.size() &&
+      host_ != nullptr) {
+    last_heard_[static_cast<std::size_t>(node)] = host_->host_now();
+  }
+}
+
 std::optional<Packet> HeartbeatDevice::receive_transform(Packet packet) {
   // Passive mode: any frame that made it here proves its sender was alive
   // when it was transmitted — data and acks count as well as beats.

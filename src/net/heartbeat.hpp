@@ -64,6 +64,11 @@ class HeartbeatDevice final : public FilterDevice {
   /// Fabric time at which `node` was declared dead (0 if it was not).
   sim::TimeNs detected_at(NodeId node) const;
 
+  /// Passive-liveness refresh on behalf of another device: a coalescing
+  /// device above us unbundled a frame from `node`, which proves the same
+  /// liveness the individual frames would have. Fabric context only.
+  void note_alive(NodeId node);
+
   struct Counters {
     std::uint64_t beats_sent = 0;
     std::uint64_t beats_received = 0;

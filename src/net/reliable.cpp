@@ -216,6 +216,7 @@ ReliabilityStack::Report ReliabilityStack::report() const {
     }
   }
   if (faults != nullptr) r.faults = faults->counters();
+  if (coalesce != nullptr) r.coalesce = coalesce->counters();
   if (checksum != nullptr) r.corrupt_dropped = checksum->corrupt_dropped();
   return r;
 }
@@ -224,12 +225,25 @@ ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
                                            const ReliableConfig& reliable,
                                            const FaultConfig& faults,
                                            sim::TimeNs cross_cluster_delay,
-                                           const HeartbeatConfig& heartbeat) {
+                                           const HeartbeatConfig& heartbeat,
+                                           const CoalesceConfig& coalesce) {
   ReliabilityStack stack;
+  if (coalesce.enabled) {
+    stack.coalesce =
+        chain.add(std::make_unique<CoalesceDevice>(topo, coalesce));
+  }
   stack.reliable = chain.add(std::make_unique<ReliableDevice>(reliable));
   if (heartbeat.enabled) {
     stack.heartbeat =
         chain.add(std::make_unique<HeartbeatDevice>(topo, heartbeat));
+    if (stack.coalesce != nullptr) {
+      // Bundling must not widen the detection window: every unbundled
+      // bundle refreshes its source's liveness, exactly as the n frames
+      // it replaced would have.
+      HeartbeatDevice* hb = stack.heartbeat;
+      stack.coalesce->set_unbundle_listener(
+          [hb](NodeId src) { hb->note_alive(src); });
+    }
   }
   stack.checksum =
       chain.add(std::make_unique<ChecksumDevice>(/*drop_on_mismatch=*/true));

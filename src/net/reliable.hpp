@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "net/chain.hpp"
+#include "net/coalesce.hpp"
 #include "net/device.hpp"
 #include "net/devices.hpp"
 #include "net/faults.hpp"
@@ -140,6 +141,7 @@ inline bool operator==(const FaultDevice::Counters& a,
 /// owned by the chain. `delay` is null when no artificial WAN delay was
 /// requested.
 struct ReliabilityStack {
+  CoalesceDevice* coalesce = nullptr;    ///< null unless config enabled it
   ReliableDevice* reliable = nullptr;
   HeartbeatDevice* heartbeat = nullptr;  ///< null unless config enabled it
   ChecksumDevice* checksum = nullptr;
@@ -152,6 +154,7 @@ struct ReliabilityStack {
   struct Report {
     ReliableDevice::Counters reliable{};
     FaultDevice::Counters faults{};
+    CoalesceDevice::Counters coalesce{};  ///< zero when not installed
     std::uint64_t corrupt_dropped = 0;  ///< checksum-detected, pre-reliable
     double mean_ack_rtt_ms = 0.0;
 
@@ -161,17 +164,23 @@ struct ReliabilityStack {
 };
 
 /// Append the canonical lossy-WAN stack to `chain`:
-///   reliable -> [heartbeat] -> checksum(drop_on_mismatch) -> fault -> [delay]
+///   [coalesce] -> reliable -> [heartbeat] -> checksum(drop_on_mismatch)
+///   -> fault -> [delay]
 /// The delay device is appended only when cross_cluster_delay > 0, below
 /// the fault device so retransmissions and acks pay full WAN latency.
 /// The heartbeat failure detector is appended only when enabled: below
 /// the reliable device (beats are fire-and-forget, never retransmitted)
 /// and above checksum/fault/delay (beats are integrity-checked and pay
-/// real loss and latency).
+/// real loss and latency). The coalescing device is appended only when
+/// enabled, at the very top: a bundle is one reliable frame, and acks /
+/// beats / retransmissions enter the chain below it so the control plane
+/// is never buffered. When both coalesce and heartbeat are installed,
+/// the unbundle listener credits bundle sources as alive.
 ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
                                            const ReliableConfig& reliable,
                                            const FaultConfig& faults,
                                            sim::TimeNs cross_cluster_delay,
-                                           const HeartbeatConfig& heartbeat = {});
+                                           const HeartbeatConfig& heartbeat = {},
+                                           const CoalesceConfig& coalesce = {});
 
 }  // namespace mdo::net

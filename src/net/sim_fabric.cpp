@@ -59,6 +59,8 @@ void SimFabric::transmit(std::vector<Packet>&& wire, const SendContext& ctx) {
       ++stats_.dead_node_drops;
       continue;
     }
+    ++stats_.wire_frames;
+    if (!topo_->same_cluster(frame.src, frame.dst)) ++stats_.wan_wire_frames;
     // The delay device holds the frame for ctx.extra_delay (plus any
     // fault-injected jitter) before the network device sees it, so the
     // model is evaluated at that instant.

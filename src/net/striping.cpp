@@ -59,6 +59,18 @@ void StripingDevice::send_transform(std::vector<Packet>& packets,
   packets = std::move(out);
 }
 
+void StripingDevice::drop_source(NodeId src) {
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    if (it->first.first == src) {
+      squashed_fragments_ += it->second.received;
+      it = partial_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  squashed_sources_.insert(src);
+}
+
 std::optional<Packet> StripingDevice::receive_transform(Packet packet) {
   MDO_CHECK_MSG(!packet.payload.empty(), "empty striped frame");
   std::byte tag = packet.payload.front();
@@ -71,6 +83,14 @@ std::optional<Packet> StripingDevice::receive_transform(Packet packet) {
   FragmentHeader hdr;
   std::memcpy(&hdr, packet.payload.data() + 1, sizeof(hdr));
   MDO_CHECK(hdr.index < hdr.count);
+
+  if (squashed_sources_.count(packet.src) != 0) {
+    // A fragment that outlived its sender's squash (e.g. it was already
+    // on the wire): dropping it is the only move that cannot resurrect a
+    // half-dead reassembly.
+    ++squashed_fragments_;
+    return std::nullopt;
+  }
 
   auto key = std::make_pair(packet.src, hdr.original_id);
   Partial& part = partial_[key];

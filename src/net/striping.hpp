@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <tuple>
 
 #include "net/device.hpp"
@@ -26,6 +27,12 @@ class StripingDevice final : public FilterDevice {
   std::uint64_t packets_striped() const { return striped_; }
   std::size_t pending_reassemblies() const { return partial_.size(); }
 
+  /// Dead-source squash: discard every partial reassembly from `src` and
+  /// drop (instead of aborting on) its late-arriving fragments, so a
+  /// crashed sender cannot leak partials or resurrect a reassembly.
+  void drop_source(NodeId src);
+  std::uint64_t fragments_squashed() const { return squashed_fragments_; }
+
  private:
   struct FragmentHeader {
     std::uint64_t original_id;
@@ -43,7 +50,9 @@ class StripingDevice final : public FilterDevice {
   std::size_t rails_;
   std::size_t min_bytes_;
   std::uint64_t striped_ = 0;
+  std::uint64_t squashed_fragments_ = 0;
   std::map<std::pair<NodeId, std::uint64_t>, Partial> partial_;
+  std::set<NodeId> squashed_sources_;
 };
 
 }  // namespace mdo::net

@@ -54,6 +54,8 @@ void ThreadFabric::enqueue_frames(std::vector<Packet>&& wire,
       ++stats_.dead_node_drops;
       continue;
     }
+    ++stats_.wire_frames;
+    if (!topo_->same_cluster(frame.src, frame.dst)) ++stats_.wan_wire_frames;
     sim::TimeNs enter_net = now + ctx.extra_delay + frame.hold_ns;
     frame.hold_ns = 0;
     sim::TimeNs net_delay = model_->delivery_delay(

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "ampi/ampi.hpp"
 #include "core/runtime.hpp"
 #include "core/sim_machine.hpp"
+#include "grid/scenario.hpp"
 
 namespace {
 
@@ -155,6 +157,67 @@ TEST(AmpiComposition, PipelineOfCollectives) {
       for (int s = 0; s < n; ++s) EXPECT_EQ(all[static_cast<std::size_t>(s)], s);
     }
   });
+}
+
+/// Run a fixed collectives program under an arbitrary scenario and
+/// capture every rank's numeric results. The fabric may drop, retransmit,
+/// or bundle frames — but the values the MPI program computes must not
+/// depend on any of that.
+std::vector<double> collective_signature(const grid::Scenario& scenario,
+                                         int ranks) {
+  auto results = std::make_shared<std::vector<double>>();
+  Runtime rt(grid::make_sim_machine(scenario));
+  ampi::World world(rt, ranks, [ranks, results](ampi::Comm& comm) {
+    int n = comm.size();
+    std::vector<double> v{1.5 * comm.rank() + 0.25};
+    comm.allreduce(v.data(), 1, ampi::Comm::Op::kSum);
+
+    std::vector<int> out_blocks(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      out_blocks[static_cast<std::size_t>(r)] = 7 * comm.rank() + r;
+    std::vector<int> in_blocks(static_cast<std::size_t>(n), -1);
+    comm.alltoall(out_blocks.data(), sizeof(int), in_blocks.data());
+
+    double mine = v[0] + in_blocks[0];
+    std::vector<double> all(static_cast<std::size_t>(n), -1.0);
+    comm.allgather(&mine, sizeof(double), all.data());
+
+    double acc = 0.0;
+    for (double x : all) acc += x;
+    results->push_back(acc + v[0] + comm.rank());
+    EXPECT_EQ(static_cast<int>(results->size()) <= ranks, true);
+  });
+  world.launch();
+  rt.run();
+  EXPECT_EQ(world.unfinished_ranks(), 0) << "MPI program deadlocked";
+  std::sort(results->begin(), results->end());
+  return *results;
+}
+
+TEST(AmpiFabricIndependence, CollectivesIdenticalUnderLossAndCoalescing) {
+  // The same program on a clean artificial-latency fabric, on a 3%-loss
+  // WAN, and on that lossy WAN with message coalescing stacked on top.
+  // Retransmission and bundling reorder and re-frame wire traffic; the
+  // collectives' results must be bit-identical across all three.
+  const int ranks = 8;
+  auto clean = collective_signature(
+      grid::Scenario::artificial(4, sim::milliseconds(1.0)), ranks);
+  ASSERT_EQ(clean.size(), static_cast<std::size_t>(ranks));
+
+  auto lossy = collective_signature(
+      grid::Scenario::lossy(4, sim::milliseconds(1.0), 0.03, /*seed=*/11),
+      ranks);
+  EXPECT_EQ(lossy, clean);
+
+  auto coalesced = collective_signature(
+      grid::Scenario::lossy(4, sim::milliseconds(1.0), 0.03, /*seed=*/11)
+          .with_coalescing(),
+      ranks);
+  EXPECT_EQ(coalesced, clean);
+
+  auto clean_coalesced = collective_signature(
+      grid::Scenario::coalesced(4, sim::milliseconds(1.0)), ranks);
+  EXPECT_EQ(clean_coalesced, clean);
 }
 
 TEST(AmpiStress, ManyRanksManyMessages) {

@@ -1,0 +1,375 @@
+// Message coalescing device: threshold/timer/idle flush policy, the
+// eager-first aggregation window, bypass rules and per-pair ordering,
+// malformed-bundle handling, and the composed scenario behavior —
+// wire-frame reduction on the stencil, bit-identical replay when
+// coalescing rides on the lossy/crashy reliability stack, and an
+// unchanged failure-detection window.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/stencil/stencil.hpp"
+#include "core/runtime.hpp"
+#include "grid/scenario.hpp"
+#include "net/coalesce.hpp"
+#include "net/sim_fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace mdo;
+using net::Chain;
+using net::CoalesceConfig;
+using net::CoalesceDevice;
+using net::Packet;
+using net::Topology;
+
+Packet text_packet(net::NodeId src, net::NodeId dst, const std::string& body,
+                   core::Priority priority = 0) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.priority = priority;
+  p.payload.resize(body.size());
+  std::memcpy(p.payload.data(), body.data(), body.size());
+  return p;
+}
+
+std::string body_of(const Packet& p) {
+  return std::string(reinterpret_cast<const char*>(p.payload.data()),
+                     p.payload.size());
+}
+
+/// A bare coalescing device over a clean SimFabric: every delivery is
+/// recorded with its body and virtual arrival time.
+struct CoalesceSim {
+  sim::Engine engine;
+  Topology topo = Topology::two_cluster(4);
+  net::FixedLatencyModel model{sim::microseconds(100)};
+  CoalesceDevice* dev = nullptr;
+  std::unique_ptr<net::SimFabric> fabric;
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<std::string>>
+      received;
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<sim::TimeNs>>
+      arrived_at;
+
+  explicit CoalesceSim(const CoalesceConfig& cfg, bool with_topo = false) {
+    Chain chain;
+    dev = chain.add(
+        std::make_unique<CoalesceDevice>(with_topo ? &topo : nullptr, cfg));
+    fabric = std::make_unique<net::SimFabric>(&engine, &topo, &model,
+                                              std::move(chain));
+    for (net::NodeId n = 0; n < 4; ++n) {
+      fabric->set_delivery_handler(n, [this, n](Packet&& p) {
+        received[{p.src, n}].push_back(body_of(p));
+        arrived_at[{p.src, n}].push_back(engine.now());
+      });
+    }
+  }
+};
+
+CoalesceConfig buffered_config() {
+  CoalesceConfig cfg;
+  cfg.eager_first = false;  // classic buffer-everything policy
+  cfg.flush_timeout = sim::milliseconds(1.0);
+  return cfg;
+}
+
+TEST(CoalesceDeviceTest, CountThresholdFlushesFullBundles) {
+  CoalesceConfig cfg = buffered_config();
+  cfg.max_bundle_packets = 4;
+  CoalesceSim sim(cfg);
+  for (int i = 0; i < 8; ++i) {
+    sim.fabric->send(text_packet(0, 2, "m" + std::to_string(i)));
+  }
+  sim.engine.run();
+
+  const auto& got = sim.received[{0, 2}];
+  ASSERT_EQ(got.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], "m" + std::to_string(i));
+  }
+  EXPECT_EQ(sim.dev->counters().bundles_sent, 2u);
+  EXPECT_EQ(sim.dev->counters().flush_size, 2u);
+  EXPECT_EQ(sim.dev->counters().packets_bundled, 8u);
+  EXPECT_EQ(sim.dev->counters().packets_unbundled, 8u);
+  EXPECT_EQ(sim.dev->counters().frames_saved(), 6u);
+  EXPECT_EQ(sim.dev->pending_packets(), 0u);
+  // 8 sends became 2 wire frames, both cross-cluster.
+  EXPECT_EQ(sim.fabric->stats().packets_sent, 8u);
+  EXPECT_EQ(sim.fabric->stats().wire_frames, 2u);
+  EXPECT_EQ(sim.fabric->stats().wan_wire_frames, 2u);
+}
+
+TEST(CoalesceDeviceTest, ByteThresholdFlushes) {
+  CoalesceConfig cfg = buffered_config();
+  cfg.max_bundle_bytes = 256;
+  CoalesceSim sim(cfg);
+  for (int i = 0; i < 3; ++i) {
+    sim.fabric->send(text_packet(0, 2, std::string(100, 'a' + i)));
+  }
+  sim.engine.run();
+  ASSERT_EQ((sim.received[{0, 2}].size()), 3u);
+  EXPECT_GE(sim.dev->counters().flush_size, 1u);
+  EXPECT_EQ(sim.dev->pending_packets(), 0u);
+}
+
+TEST(CoalesceDeviceTest, TimerBoundsBundlingDelay) {
+  CoalesceConfig cfg = buffered_config();
+  cfg.flush_timeout = sim::microseconds(500);
+  CoalesceSim sim(cfg);
+  for (int i = 0; i < 3; ++i) {
+    sim.fabric->send(text_packet(0, 2, "t" + std::to_string(i)));
+  }
+  sim.engine.run();
+  ASSERT_EQ((sim.received[{0, 2}].size()), 3u);
+  EXPECT_EQ(sim.dev->counters().flush_timer, 1u);
+  EXPECT_EQ(sim.dev->counters().bundles_sent, 1u);
+  // One bundle, held exactly one timeout, plus the 100 us fabric hop.
+  for (sim::TimeNs t : sim.arrived_at[{0, 2}]) {
+    EXPECT_EQ(t, sim::microseconds(500) + sim::microseconds(100));
+  }
+}
+
+TEST(CoalesceDeviceTest, EagerFirstSendsWindowHeadImmediately) {
+  CoalesceConfig cfg;  // eager_first default on
+  cfg.flush_timeout = sim::milliseconds(1.0);
+  CoalesceSim sim(cfg);
+  for (int i = 0; i < 5; ++i) {
+    sim.fabric->send(text_packet(0, 2, "e" + std::to_string(i)));
+  }
+  sim.engine.run();
+
+  const auto& got = sim.received[{0, 2}];
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], "e" + std::to_string(i));
+  }
+  EXPECT_EQ(sim.dev->counters().eager_sent, 1u);
+  EXPECT_EQ(sim.dev->counters().bundles_sent, 1u);
+  EXPECT_EQ(sim.dev->counters().packets_bundled, 4u);
+  // The head pays only the fabric latency; the followers wait for the
+  // window to close.
+  const auto& times = sim.arrived_at[{0, 2}];
+  EXPECT_EQ(times[0], sim::microseconds(100));
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i], sim::milliseconds(1.0) + sim::microseconds(100));
+  }
+}
+
+TEST(CoalesceDeviceTest, UrgentBypassFlushesPendingPairFirst) {
+  CoalesceConfig cfg = buffered_config();
+  CoalesceSim sim(cfg);
+  sim.fabric->send(text_packet(0, 2, "first"));
+  sim.fabric->send(text_packet(0, 2, "second"));
+  sim.fabric->send(text_packet(0, 2, "urgent", /*priority=*/-1));
+  sim.engine.run();
+
+  const auto& got = sim.received[{0, 2}];
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "second");
+  EXPECT_EQ(got[2], "urgent");
+  EXPECT_EQ(sim.dev->counters().bypass_urgent, 1u);
+  EXPECT_EQ(sim.dev->counters().flush_bypass, 1u);
+  EXPECT_EQ(sim.dev->counters().flush_timer, 0u);
+}
+
+TEST(CoalesceDeviceTest, LargePayloadBypasses) {
+  CoalesceConfig cfg = buffered_config();
+  cfg.max_small_bytes = 64;
+  CoalesceSim sim(cfg);
+  sim.fabric->send(text_packet(0, 2, std::string(200, 'L')));
+  sim.engine.run();
+  ASSERT_EQ((sim.received[{0, 2}].size()), 1u);
+  EXPECT_EQ(sim.dev->counters().bypass_large, 1u);
+  EXPECT_EQ(sim.dev->counters().bundles_sent, 0u);
+  EXPECT_EQ(sim.fabric->stats().wire_frames, 1u);
+}
+
+TEST(CoalesceDeviceTest, SameClusterTrafficBypassesWithTopology) {
+  CoalesceConfig cfg = buffered_config();
+  CoalesceSim sim(cfg, /*with_topo=*/true);
+  sim.fabric->send(text_packet(0, 1, "local"));  // same cluster of 2x2
+  sim.engine.run();
+  ASSERT_EQ((sim.received[{0, 1}].size()), 1u);
+  EXPECT_EQ(sim.dev->counters().bypass_local, 1u);
+  EXPECT_EQ(sim.dev->counters().bundles_sent, 0u);
+  EXPECT_EQ(sim.fabric->stats().wan_wire_frames, 0u);
+}
+
+TEST(CoalesceDeviceTest, UnbundleListenerReportsBundleSource) {
+  CoalesceConfig cfg = buffered_config();
+  cfg.max_bundle_packets = 2;
+  CoalesceSim sim(cfg);
+  std::vector<net::NodeId> sources;
+  sim.dev->set_unbundle_listener(
+      [&sources](net::NodeId src) { sources.push_back(src); });
+  sim.fabric->send(text_packet(0, 2, "a"));
+  sim.fabric->send(text_packet(0, 2, "b"));
+  sim.engine.run();
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0], 0);
+}
+
+TEST(CoalesceDeviceTest, MalformedFramesDropInsteadOfAborting) {
+  Chain chain;
+  auto* dev =
+      chain.add(std::make_unique<CoalesceDevice>(nullptr, CoalesceConfig{}));
+
+  // Empty frame.
+  Packet empty;
+  empty.src = 0;
+  empty.dst = 2;
+  EXPECT_FALSE(chain.apply_receive(std::move(empty)).has_value());
+
+  // Unknown tag.
+  Packet bad_tag = text_packet(0, 2, "??");
+  bad_tag.payload[0] = std::byte{7};
+  EXPECT_FALSE(chain.apply_receive(std::move(bad_tag)).has_value());
+
+  // Bundle tag with a truncated count field.
+  Packet short_count = text_packet(0, 2, "??");
+  short_count.payload[0] = std::byte{1};
+  EXPECT_FALSE(chain.apply_receive(std::move(short_count)).has_value());
+
+  // Bundle that claims one sub-packet but ends before the sub header.
+  Packet short_header = text_packet(0, 2, std::string(5, '\0'));
+  short_header.payload[0] = std::byte{1};
+  std::uint32_t one = 1;
+  std::memcpy(short_header.payload.data() + 1, &one, sizeof(one));
+  EXPECT_FALSE(chain.apply_receive(std::move(short_header)).has_value());
+
+  EXPECT_EQ(dev->counters().malformed_dropped, 4u);
+
+  // A plain-tagged frame still passes through undamaged.
+  Packet plain = text_packet(0, 2, "xhello");
+  plain.payload[0] = std::byte{0};
+  auto out = chain.apply_receive(std::move(plain));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), "hello");
+}
+
+TEST(CoalesceDeviceTest, ConfigIsValidated) {
+  CoalesceConfig bad;
+  bad.max_bundle_packets = 1;  // a 1-packet "bundle" is pure overhead
+  EXPECT_DEATH(CoalesceDevice(nullptr, bad), "");
+}
+
+// -- scenario composition -----------------------------------------------------
+
+apps::stencil::Params small_stencil() {
+  apps::stencil::Params p;
+  p.mesh = 256;
+  p.objects = 64;
+  return p;
+}
+
+TEST(CoalesceScenario, ReducesWanWireFramesOnStencil) {
+  auto run = [](const grid::Scenario& s) {
+    auto machine = grid::make_sim_machine(s);
+    core::SimMachine* raw = machine.get();
+    core::Runtime rt(std::move(machine));
+    apps::stencil::StencilApp app(rt, small_stencil());
+    auto phase = app.run_steps(8);
+    return std::make_pair(phase.fabric.wan_wire_frames, raw->coalesce());
+  };
+  const sim::TimeNs one_way = sim::milliseconds(4.0);
+  auto [base_frames, no_dev] = run(grid::Scenario::artificial(4, one_way));
+  EXPECT_EQ(no_dev, nullptr);
+
+  auto machine = grid::make_sim_machine(grid::Scenario::coalesced(4, one_way));
+  core::SimMachine* raw = machine.get();
+  ASSERT_NE(raw->coalesce(), nullptr);
+  core::Runtime rt(std::move(machine));
+  apps::stencil::StencilApp app(rt, small_stencil());
+  auto phase = app.run_steps(8);
+
+  EXPECT_LT(phase.fabric.wan_wire_frames, base_frames);
+  const auto& c = raw->coalesce()->counters();
+  EXPECT_GT(c.bundles_sent, 0u);
+  EXPECT_GT(c.frames_saved(), 0u);
+  // Scheduler-idle flushes are wired through the Scenario machines.
+  EXPECT_GT(c.flush_idle + c.flush_timer + c.flush_size, 0u);
+  EXPECT_EQ(raw->coalesce()->pending_packets(), 0u);
+  // Every packet the device saw is accounted for exactly once.
+  EXPECT_EQ(c.packets_seen, c.packets_bundled + c.eager_sent +
+                                c.bypass_urgent + c.bypass_large +
+                                c.bypass_local);
+  EXPECT_EQ(c.packets_unbundled, c.packets_bundled);
+}
+
+TEST(CoalesceScenario, IdleFlushFiresWhenPeDrains) {
+  // One-shot burst: after the sending PE drains its queue the idle
+  // notification must flush the open window without waiting out the
+  // (long) backstop timer.
+  grid::Scenario s = grid::Scenario::coalesced(4, sim::milliseconds(4.0));
+  s.coalesce.flush_timeout = sim::milliseconds(50.0);
+  auto machine = grid::make_sim_machine(s);
+  core::SimMachine* raw = machine.get();
+  core::Runtime rt(std::move(machine));
+  apps::stencil::StencilApp app(rt, small_stencil());
+  app.run_steps(4);
+  EXPECT_GT(raw->coalesce()->counters().flush_idle, 0u);
+  EXPECT_EQ(raw->coalesce()->pending_packets(), 0u);
+}
+
+TEST(CoalesceScenario, LossyCrashyCoalescedReplayIsBitIdentical) {
+  auto run_once = [] {
+    grid::Scenario s =
+        grid::Scenario::crashy(4, sim::milliseconds(2.0), /*drop=*/0.02,
+                               /*seed=*/5)
+            .with_coalescing();
+    auto machine = grid::make_sim_machine(s);
+    core::SimMachine* raw = machine.get();
+    core::Runtime rt(std::move(machine));
+    apps::stencil::Params p = small_stencil();
+    p.objects = 16;
+    apps::stencil::StencilApp app(rt, p);
+    app.run_steps(6);
+    return std::make_pair(raw->reliability().report(), rt.now());
+  };
+  auto [report_a, end_a] = run_once();
+  auto [report_b, end_b] = run_once();
+  EXPECT_EQ(report_a, report_b);  // includes the coalesce counters
+  EXPECT_EQ(end_a, end_b);
+  EXPECT_GT(report_a.coalesce.bundles_sent, 0u);
+  EXPECT_GT(report_a.faults.dropped, 0u);
+}
+
+TEST(CoalesceScenario, DetectionWindowIsNotWidenedByBundling) {
+  // Mirror of HeartbeatSim.DetectsKilledPeWithinTimeout with coalescing
+  // enabled: the same detection bound must hold, because beats are
+  // injected below the coalescing device and the flush window is clamped
+  // under half a heartbeat period.
+  grid::Scenario s =
+      grid::Scenario::crashy(4, sim::milliseconds(8.0)).with_coalescing();
+  ASSERT_LE(s.coalesce.flush_timeout, s.heartbeat.period / 2);
+  auto machine = grid::make_sim_machine(s);
+  ASSERT_NE(machine->reliability().coalesce, nullptr);
+  net::HeartbeatDevice* hb = machine->reliability().heartbeat;
+  ASSERT_NE(hb, nullptr);
+
+  const sim::TimeNs t_kill = sim::milliseconds(100.0);
+  hb->watch(sim::milliseconds(500.0));
+  machine->kill_pe(2, t_kill);
+  machine->run();
+
+  EXPECT_TRUE(hb->declared_dead(2));
+  EXPECT_GE(hb->detected_at(2),
+            t_kill - s.heartbeat.period + s.heartbeat.timeout);
+  EXPECT_LE(hb->detected_at(2), t_kill + s.heartbeat.timeout +
+                                    2 * s.artificial_one_way +
+                                    3 * s.heartbeat.period);
+  for (net::NodeId alive : {0, 1, 3}) {
+    EXPECT_FALSE(hb->declared_dead(alive)) << "node " << alive;
+  }
+}
+
+}  // namespace

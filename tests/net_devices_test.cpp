@@ -30,7 +30,7 @@ Packet make_packet(net::NodeId src, net::NodeId dst, const std::string& body,
   p.dst = dst;
   p.id = id;
   p.payload.resize(body.size());
-  std::memcpy(p.payload.data(), body.data(), body.size());
+  if (!body.empty()) std::memcpy(p.payload.data(), body.data(), body.size());
   return p;
 }
 
@@ -309,6 +309,100 @@ TEST(StripingTest, InterleavedSendersReassembleIndependently) {
   auto o1 = chain.apply_receive(std::move(f1[1]));
   ASSERT_TRUE(o1.has_value());
   EXPECT_EQ(body_of(*o1), b1);
+}
+
+TEST(StripingTest, DuplicateFragmentAborts) {
+  // The reliability layer below striping guarantees exactly-once frames;
+  // a duplicate fragment reaching the reassembler means that invariant
+  // broke and must be loud, not a silent overwrite.
+  Chain chain;
+  chain.add(std::make_unique<StripingDevice>(2, 10));
+  SendContext ctx;
+  auto frames = wire_frames(chain, make_packet(0, 2, std::string(64, 'd'), 21),
+                            ctx);
+  ASSERT_EQ(frames.size(), 2u);
+  Packet dup = frames[0];
+  EXPECT_FALSE(chain.apply_receive(std::move(frames[0])).has_value());
+  EXPECT_DEATH(chain.apply_receive(std::move(dup)), "duplicate fragment");
+}
+
+TEST(StripingTest, DropSourceSquashesPartialsAndLateFragments) {
+  Chain chain;
+  auto* dev = chain.add(std::make_unique<StripingDevice>(2, 10));
+  std::string b0(64, 'p'), b1(64, 'q');
+  SendContext ctx;
+  auto f0 = wire_frames(chain, make_packet(0, 2, b0, 31), ctx);
+  auto f1 = wire_frames(chain, make_packet(1, 2, b1, 32), ctx);
+
+  // One fragment of each reassembly has arrived when source 0 dies.
+  EXPECT_FALSE(chain.apply_receive(std::move(f0[0])).has_value());
+  EXPECT_FALSE(chain.apply_receive(std::move(f1[0])).has_value());
+  EXPECT_EQ(dev->pending_reassemblies(), 2u);
+
+  dev->drop_source(0);
+  EXPECT_EQ(dev->pending_reassemblies(), 1u);  // only source 1 survives
+  EXPECT_EQ(dev->fragments_squashed(), 1u);    // the buffered piece
+
+  // Source 0's second fragment was already on the wire: it must be
+  // dropped, not resurrect a half-dead reassembly.
+  EXPECT_FALSE(chain.apply_receive(std::move(f0[1])).has_value());
+  EXPECT_EQ(dev->fragments_squashed(), 2u);
+  EXPECT_EQ(dev->pending_reassemblies(), 1u);
+
+  // The untouched source still completes.
+  auto out = chain.apply_receive(std::move(f1[1]));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(body_of(*out), b1);
+  EXPECT_EQ(dev->pending_reassemblies(), 0u);
+}
+
+TEST(StripingTest, SameOriginalIdFromTwoSourcesStaysSeparate) {
+  // Fabric packet ids are only unique per sender; reassembly must key on
+  // (source, id), so colliding ids from different sources cannot mix.
+  Chain chain;
+  chain.add(std::make_unique<StripingDevice>(2, 10));
+  std::string b0(64, 'A'), b1(64, 'B');
+  SendContext ctx;
+  auto f0 = wire_frames(chain, make_packet(0, 2, b0, /*id=*/77), ctx);
+  auto f1 = wire_frames(chain, make_packet(1, 2, b1, /*id=*/77), ctx);
+
+  EXPECT_FALSE(chain.apply_receive(std::move(f0[0])).has_value());
+  EXPECT_FALSE(chain.apply_receive(std::move(f1[0])).has_value());
+  auto o1 = chain.apply_receive(std::move(f1[1]));
+  ASSERT_TRUE(o1.has_value());
+  EXPECT_EQ(body_of(*o1), b1);
+  auto o0 = chain.apply_receive(std::move(f0[1]));
+  ASSERT_TRUE(o0.has_value());
+  EXPECT_EQ(body_of(*o0), b0);
+}
+
+TEST(StripingTest, PendingReassembliesTracksInFlightAndCleansUp) {
+  Chain chain;
+  auto* dev = chain.add(std::make_unique<StripingDevice>(4, 16));
+  std::string b0(120, 'x'), b1(120, 'y');
+  SendContext ctx;
+  auto f0 = wire_frames(chain, make_packet(0, 2, b0, 41), ctx);
+  auto f1 = wire_frames(chain, make_packet(0, 2, b1, 42), ctx);
+  ASSERT_EQ(f0.size(), 4u);
+  ASSERT_EQ(f1.size(), 4u);
+  EXPECT_EQ(dev->pending_reassemblies(), 0u);
+
+  // Interleave the two reassemblies from the same source.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(chain.apply_receive(std::move(f0[i])).has_value());
+    EXPECT_FALSE(chain.apply_receive(std::move(f1[i])).has_value());
+  }
+  EXPECT_EQ(dev->pending_reassemblies(), 2u);
+
+  auto o0 = chain.apply_receive(std::move(f0[3]));
+  ASSERT_TRUE(o0.has_value());
+  EXPECT_EQ(body_of(*o0), b0);
+  EXPECT_EQ(dev->pending_reassemblies(), 1u);
+
+  auto o1 = chain.apply_receive(std::move(f1[3]));
+  ASSERT_TRUE(o1.has_value());
+  EXPECT_EQ(body_of(*o1), b1);
+  EXPECT_EQ(dev->pending_reassemblies(), 0u);
 }
 
 TEST(ComposedChainTest, FullStackRoundtrip) {

@@ -12,6 +12,7 @@
 #include "apps/stencil/stencil.hpp"
 #include "grid/scenario.hpp"
 #include "ldb/balancers.hpp"
+#include "net/coalesce.hpp"
 #include "net/faults.hpp"
 #include "net/latency_model.hpp"
 #include "net/reliable.hpp"
@@ -290,12 +291,17 @@ class LossyStackFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
   SplitMix64 rng(GetParam());
 
-  // A random subset of {compress, crypto, stripe}, in random order, above
-  // the canonical reliable -> checksum(drop) -> fault tail.
+  // A random subset of {compress, crypto, stripe, coalesce}, in random
+  // order, above the canonical reliable -> checksum(drop) -> fault tail.
+  // Coalescing may land at any position: above crypto it bundles
+  // plaintext and the bundle frame is encrypted whole; below it, the
+  // per-packet ciphertexts ride inside a bundle and decrypt per
+  // sub-packet off the preserved packet ids.
   net::Chain chain;
-  std::vector<int> upper{0, 1, 2};
+  net::CoalesceDevice* coalesce = nullptr;
+  std::vector<int> upper{0, 1, 2, 3};
   std::shuffle(upper.begin(), upper.end(), rng);
-  std::size_t keep = 1 + rng.bounded(3);
+  std::size_t keep = 1 + rng.bounded(4);
   for (std::size_t i = 0; i < keep; ++i) {
     switch (upper[i]) {
       case 0:
@@ -304,10 +310,19 @@ TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
       case 1:
         chain.add(std::make_unique<net::CryptoDevice>(rng.next_u64()));
         break;
-      default:
+      case 2:
         chain.add(std::make_unique<net::StripingDevice>(
             2 + static_cast<int>(rng.bounded(3)), 64));
         break;
+      default: {
+        net::CoalesceConfig cc;
+        cc.enabled = true;
+        cc.max_bundle_packets = 8;
+        cc.flush_timeout = sim::microseconds(300);
+        coalesce = chain.add(
+            std::make_unique<net::CoalesceDevice>(nullptr, cc));
+        break;
+      }
     }
   }
   net::ReliableConfig rel;
@@ -337,7 +352,7 @@ TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
   const std::vector<std::pair<net::NodeId, net::NodeId>> flows{
       {0, 2}, {2, 0}, {1, 3}, {3, 1}};
   std::map<std::pair<net::NodeId, net::NodeId>, std::vector<Bytes>> sent;
-  const int messages = 2500;
+  const int messages = 10000;
   for (int i = 0; i < messages; ++i) {
     auto flow = flows[rng.bounded(flows.size())];
     net::Packet p;
@@ -369,6 +384,13 @@ TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
   EXPECT_EQ(stack.reliable->unacked_frames(), 0u);
   EXPECT_EQ(stack.reliable->buffered_packets(), 0u);
   EXPECT_GT(stack.reliable->counters().retransmits, 0u);
+  if (coalesce != nullptr) {
+    EXPECT_EQ(coalesce->pending_packets(), 0u)
+        << "coalesce buffers must drain by end of run, seed " << GetParam();
+    EXPECT_EQ(coalesce->counters().malformed_dropped, 0u);
+    EXPECT_EQ(coalesce->counters().packets_unbundled,
+              coalesce->counters().packets_bundled);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LossyStackFuzz,
