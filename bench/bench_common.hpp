@@ -11,6 +11,8 @@
 #include "apps/leanmd/leanmd.hpp"
 #include "apps/stencil/stencil.hpp"
 #include "grid/scenario.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 namespace mdo::bench {
@@ -60,5 +62,69 @@ inline std::vector<std::int32_t> stencil_object_counts(std::int64_t pes) {
 inline void print_section(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
 }
+
+/// Machine-readable bench output. A harness owns one recorder named
+/// after itself, stamps its configuration once, appends one record per
+/// measured run (labels + step time + the run's full metric snapshot),
+/// and writes everything as `BENCH_<name>.json`:
+///
+///   { "bench": "...", "config": {...},
+///     "runs": [ {"<label>": ..., "ms_per_step": ...,
+///                "metrics": {"net.reliable.retransmits": ...}}, ... ] }
+///
+/// Object order is insertion order (obs::Json), so files from identical
+/// runs diff clean.
+class JsonRecorder {
+ public:
+  explicit JsonRecorder(std::string name) : name_(std::move(name)) {
+    config_ = obs::Json::object();
+    runs_ = obs::Json::array();
+  }
+
+  /// Stamp one configuration key (mesh, pes, latency, ...). Chains.
+  JsonRecorder& config(const std::string& key, obs::Json value) {
+    config_.set(key, std::move(value));
+    return *this;
+  }
+
+  /// Start a run record: label fields go in via set() on the returned
+  /// object, then hand it to add_run().
+  static obs::Json run_record(double ms_per_step,
+                              const obs::Snapshot& metrics) {
+    obs::Json r = obs::Json::object();
+    r.set("ms_per_step", ms_per_step);
+    r.set("metrics", metrics.to_json());
+    return r;
+  }
+
+  void add_run(obs::Json record) { runs_.push(std::move(record)); }
+
+  std::string path(const std::string& dir) const {
+    return dir + "/BENCH_" + name_ + ".json";
+  }
+
+  std::string to_json_text() const {
+    obs::Json root = obs::Json::object();
+    root.set("bench", name_);
+    root.set("config", config_);
+    root.set("runs", runs_);
+    return root.dump(2) + "\n";
+  }
+
+  /// Write BENCH_<name>.json into `dir`. Returns false on I/O failure.
+  bool write(const std::string& dir = ".") const {
+    const std::string text = to_json_text();
+    const std::string file = path(dir);
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  std::string name_;
+  obs::Json config_;
+  obs::Json runs_;
+};
 
 }  // namespace mdo::bench

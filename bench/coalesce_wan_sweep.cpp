@@ -2,15 +2,15 @@
 // save on the WAN link, and what does the bundling delay cost in
 // end-to-end step time? For each artificial one-way latency the stencil
 // (and LeanMD) run once on a clean fabric and once with
-// Scenario::coalesced; the harness reports the cross-cluster wire-frame
+// coalescing enabled; the harness reports the cross-cluster wire-frame
 // reduction, the ms/step delta, and the device's flush-reason histogram.
 // A second section sweeps the bundle-size threshold at fixed latency.
 
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/trace_report.hpp"
 #include "net/coalesce.hpp"
+#include "obs/metrics.hpp"
 #include "util/options.hpp"
 #include "util/strings.hpp"
 
@@ -23,6 +23,7 @@ struct CoalesceRun {
   std::uint64_t wire_frames = 0;
   std::uint64_t wan_wire_frames = 0;
   net::CoalesceDevice::Counters coalesce{};
+  obs::Snapshot metrics;
 };
 
 CoalesceRun run_stencil(const grid::Scenario& scenario,
@@ -39,6 +40,7 @@ CoalesceRun run_stencil(const grid::Scenario& scenario,
   run.wire_frames = phase.fabric.wire_frames;
   run.wan_wire_frames = phase.fabric.wan_wire_frames;
   if (raw->coalesce() != nullptr) run.coalesce = raw->coalesce()->counters();
+  run.metrics = raw->metrics().snapshot();
   return run;
 }
 
@@ -131,7 +133,8 @@ int main(int argc, char** argv) {
     auto base = run_stencil(grid::Scenario::artificial(pe_count, one_way), sp,
                             static_cast<std::int32_t>(warmup),
                             static_cast<std::int32_t>(steps));
-    auto coalesced = grid::Scenario::coalesced(pe_count, one_way);
+    auto coalesced =
+        grid::Scenario::artificial(pe_count, one_way).with_coalescing();
     if (flush_us > 0) {
       coalesced.coalesce.flush_timeout =
           sim::microseconds(static_cast<double>(flush_us));
@@ -166,7 +169,8 @@ int main(int argc, char** argv) {
                             static_cast<std::int32_t>(warmup),
                             static_cast<std::int32_t>(steps));
     for (const std::string& field : split(bundle_list, ',')) {
-      auto scenario = grid::Scenario::coalesced(pe_count, one_way);
+      auto scenario =
+          grid::Scenario::artificial(pe_count, one_way).with_coalescing();
       scenario.coalesce.max_bundle_packets =
           static_cast<std::size_t>(std::stoll(field));
       if (flush_us > 0) {
@@ -203,7 +207,8 @@ int main(int argc, char** argv) {
     const auto pe_count = static_cast<std::size_t>(pes);
     auto base = run_leanmd(grid::Scenario::artificial(pe_count, one_way), lp, 1,
                            static_cast<std::int32_t>(leanmd_steps));
-    auto coal = run_leanmd(grid::Scenario::coalesced(pe_count, one_way), lp, 1,
+    auto coal = run_leanmd(
+        grid::Scenario::artificial(pe_count, one_way).with_coalescing(), lp, 1,
                            static_cast<std::int32_t>(leanmd_steps));
     lt.add_row(
         {fmt_double(latency_ms, 1), fmt_double(base.ms_per_step, 3),
@@ -221,10 +226,11 @@ int main(int argc, char** argv) {
   bench::print_section("device counters at default config (stencil, 8 ms)");
   {
     auto coal = run_stencil(
-        grid::Scenario::coalesced(static_cast<std::size_t>(pes),
-                                  sim::milliseconds(8.0)),
+        grid::Scenario::artificial(static_cast<std::size_t>(pes),
+                                   sim::milliseconds(8.0))
+            .with_coalescing(),
         sp, static_cast<std::int32_t>(warmup), static_cast<std::int32_t>(steps));
-    std::fputs(core::render_coalesce(coal.coalesce).c_str(), stdout);
+    std::fputs(coal.metrics.render_table("net.coalesce").c_str(), stdout);
   }
   return 0;
 }

@@ -53,7 +53,9 @@ struct SweepRow {
 };
 
 grid::Scenario make_scenario(const Config& cfg) {
-  return grid::Scenario::crashy(cfg.pes, cfg.one_way, /*drop=*/0.0, cfg.seed);
+  return grid::Scenario::artificial(cfg.pes, cfg.one_way)
+      .with_loss(/*drop=*/0.0, cfg.seed)
+      .with_crashes();
 }
 
 /// Run A: plain work on the same stack, no checkpoints, no detector.

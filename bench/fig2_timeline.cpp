@@ -24,9 +24,10 @@ int main(int argc, char** argv) {
       .add_int("rows", &max_rows, "timeline rows to print");
   if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
 
-  grid::Scenario scenario = grid::Scenario::artificial(
-      4, sim::milliseconds(static_cast<double>(latency_ms)));
-  scenario.tracing = true;
+  grid::Scenario scenario =
+      grid::Scenario::artificial(
+          4, sim::milliseconds(static_cast<double>(latency_ms)))
+          .with_tracing();
   core::Runtime rt(grid::make_sim_machine(scenario));
 
   apps::stencil::Params params;

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/trace_report.hpp"
+#include "obs/metrics.hpp"
 #include "util/options.hpp"
 #include "util/strings.hpp"
 
@@ -18,7 +18,7 @@ namespace {
 
 struct LossyRun {
   double ms_per_step = 0.0;
-  net::ReliabilityStack::Report reliability{};
+  obs::Snapshot metrics;
 };
 
 LossyRun run_lossy_stencil(const grid::Scenario& scenario,
@@ -32,8 +32,7 @@ LossyRun run_lossy_stencil(const grid::Scenario& scenario,
   auto phase = app.run_steps(steps);
   LossyRun run;
   run.ms_per_step = phase.ms_per_step;
-  if (raw->reliability().installed())
-    run.reliability = raw->reliability().report();
+  run.metrics = raw->metrics().snapshot();
   return run;
 }
 
@@ -49,6 +48,7 @@ int main(int argc, char** argv) {
   std::int64_t seed = 1;
   std::string loss_list = "0,0.5,1,2,5";
   bool csv = false;
+  bool json = false;
 
   Options opts(
       "lossy_wan_sweep — stencil ms/step and retransmission cost vs "
@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
       .add_int("steps", &steps, "measured steps per configuration")
       .add_int("seed", &seed, "fault-injection RNG seed")
       .add_string("losses", &loss_list, "comma-separated loss rates in percent")
-      .add_flag("csv", &csv, "emit CSV instead of aligned tables");
+      .add_flag("csv", &csv, "emit CSV instead of aligned tables")
+      .add_flag("json", &json, "also write BENCH_lossy_wan_sweep.json");
   if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
 
   apps::stencil::Params params;
@@ -79,28 +80,47 @@ int main(int argc, char** argv) {
   TextTable table({"loss_pct", "ms_per_step", "overhead_pct", "data_sent",
                    "retransmits", "dropped", "dup_suppressed", "ack_rtt_ms"});
 
+  bench::JsonRecorder recorder("lossy_wan_sweep");
+  recorder.config("mesh", mesh)
+      .config("pes", pes)
+      .config("objects", objects)
+      .config("latency_ms", latency_ms)
+      .config("warmup", warmup)
+      .config("steps", steps)
+      .config("seed", seed);
+
   double baseline = 0.0;
   for (const std::string& field : split(loss_list, ',')) {
     const double loss_pct = std::stod(field);
-    auto scenario = grid::Scenario::lossy(
-        static_cast<std::size_t>(pes),
-        sim::milliseconds(static_cast<double>(latency_ms)), loss_pct / 100.0,
-        static_cast<std::uint64_t>(seed));
+    auto scenario =
+        grid::Scenario::artificial(
+            static_cast<std::size_t>(pes),
+            sim::milliseconds(static_cast<double>(latency_ms)))
+            .with_loss(loss_pct / 100.0, static_cast<std::uint64_t>(seed));
     auto run = run_lossy_stencil(scenario, params,
                                  static_cast<std::int32_t>(warmup),
                                  static_cast<std::int32_t>(steps));
     if (baseline == 0.0) baseline = run.ms_per_step;
     const double overhead =
         baseline > 0.0 ? 100.0 * (run.ms_per_step / baseline - 1.0) : 0.0;
+    const obs::Snapshot& m = run.metrics;
     table.add_row(
         {fmt_double(loss_pct, 1), fmt_double(run.ms_per_step, 3),
          fmt_double(overhead, 1),
-         std::to_string(run.reliability.reliable.data_sent),
-         std::to_string(run.reliability.reliable.retransmits),
-         std::to_string(run.reliability.faults.dropped),
-         std::to_string(run.reliability.reliable.duplicates_suppressed),
-         fmt_double(run.reliability.mean_ack_rtt_ms, 3)});
+         std::to_string(m.counter("net.reliable.data_sent")),
+         std::to_string(m.counter("net.reliable.retransmits")),
+         std::to_string(m.counter("net.fault.dropped")),
+         std::to_string(m.counter("net.reliable.duplicates_suppressed")),
+         fmt_double(m.gauge("net.reliable.ack_rtt_ns") / 1e6, 3)});
+    obs::Json record =
+        bench::JsonRecorder::run_record(run.ms_per_step, run.metrics);
+    record.set("loss_pct", loss_pct);
+    recorder.add_run(std::move(record));
   }
   std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
+  if (json && !recorder.write()) {
+    std::fprintf(stderr, "failed to write %s\n", recorder.path(".").c_str());
+    return 1;
+  }
   return 0;
 }

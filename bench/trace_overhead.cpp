@@ -1,0 +1,143 @@
+// Trace-overhead check: the same stencil run on the SimMachine with
+// tracing off and on. Virtual time cannot change — recording an entry
+// interval is host-side work, invisible to the DES clock — so the
+// virtual ms/step delta must be exactly zero; the interesting number is
+// the host wall-clock cost of appending one TraceEvent per entry.
+// Writes BENCH_trace_overhead.json (step times, wall times, event count,
+// metric snapshots) for the EXPERIMENTS.md record.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/trace_report.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace mdo;
+
+namespace {
+
+struct TracedRun {
+  double ms_per_step = 0.0;   ///< virtual time per step
+  double wall_s = 0.0;        ///< host wall-clock for the measured phase
+  std::size_t trace_events = 0;
+  obs::Snapshot metrics;
+};
+
+TracedRun run_once(const grid::Scenario& scenario,
+                   apps::stencil::Params params, std::int32_t warmup,
+                   std::int32_t steps) {
+  auto machine = grid::make_sim_machine(scenario);
+  core::SimMachine* raw = machine.get();
+  core::Runtime rt(std::move(machine));
+  apps::stencil::StencilApp app(rt, params);
+  if (warmup > 0) app.run_steps(warmup);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto phase = app.run_steps(steps);
+  const auto t1 = std::chrono::steady_clock::now();
+  TracedRun run;
+  run.ms_per_step = phase.ms_per_step;
+  run.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  run.trace_events = raw->trace().size();
+  run.metrics = raw->metrics().snapshot();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t mesh = 1024;
+  std::int64_t pes = 8;
+  std::int64_t objects = 256;
+  std::int64_t latency_ms = 8;
+  std::int64_t warmup = 2;
+  std::int64_t steps = 10;
+  bool json = false;
+
+  Options opts(
+      "trace_overhead — step-time cost of entry-interval tracing on the "
+      "SimMachine stencil");
+  opts.add_int("mesh", &mesh, "mesh edge (cells)")
+      .add_int("pes", &pes, "processors, split across two clusters")
+      .add_int("objects", &objects, "chare objects (virtualization degree)")
+      .add_int("latency", &latency_ms, "artificial one-way latency (ms)")
+      .add_int("warmup", &warmup, "warmup steps per run")
+      .add_int("steps", &steps, "measured steps per run")
+      .add_flag("json", &json, "write BENCH_trace_overhead.json");
+  if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
+
+  apps::stencil::Params params;
+  params.mesh = static_cast<std::int32_t>(mesh);
+  params.objects = static_cast<std::int32_t>(objects);
+
+  const sim::TimeNs one_way =
+      sim::milliseconds(static_cast<double>(latency_ms));
+  const auto pe_count = static_cast<std::size_t>(pes);
+  auto untraced =
+      run_once(grid::Scenario::artificial(pe_count, one_way), params,
+               static_cast<std::int32_t>(warmup),
+               static_cast<std::int32_t>(steps));
+  auto traced =
+      run_once(grid::Scenario::artificial(pe_count, one_way).with_tracing(),
+               params, static_cast<std::int32_t>(warmup),
+               static_cast<std::int32_t>(steps));
+
+  const double virtual_overhead_pct =
+      untraced.ms_per_step > 0.0
+          ? 100.0 * (traced.ms_per_step / untraced.ms_per_step - 1.0)
+          : 0.0;
+  const double wall_overhead_pct =
+      untraced.wall_s > 0.0
+          ? 100.0 * (traced.wall_s / untraced.wall_s - 1.0)
+          : 0.0;
+
+  std::printf(
+      "Trace overhead: stencil %lldx%lld on %lld PEs (%lld objects), "
+      "one-way latency %lld ms, %lld measured steps\n",
+      static_cast<long long>(mesh), static_cast<long long>(mesh),
+      static_cast<long long>(pes), static_cast<long long>(objects),
+      static_cast<long long>(latency_ms), static_cast<long long>(steps));
+  bench::print_section("virtual and wall step time, traced vs untraced");
+  TextTable table({"tracing", "ms_per_step", "wall_s", "trace_events"});
+  table.add_row({"off", fmt_double(untraced.ms_per_step, 4),
+                 fmt_double(untraced.wall_s, 4),
+                 std::to_string(untraced.trace_events)});
+  table.add_row({"on", fmt_double(traced.ms_per_step, 4),
+                 fmt_double(traced.wall_s, 4),
+                 std::to_string(traced.trace_events)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("virtual overhead: %.2f%%   wall overhead: %.2f%%\n",
+              virtual_overhead_pct, wall_overhead_pct);
+
+  if (json) {
+    bench::JsonRecorder recorder("trace_overhead");
+    recorder.config("mesh", mesh)
+        .config("pes", pes)
+        .config("objects", objects)
+        .config("latency_ms", latency_ms)
+        .config("warmup", warmup)
+        .config("steps", steps);
+    obs::Json off =
+        bench::JsonRecorder::run_record(untraced.ms_per_step,
+                                        untraced.metrics);
+    off.set("tracing", false);
+    off.set("wall_s", untraced.wall_s);
+    recorder.add_run(std::move(off));
+    obs::Json on =
+        bench::JsonRecorder::run_record(traced.ms_per_step, traced.metrics);
+    on.set("tracing", true);
+    on.set("wall_s", traced.wall_s);
+    on.set("trace_events",
+           static_cast<std::uint64_t>(traced.trace_events));
+    on.set("virtual_overhead_pct", virtual_overhead_pct);
+    on.set("wall_overhead_pct", wall_overhead_pct);
+    recorder.add_run(std::move(on));
+    if (!recorder.write()) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   recorder.path(".").c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -51,6 +51,19 @@ World::World(core::Runtime& rt, int ranks, RankFn fn,
         rank->rank_ = index.x;
         return rank;
       });
+  rt_->machine().metrics().add_source("ampi", [this](obs::MetricSink& sink) {
+    sink.counter("p2p_sends",
+                 counters_.p2p_sends.load(std::memory_order_relaxed));
+    sink.counter("p2p_bytes",
+                 counters_.p2p_bytes.load(std::memory_order_relaxed));
+    sink.counter("p2p_recvs",
+                 counters_.p2p_recvs.load(std::memory_order_relaxed));
+    sink.counter("collective_phases",
+                 counters_.collective_phases.load(std::memory_order_relaxed));
+    sink.counter("rank_blocks",
+                 counters_.rank_blocks.load(std::memory_order_relaxed));
+    sink.gauge("ranks", static_cast<double>(ranks_));
+  });
 }
 
 void World::launch() { proxy_.broadcast<&RankChare::start>(); }
@@ -102,7 +115,12 @@ void RankChare::message(int src, int tag, Bytes data) {
 void RankChare::block_until(const std::function<bool()>& ready) {
   MDO_CHECK_MSG(Fiber::current() == fiber_.get(),
                 "blocking AMPI call outside the rank's thread");
-  while (!ready()) fiber_->yield();
+  if (!ready()) {
+    world_->counters_.rank_blocks.fetch_add(1, std::memory_order_relaxed);
+    do {
+      fiber_->yield();
+    } while (!ready());
+  }
 }
 
 std::optional<std::size_t> RankChare::find_match(int src, int tag) const {
@@ -128,6 +146,9 @@ void Comm::charge_ns(std::int64_t ns) { rank_->charge(ns); }
 
 void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
   MDO_CHECK(dst >= 0 && dst < size());
+  auto& counters = rank_->world_->counters_;
+  counters.p2p_sends.fetch_add(1, std::memory_order_relaxed);
+  counters.p2p_bytes.fetch_add(bytes, std::memory_order_relaxed);
   Bytes payload(bytes);
   if (bytes != 0) std::memcpy(payload.data(), data, bytes);
   rank_->world_->proxy().send<&RankChare::message>(core::Index(dst), rank(),
@@ -147,6 +168,7 @@ std::pair<int, int> Comm::recv_bytes(int src, int tag, void* data,
   MDO_CHECK_MSG(msg.data.size() == bytes,
                 "recv size does not match incoming message");
   if (bytes != 0) std::memcpy(data, msg.data.data(), bytes);
+  rank_->world_->counters_.p2p_recvs.fetch_add(1, std::memory_order_relaxed);
   return {msg.src, msg.tag};
 }
 
@@ -199,6 +221,8 @@ void Comm::waitall(std::vector<Request>& requests) {
 
 void Comm::barrier() {
   std::uint32_t seq = rank_->collective_seq_++;
+  rank_->world_->counters_.collective_phases.fetch_add(
+      1, std::memory_order_relaxed);
   int n = size();
   int me = rank();
   int c1 = 2 * me + 1, c2 = 2 * me + 2;
@@ -214,6 +238,8 @@ void Comm::barrier() {
 
 void Comm::bcast(void* data, std::size_t bytes, int root) {
   std::uint32_t seq = rank_->collective_seq_++;
+  rank_->world_->counters_.collective_phases.fetch_add(
+      1, std::memory_order_relaxed);
   int n = size();
   int rel = (rank() - root + n) % n;
   auto actual = [&](int r) { return (r + root) % n; };
@@ -228,6 +254,8 @@ void Comm::bcast(void* data, std::size_t bytes, int root) {
 void Comm::reduce(const double* in, double* out, std::size_t n_elems, Op op,
                   int root) {
   std::uint32_t seq = rank_->collective_seq_++;
+  rank_->world_->counters_.collective_phases.fetch_add(
+      1, std::memory_order_relaxed);
   int n = size();
   int rel = (rank() - root + n) % n;
   auto actual = [&](int r) { return (r + root) % n; };
@@ -259,6 +287,8 @@ void Comm::allreduce(double* data, std::size_t n_elems, Op op) {
 
 void Comm::scatter(const void* in, std::size_t bytes, void* out, int root) {
   std::uint32_t seq = rank_->collective_seq_++;
+  rank_->world_->counters_.collective_phases.fetch_add(
+      1, std::memory_order_relaxed);
   if (rank() == root) {
     const auto* src = static_cast<const char*>(in);
     for (int r = 0; r < size(); ++r) {
@@ -280,6 +310,8 @@ void Comm::allgather(const void* in, std::size_t bytes, void* out) {
 
 void Comm::alltoall(const void* in, std::size_t bytes, void* out) {
   std::uint32_t seq = rank_->collective_seq_++;
+  rank_->world_->counters_.collective_phases.fetch_add(
+      1, std::memory_order_relaxed);
   const auto* src = static_cast<const char*>(in);
   auto* dst = static_cast<char*>(out);
   for (int r = 0; r < size(); ++r) {
@@ -314,6 +346,8 @@ bool Comm::has_message(int src, int tag) const {
 
 void Comm::gather(const void* in, std::size_t bytes, void* out, int root) {
   std::uint32_t seq = rank_->collective_seq_++;
+  rank_->world_->counters_.collective_phases.fetch_add(
+      1, std::memory_order_relaxed);
   if (rank() != root) {
     send_bytes(root, up_tag(seq), in, bytes);
     return;

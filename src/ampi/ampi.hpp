@@ -14,6 +14,7 @@
 //   rt.run();
 //   MDO_CHECK(world.unfinished_ranks() == 0);   // else: MPI deadlock
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -172,6 +173,18 @@ class World {
   /// reaches quiescence means the MPI program deadlocked.
   int unfinished_ranks() const;
 
+  /// MPI-level traffic counters, published under `ampi.*` on the
+  /// machine's metric registry. Atomic: ranks execute on worker threads
+  /// under ThreadMachine.
+  struct Counters {
+    std::atomic<std::uint64_t> p2p_sends{0};
+    std::atomic<std::uint64_t> p2p_bytes{0};
+    std::atomic<std::uint64_t> p2p_recvs{0};
+    std::atomic<std::uint64_t> collective_phases{0};
+    std::atomic<std::uint64_t> rank_blocks{0};  ///< blocking calls that yielded
+  };
+  const Counters& counters() const { return counters_; }
+
  private:
   friend class RankChare;
   friend class Comm;
@@ -180,6 +193,7 @@ class World {
   int ranks_;
   RankFn fn_;
   core::ArrayProxy<RankChare> proxy_;
+  mutable Counters counters_;
 };
 
 }  // namespace mdo::ampi

@@ -16,6 +16,7 @@
 #include "core/runtime.hpp"
 #include "grid/calibration.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace mdo::apps::leanmd {
@@ -131,10 +132,13 @@ class LeanMdApp {
     sim::TimeNs elapsed = 0;
     double s_per_step = 0.0;
     net::Fabric::Stats fabric{};
+    obs::Snapshot metrics;  ///< registry deltas for this phase
   };
 
   LeanMdApp(core::Runtime& rt, Params params);
 
+  /// Each call is one phase: when tracing is on, a phase-marker event
+  /// brackets it in the trace (entry field = phase number).
   PhaseResult run_steps(std::int32_t steps);
 
   core::ArrayProxy<Cell>& cells() { return cells_; }
@@ -154,6 +158,7 @@ class LeanMdApp {
   core::ArrayProxy<Cell> cells_;
   core::ArrayProxy<CellPair> pairs_;
   std::vector<std::array<double, 2>> energy_history_;
+  std::int32_t phase_ = 0;  ///< run_steps calls so far (phase-marker id)
 };
 
 }  // namespace mdo::apps::leanmd

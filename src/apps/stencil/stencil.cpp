@@ -240,9 +240,13 @@ StencilApp::StencilApp(core::Runtime& rt, Params params)
 StencilApp::PhaseResult StencilApp::run_steps(std::int32_t steps) {
   MDO_CHECK(steps > 0);
   net::Fabric::Stats before = rt_->machine().fabric_stats();
+  obs::Snapshot metrics_before = rt_->machine().metrics().snapshot();
+  const std::int32_t phase = phase_++;
+  rt_->machine().trace_phase(phase);
   sim::TimeNs t0 = rt_->now();
   proxy_.broadcast<&Chunk::resume_steps>(steps);
   rt_->run();
+  rt_->machine().trace_phase(phase);
   net::Fabric::Stats after = rt_->machine().fabric_stats();
 
   PhaseResult result;
@@ -258,6 +262,7 @@ StencilApp::PhaseResult StencilApp::run_steps(std::int32_t steps) {
   result.fabric.wire_frames = after.wire_frames - before.wire_frames;
   result.fabric.wan_wire_frames =
       after.wan_wire_frames - before.wan_wire_frames;
+  result.metrics = rt_->machine().metrics().snapshot().diff(metrics_before);
   return result;
 }
 

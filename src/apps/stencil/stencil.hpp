@@ -14,6 +14,7 @@
 #include "core/runtime.hpp"
 #include "grid/calibration.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 
 namespace mdo::apps::stencil {
 
@@ -95,11 +96,14 @@ class StencilApp {
     sim::TimeNs elapsed = 0;
     double ms_per_step = 0.0;
     net::Fabric::Stats fabric{};  ///< deltas for this phase
+    obs::Snapshot metrics;        ///< registry deltas for this phase
   };
 
   StencilApp(core::Runtime& rt, Params params);
 
   /// Run `steps` more steps to quiescence and report the phase timing.
+  /// Each call is one phase: when tracing is on, a phase-marker event
+  /// brackets it in the trace (entry field = phase number).
   PhaseResult run_steps(std::int32_t steps);
 
   core::ArrayProxy<Chunk>& proxy() { return proxy_; }
@@ -114,6 +118,7 @@ class StencilApp {
   Params params_;
   core::ArrayProxy<Chunk> proxy_;
   bool started_ = false;
+  std::int32_t phase_ = 0;  ///< run_steps calls so far (phase-marker id)
 };
 
 /// Initial mesh value at global cell (x, y) — shared by chunks and the

@@ -20,6 +20,9 @@ enum class MsgKind : std::uint8_t {
   kReduction = 3,    ///< partial reduction flowing up the PE tree
   kMigrate = 4,      ///< packed element state moving to a new PE
   kHostCall = 5,     ///< scheduled host-side callback (runs on dst PE)
+  kPhaseMarker = 6,  ///< trace-only: application phase boundary; never
+                     ///< enqueued or sent, synthesized into the trace by
+                     ///< Machine::trace_phase
 };
 
 struct Envelope {

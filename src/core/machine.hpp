@@ -15,6 +15,7 @@
 #include "core/types.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace mdo::core {
@@ -92,15 +93,32 @@ class Machine {
   /// default reports lack of support.
   virtual void call_after(sim::TimeNs dt, std::function<void()> fn);
 
-  /// Entry-interval tracing (SimMachine only by default).
+  /// Entry-interval tracing. Both machines support it: SimMachine appends
+  /// to a plain vector (single-threaded DES), ThreadMachine records into
+  /// lock-free per-PE ring buffers.
   virtual void set_tracing(bool) {}
   virtual std::vector<TraceEvent> trace() const { return {}; }
+
+  /// Application phase marker: records a zero-duration kPhaseMarker trace
+  /// event tagged with `phase` (entry field) on the calling PE, so trace
+  /// consumers can segment a timeline into steps. No-op when tracing is
+  /// off; never touches the wire.
+  virtual void trace_phase(std::int32_t) {}
 
   /// Scheduler-idle notification: `fn(pe)` fires whenever a PE finishes
   /// an entry and finds its queue empty — the signal a coalescing device
   /// uses to flush pending bundles rather than sit on them while the
   /// destination starves. Default: unsupported, silently ignored.
   virtual void set_on_pe_idle(std::function<void(Pe)>) {}
+
+  /// The run's metric registry. Subsystems register sources at install
+  /// time (net devices, fabric, scheduler, tracing); consumers snapshot
+  /// before/after a phase and diff.
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
+ protected:
+  obs::MetricRegistry metrics_;
 };
 
 }  // namespace mdo::core

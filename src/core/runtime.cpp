@@ -43,6 +43,11 @@ Runtime::Runtime(std::unique_ptr<Machine> machine)
     : machine_(std::move(machine)), tree_(machine_->topology()) {
   MDO_CHECK(machine_ != nullptr);
   machine_->bind(this);
+  machine_->metrics().add_source("rt", [this](obs::MetricSink& sink) {
+    sink.counter("migrations", migrations_);
+    sink.counter("migration_bytes", migration_bytes_);
+    sink.gauge("arrays", static_cast<double>(arrays_.size()));
+  });
 }
 
 Runtime::~Runtime() = default;
@@ -184,6 +189,9 @@ sim::TimeNs Runtime::deliver(Envelope&& env) {
       break;
     case MsgKind::kMigrate:
       MDO_CHECK_MSG(false, "kMigrate envelopes are not used (quiescent migration)");
+      break;
+    case MsgKind::kPhaseMarker:
+      MDO_CHECK_MSG(false, "kPhaseMarker is trace-only, never enqueued");
       break;
   }
   sim::TimeNs charged = t_exec.charged;

@@ -1,6 +1,7 @@
 #include "core/sim_machine.hpp"
 
 #include "core/runtime.hpp"
+#include "net/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace mdo::core {
@@ -24,6 +25,29 @@ SimMachine::SimMachine(net::Topology topo, net::GridLatencyModel::Config link,
           enqueue(static_cast<Pe>(node), std::move(env));
         });
   }
+  net::register_fabric_metrics(metrics_, *fabric_);
+  metrics_.add_source("rt.sched", [this](obs::MetricSink& sink) {
+    std::uint64_t executed = 0, sent = 0, dropped = 0, queued = 0;
+    sim::TimeNs busy = 0;
+    for (const auto& pe : pes_) {
+      executed += pe.stats.msgs_executed;
+      sent += pe.stats.msgs_sent;
+      dropped += pe.stats.msgs_dropped;
+      busy += pe.stats.busy_ns;
+      queued += pe.queue.size();
+    }
+    sink.counter("msgs_executed", executed);
+    sink.counter("msgs_sent", sent);
+    sink.counter("msgs_dropped", dropped);
+    sink.counter("busy_ns", static_cast<std::uint64_t>(busy));
+    sink.counter("pes_killed", kills_);
+    sink.gauge("queue_depth", static_cast<double>(queued));
+  });
+  metrics_.add_source("trace", [this](obs::MetricSink& sink) {
+    sink.counter("events", trace_.size());
+    sink.counter("dropped", 0);  // vector recorder never drops
+    sink.gauge("enabled", tracing_ ? 1.0 : 0.0);
+  });
 }
 
 net::DelayDevice* SimMachine::add_delay_device(sim::TimeNs one_way) {
@@ -40,6 +64,7 @@ const net::ReliabilityStack& SimMachine::add_reliability_stack(
   rel_stack_ = net::install_reliability_stack(
       fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way,
       heartbeat, coalesce);
+  net::register_metrics(metrics_, rel_stack_);
   return rel_stack_;
 }
 
@@ -49,6 +74,7 @@ net::CoalesceDevice* SimMachine::add_coalesce_device(
                 "coalescing device already installed");
   coalesce_ = fabric_->chain().add(
       std::make_unique<net::CoalesceDevice>(&topo_, config));
+  net::register_metrics(metrics_, *coalesce_);
   return coalesce_;
 }
 
@@ -188,6 +214,14 @@ void SimMachine::finish_execution(Pe pe, std::vector<Envelope>&& outbox) {
   } else if (on_pe_idle_) {
     on_pe_idle_(pe);
   }
+}
+
+void SimMachine::trace_phase(std::int32_t phase) {
+  if (!tracing_) return;
+  const sim::TimeNs t = engine_.now();
+  trace_.push_back(TraceEvent{current_pe(), t, t, current_pe(),
+                              static_cast<EntryId>(phase),
+                              MsgKind::kPhaseMarker});
 }
 
 void SimMachine::run() {

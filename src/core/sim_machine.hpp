@@ -96,6 +96,7 @@ class SimMachine final : public Machine {
   }
   void set_tracing(bool on) override { tracing_ = on; }
   std::vector<TraceEvent> trace() const override { return trace_; }
+  void trace_phase(std::int32_t phase) override;
   void set_on_pe_idle(std::function<void(Pe)> fn) override {
     on_pe_idle_ = std::move(fn);
   }

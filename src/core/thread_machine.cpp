@@ -1,6 +1,9 @@
 #include "core/thread_machine.hpp"
 
+#include <algorithm>
+
 #include "core/runtime.hpp"
+#include "net/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace mdo::core {
@@ -33,6 +36,40 @@ ThreadMachine::ThreadMachine(net::Topology topo,
           enqueue(static_cast<Pe>(node), std::move(env));
         });
   }
+  net::register_fabric_metrics(metrics_, *fabric_);
+  metrics_.add_source("rt.sched", [this](obs::MetricSink& sink) {
+    std::uint64_t executed = 0, sent = 0, dropped = 0, queued = 0;
+    sim::TimeNs busy = 0;
+    for (const auto& worker : workers_) {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      executed += worker->stats.msgs_executed;
+      sent += worker->stats.msgs_sent;
+      dropped += worker->stats.msgs_dropped;
+      busy += worker->stats.busy_ns;
+      queued += worker->queue.size();
+    }
+    sink.counter("msgs_executed", executed);
+    sink.counter("msgs_sent", sent);
+    sink.counter("msgs_dropped", dropped);
+    sink.counter("busy_ns", static_cast<std::uint64_t>(busy));
+    sink.counter("pes_killed", kills_.load(std::memory_order_acquire));
+    sink.gauge("queue_depth", static_cast<double>(queued));
+  });
+  metrics_.add_source("trace", [this](obs::MetricSink& sink) {
+    std::uint64_t recorded = 0, ring_dropped = 0;
+    {
+      std::lock_guard<std::mutex> lock(trace_mutex_);
+      recorded = collected_trace_.size();
+    }
+    for (const auto& ring : trace_rings_) {
+      recorded += ring->size();
+      ring_dropped += ring->dropped();
+    }
+    sink.counter("events", recorded);
+    sink.counter("dropped", ring_dropped);
+    sink.gauge("enabled",
+               tracing_.load(std::memory_order_acquire) ? 1.0 : 0.0);
+  });
   for (std::size_t pe = 0; pe < workers_.size(); ++pe) {
     workers_[pe]->thread =
         std::thread([this, pe] { worker_loop(static_cast<Pe>(pe)); });
@@ -59,6 +96,7 @@ const net::ReliabilityStack& ThreadMachine::add_reliability_stack(
   rel_stack_ = net::install_reliability_stack(
       fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way,
       heartbeat, coalesce);
+  net::register_metrics(metrics_, rel_stack_);
   return rel_stack_;
 }
 
@@ -70,7 +108,50 @@ net::CoalesceDevice* ThreadMachine::add_coalesce_device(
                 "coalescing device already installed");
   coalesce_ = fabric_->chain().add(
       std::make_unique<net::CoalesceDevice>(&topo_, config));
+  net::register_metrics(metrics_, *coalesce_);
   return coalesce_;
+}
+
+void ThreadMachine::set_tracing(bool on) {
+  if (on && trace_rings_.empty()) {
+    MDO_CHECK_MSG(fabric_->stats().packets_sent == 0,
+                  "tracing must be enabled before traffic flows");
+    // One ring per PE plus one for the host thread's phase markers.
+    constexpr std::size_t kRingCapacity = 1u << 15;
+    trace_rings_.reserve(workers_.size() + 1);
+    for (std::size_t i = 0; i < workers_.size() + 1; ++i) {
+      trace_rings_.push_back(
+          std::make_unique<obs::SpscRing<TraceEvent>>(kRingCapacity));
+    }
+  }
+  tracing_.store(on, std::memory_order_release);
+}
+
+std::vector<TraceEvent> ThreadMachine::trace() const {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  for (const auto& ring : trace_rings_) {
+    for (auto& ev : ring->drain()) collected_trace_.push_back(ev);
+  }
+  std::vector<TraceEvent> out = collected_trace_;
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.pe < b.pe;
+  });
+  return out;
+}
+
+void ThreadMachine::trace_phase(std::int32_t phase) {
+  if (!tracing_.load(std::memory_order_acquire)) return;
+  // Worker threads own their PE's ring; the host thread owns the extra
+  // ring at index num_pes, so every ring keeps a single producer.
+  const std::size_t ring =
+      t_current_pe == kInvalidPe ? workers_.size()
+                                 : static_cast<std::size_t>(t_current_pe);
+  const sim::TimeNs t = now();
+  trace_rings_[ring]->push(TraceEvent{current_pe(), t, t, current_pe(),
+                                      static_cast<EntryId>(phase),
+                                      MsgKind::kPhaseMarker});
 }
 
 void ThreadMachine::kill_pe(Pe pe) {
@@ -185,12 +266,27 @@ void ThreadMachine::worker_loop(Pe pe) {
       worker.queue.pop();
     }
 
+    // Captured before the move: the envelope is gone once delivered, but
+    // the trace event still needs its provenance.
+    const Pe msg_src = item.env.src_pe;
+    const EntryId entry = item.env.entry;
+    const MsgKind kind = item.env.kind;
+
     auto t0 = std::chrono::steady_clock::now();
     sim::TimeNs charged = rt_->deliver(std::move(item.env));
     if (config_.emulate_charge && charged > 0) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(charged));
     }
     auto t1 = std::chrono::steady_clock::now();
+
+    if (tracing_.load(std::memory_order_acquire)) {
+      const auto since_start = [this](std::chrono::steady_clock::time_point t) {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(t - start_)
+            .count();
+      };
+      trace_rings_[static_cast<std::size_t>(pe)]->push(TraceEvent{
+          pe, since_start(t0), since_start(t1), msg_src, entry, kind});
+    }
 
     bool idle_now = false;
     {

@@ -17,6 +17,7 @@
 #include "net/latency_model.hpp"
 #include "net/reliable.hpp"
 #include "net/thread_fabric.hpp"
+#include "obs/ring_buffer.hpp"
 
 namespace mdo::core {
 
@@ -91,6 +92,16 @@ class ThreadMachine final : public Machine {
     on_pe_idle_ = std::move(fn);
   }
 
+  /// Entry-interval tracing into lock-free per-PE ring buffers: each
+  /// worker thread is the sole producer of its own ring, so recording
+  /// never takes a lock on the delivery path. Call before traffic flows.
+  /// When a ring fills, events are dropped and counted (trace.dropped).
+  void set_tracing(bool on) override;
+  /// Drains the rings (chronologically merged by begin time). Complete
+  /// only once traffic has quiesced — run() returned or stop() joined.
+  std::vector<TraceEvent> trace() const override;
+  void trace_phase(std::int32_t phase) override;
+
  private:
   struct QueueItem {
     Priority priority;
@@ -131,6 +142,15 @@ class ThreadMachine final : public Machine {
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> kills_{0};
+
+  // Tracing. One ring per PE (producer: that PE's worker thread) plus a
+  // final ring for the host thread's phase markers (producer: the main
+  // thread, which never races a worker). trace() drains rings into
+  // collected_trace_ under trace_mutex_.
+  std::atomic<bool> tracing_{false};
+  std::vector<std::unique_ptr<obs::SpscRing<TraceEvent>>> trace_rings_;
+  mutable std::mutex trace_mutex_;
+  mutable std::vector<TraceEvent> collected_trace_;
 
   // Quiescence: messages anywhere in the system (queued, in flight, or
   // executing). send() increments; the worker decrements after the

@@ -12,6 +12,7 @@ TraceReport summarize_trace(const std::vector<TraceEvent>& trace,
   TraceReport report;
   std::map<Pe, PeUtilization> by_pe;
   for (const auto& ev : trace) {
+    if (ev.kind == MsgKind::kPhaseMarker) continue;
     PeUtilization& u = by_pe[ev.pe];
     u.pe = ev.pe;
     u.busy += ev.end - ev.begin;
@@ -51,46 +52,11 @@ std::string TraceReport::render() const {
   return table.render();
 }
 
-std::string render_reliability(const net::ReliabilityStack::Report& report) {
-  TextTable table({"data_sent", "retransmits", "delivered", "dup_suppressed",
-                   "dropped", "duplicated", "corrupted", "corrupt_dropped",
-                   "ack_rtt_ms"});
-  table.add_row({std::to_string(report.reliable.data_sent),
-                 std::to_string(report.reliable.retransmits),
-                 std::to_string(report.reliable.delivered),
-                 std::to_string(report.reliable.duplicates_suppressed),
-                 std::to_string(report.faults.dropped),
-                 std::to_string(report.faults.duplicated),
-                 std::to_string(report.faults.corrupted),
-                 std::to_string(report.corrupt_dropped),
-                 fmt_double(report.mean_ack_rtt_ms, 3)});
-  return table.render();
-}
-
-std::string render_coalesce(const net::CoalesceDevice::Counters& counters) {
-  TextTable table({"bundles", "pkts_bundled", "bundle_bytes", "mean_occupancy",
-                   "frames_saved", "eager", "flush_size", "flush_timer",
-                   "flush_idle", "flush_bypass", "bypass_urgent",
-                   "bypass_large"});
-  table.add_row({std::to_string(counters.bundles_sent),
-                 std::to_string(counters.packets_bundled),
-                 std::to_string(counters.bundle_bytes),
-                 fmt_double(counters.mean_occupancy(), 2),
-                 std::to_string(counters.frames_saved()),
-                 std::to_string(counters.eager_sent),
-                 std::to_string(counters.flush_size),
-                 std::to_string(counters.flush_timer),
-                 std::to_string(counters.flush_idle),
-                 std::to_string(counters.flush_bypass),
-                 std::to_string(counters.bypass_urgent),
-                 std::to_string(counters.bypass_large)});
-  return table.render();
-}
-
 int entries_within(const std::vector<TraceEvent>& trace, Pe pe,
                    sim::TimeNs begin, sim::TimeNs end) {
   int count = 0;
   for (const auto& ev : trace) {
+    if (ev.kind == MsgKind::kPhaseMarker) continue;
     if (ev.pe == pe && ev.begin >= begin && ev.end <= end) ++count;
   }
   return count;

@@ -2,14 +2,15 @@
 // Projections-style summary of an execution trace: per-PE busy time and
 // utilization, overlap accounting (how much of a PE's wait for remote
 // messages was covered by other objects' work), and message-kind
-// breakdowns. Consumes the TraceEvents a SimMachine records when
-// tracing is enabled.
+// breakdowns. Consumes TraceEvents from either machine — SimMachine's
+// vector recorder or ThreadMachine's per-PE rings. Zero-duration
+// kPhaseMarker events segment the timeline but are excluded from busy
+// and entry accounting.
 
 #include <string>
 #include <vector>
 
 #include "core/machine.hpp"
-#include "net/reliable.hpp"
 
 namespace mdo::core {
 
@@ -36,16 +37,8 @@ TraceReport summarize_trace(const std::vector<TraceEvent>& trace,
                             sim::TimeNs horizon = 0);
 
 /// Entries executed by `pe` strictly inside (begin, end) — the overlap
-/// measure behind Figure 2.
+/// measure behind Figure 2. Phase markers are not entries and never count.
 int entries_within(const std::vector<TraceEvent>& trace, Pe pe,
                    sim::TimeNs begin, sim::TimeNs end);
-
-/// One-row table of the reliability-layer counters (retransmits,
-/// suppressed duplicates, injected losses, ack RTT) for bench reports.
-std::string render_reliability(const net::ReliabilityStack::Report& report);
-
-/// One-row table of the coalescing-device counters (bundles, bytes
-/// bundled, mean occupancy, flush-reason histogram) for bench reports.
-std::string render_coalesce(const net::CoalesceDevice::Counters& counters);
 
 }  // namespace mdo::core

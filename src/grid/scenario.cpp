@@ -103,6 +103,7 @@ std::unique_ptr<core::ThreadMachine> make_thread_machine(
     }
   }
   wire_idle_flush(*machine);
+  machine->set_tracing(s.tracing);
   return machine;
 }
 

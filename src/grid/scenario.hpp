@@ -46,6 +46,7 @@ struct Scenario {
   /// the machines' scheduler-idle callback.
   net::CoalesceConfig coalesce;
 
+  // -- entry points --------------------------------------------------------
   static Scenario artificial(std::size_t pes, sim::TimeNs one_way) {
     Scenario s;
     s.pes = pes;
@@ -65,60 +66,104 @@ struct Scenario {
     s.mode = Mode::kLocal;
     return s;
   }
-  /// Artificial-latency scenario over a lossy WAN: drop probability
-  /// `drop` per wire frame, deterministic under `seed`. The RTO is sized
-  /// to a couple of round trips so retransmissions repair losses without
-  /// spurious duplicates.
-  static Scenario lossy(std::size_t pes, sim::TimeNs one_way, double drop,
-                        std::uint64_t seed = 1) {
-    Scenario s = artificial(pes, one_way);
-    s.faults.drop = drop;
-    s.faults.seed = seed;
-    s.reliable.rto_initial =
-        std::max<sim::TimeNs>(2 * one_way + sim::milliseconds(1.0),
-                              sim::milliseconds(2.0));
-    return s;
+
+  /// One-way WAN latency the scenario actually exhibits: the delay-device
+  /// knob under kArtificial, the calibrated WAN link under kRealGrid.
+  sim::TimeNs effective_one_way() const {
+    return mode == Mode::kRealGrid ? kWanLatency : artificial_one_way;
   }
-  /// Crash-tolerant scenario: lossy-WAN reliability stack plus the
-  /// heartbeat failure detector, with detector timeouts and retry budget
-  /// sized to the WAN latency. The timeout tolerates a full round trip
-  /// plus three consecutively lost beats, so a 32 ms one-way latency is
-  /// never misread as a death; the retry budget is small enough that
-  /// flows to a genuinely dead peer are abandoned in bounded time.
-  static Scenario crashy(std::size_t pes, sim::TimeNs one_way,
-                         double drop = 0.0, std::uint64_t seed = 1) {
-    Scenario s = lossy(pes, one_way, drop, seed);
-    s.reliable.max_retries = 5;
-    s.heartbeat.enabled = true;
-    s.heartbeat.period = sim::milliseconds(5.0);
-    s.heartbeat.timeout = 2 * one_way + 4 * s.heartbeat.period;
-    return s;
+
+  // -- fluent builder ------------------------------------------------------
+  // Each with_* returns *this so environments compose left to right:
+  //   Scenario::artificial(pes, one_way)
+  //       .with_loss(0.02, seed)
+  //       .with_crashes()
+  //       .with_coalescing()
+  //       .with_tracing();
+  // Order-insensitive: every knob that depends on another (RTO on
+  // latency, flush window on the heartbeat period) is re-derived by the
+  // later call.
+
+  /// Lossy WAN: drop probability `drop` per wire frame, deterministic
+  /// under `seed`; machines install the full reliability stack. The RTO
+  /// is sized to a couple of round trips so retransmissions repair
+  /// losses without spurious duplicates.
+  Scenario& with_loss(double drop, std::uint64_t seed = 1) {
+    faults.drop = drop;
+    faults.seed = seed;
+    size_rto();
+    return *this;
   }
-  /// Enable message coalescing on top of any scenario (composes with
-  /// lossy/crashy: `Scenario::lossy(...).with_coalescing()`). The
-  /// backstop flush timer is sized from the latency model — an eighth of
-  /// the one-way WAN latency, clamped to [100 us, 1 ms] — and, when the
-  /// failure detector is on, to at most half a heartbeat period so
-  /// bundling can never widen the detection window.
+
+  /// Node-crash tolerance: heartbeat failure detector plus a bounded
+  /// retransmission budget, both sized to the WAN latency. The detector
+  /// timeout tolerates a full round trip plus three consecutively lost
+  /// beats, so a 32 ms one-way latency is never misread as a death; the
+  /// retry budget is small enough that flows to a genuinely dead peer
+  /// are abandoned in bounded time.
+  Scenario& with_crashes() {
+    size_rto();
+    reliable.max_retries = 5;
+    heartbeat.enabled = true;
+    heartbeat.period = sim::milliseconds(5.0);
+    heartbeat.timeout = 2 * effective_one_way() + 4 * heartbeat.period;
+    clamp_flush_window();
+    return *this;
+  }
+
+  /// Message coalescing: small cross-cluster packets bundle into fewer
+  /// wire frames. The backstop flush timer is sized from the latency
+  /// model — an eighth of the one-way WAN latency, clamped to
+  /// [100 us, 1 ms] — and, when the failure detector is on, to at most
+  /// half a heartbeat period so bundling can never widen the detection
+  /// window.
   Scenario& with_coalescing() {
     coalesce.enabled = true;
-    const sim::TimeNs one_way =
-        mode == Mode::kRealGrid ? kWanLatency : artificial_one_way;
     coalesce.flush_timeout = std::clamp<sim::TimeNs>(
-        one_way / 8, sim::microseconds(100.0), sim::milliseconds(1.0));
-    if (heartbeat.enabled) {
+        effective_one_way() / 8, sim::microseconds(100.0),
+        sim::milliseconds(1.0));
+    clamp_flush_window();
+    return *this;
+  }
+
+  /// Entry-interval tracing on the built machine (both machine kinds).
+  Scenario& with_tracing(bool on = true) {
+    tracing = on;
+    return *this;
+  }
+
+  // -- deprecated factory wrappers -----------------------------------------
+  [[deprecated("use artificial(pes, one_way).with_loss(drop, seed)")]]
+  static Scenario lossy(std::size_t pes, sim::TimeNs one_way, double drop,
+                        std::uint64_t seed = 1) {
+    return artificial(pes, one_way).with_loss(drop, seed);
+  }
+  [[deprecated(
+      "use artificial(pes, one_way).with_loss(drop, seed).with_crashes()")]]
+  static Scenario crashy(std::size_t pes, sim::TimeNs one_way,
+                         double drop = 0.0, std::uint64_t seed = 1) {
+    return artificial(pes, one_way).with_loss(drop, seed).with_crashes();
+  }
+  [[deprecated("use artificial(pes, one_way).with_coalescing()")]]
+  static Scenario coalesced(std::size_t pes, sim::TimeNs one_way) {
+    return artificial(pes, one_way).with_coalescing();
+  }
+
+ private:
+  /// RTO sized to a couple of round trips (used by loss and crash knobs;
+  /// idempotent, so builder order does not matter).
+  void size_rto() {
+    reliable.rto_initial = std::max<sim::TimeNs>(
+        2 * effective_one_way() + sim::milliseconds(1.0),
+        sim::milliseconds(2.0));
+  }
+  /// Keep the coalescing flush window under half a heartbeat period
+  /// whenever both knobs are on, regardless of which was set first.
+  void clamp_flush_window() {
+    if (coalesce.enabled && heartbeat.enabled) {
       coalesce.flush_timeout =
           std::min(coalesce.flush_timeout, heartbeat.period / 2);
     }
-    return *this;
-  }
-  /// Artificial-latency scenario with message coalescing on a clean
-  /// fabric: the classic delay-device environment, minus the per-message
-  /// WAN frame tax.
-  static Scenario coalesced(std::size_t pes, sim::TimeNs one_way) {
-    Scenario s = artificial(pes, one_way);
-    s.with_coalescing();
-    return s;
   }
 };
 

@@ -10,7 +10,7 @@
 //
 // The timeout must be tuned to the deployment's RTT: on a grid with a
 // 32 ms one-way WAN latency a beat needs >32 ms just to arrive, so a
-// too-tight timeout misreads latency as death. Scenario::crashy sizes it
+// too-tight timeout misreads latency as death. Scenario::with_crashes sizes it
 // as 2*one_way + 4*period, which tolerates a full round trip plus three
 // consecutively lost beats.
 //

@@ -1,0 +1,45 @@
+#pragma once
+// Metric publication for the net layer: one register_metrics overload per
+// device plus conveniences for a whole ReliabilityStack and a Fabric.
+// Devices keep their plain Counters structs on the hot path; these
+// functions register read-only sources that copy the counters into a
+// MetricSink when the registry is snapshotted.
+//
+// Naming scheme (hierarchical, dot-separated):
+//   net.reliable.*   net.fault.*   net.heartbeat.*   net.coalesce.*
+//   net.checksum.*   net.stripe.*  net.compress.*    fabric.*
+//
+// The registered device must outlive every snapshot() call on the
+// registry (sources capture raw pointers). Machines satisfy this by
+// owning both the fabric (which owns the chain and devices) and the
+// registry.
+
+#include "obs/metrics.hpp"
+
+namespace mdo::net {
+
+class Fabric;
+class ReliableDevice;
+class FaultDevice;
+class HeartbeatDevice;
+class CoalesceDevice;
+class ChecksumDevice;
+class CompressionDevice;
+class StripingDevice;
+struct ReliabilityStack;
+
+void register_metrics(obs::MetricRegistry& reg, const ReliableDevice& dev);
+void register_metrics(obs::MetricRegistry& reg, const FaultDevice& dev);
+void register_metrics(obs::MetricRegistry& reg, const HeartbeatDevice& dev);
+void register_metrics(obs::MetricRegistry& reg, const CoalesceDevice& dev);
+void register_metrics(obs::MetricRegistry& reg, const ChecksumDevice& dev);
+void register_metrics(obs::MetricRegistry& reg, const CompressionDevice& dev);
+void register_metrics(obs::MetricRegistry& reg, const StripingDevice& dev);
+
+/// Register every installed device of `stack` (null members are skipped).
+void register_metrics(obs::MetricRegistry& reg, const ReliabilityStack& stack);
+
+/// Wire-frame statistics of a fabric, under `fabric.*`.
+void register_fabric_metrics(obs::MetricRegistry& reg, const Fabric& fabric);
+
+}  // namespace mdo::net

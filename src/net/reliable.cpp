@@ -207,20 +207,6 @@ void ReliableDevice::send_ack(NodeId data_src, NodeId data_dst,
   host_->inject_send(this, std::move(ack));
 }
 
-ReliabilityStack::Report ReliabilityStack::report() const {
-  Report r;
-  if (reliable != nullptr) {
-    r.reliable = reliable->counters();
-    if (reliable->ack_rtt_ns().count() > 0) {
-      r.mean_ack_rtt_ms = reliable->ack_rtt_ns().mean() / 1e6;
-    }
-  }
-  if (faults != nullptr) r.faults = faults->counters();
-  if (coalesce != nullptr) r.coalesce = coalesce->counters();
-  if (checksum != nullptr) r.corrupt_dropped = checksum->corrupt_dropped();
-  return r;
-}
-
 ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
                                            const ReliableConfig& reliable,
                                            const FaultConfig& faults,

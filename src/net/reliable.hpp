@@ -119,27 +119,10 @@ class ReliableDevice final : public FilterDevice {
   PeerUnreachableFn on_peer_unreachable_;
 };
 
-inline bool operator==(const ReliableDevice::Counters& a,
-                       const ReliableDevice::Counters& b) {
-  return a.data_sent == b.data_sent && a.retransmits == b.retransmits &&
-         a.acks_sent == b.acks_sent && a.acks_received == b.acks_received &&
-         a.delivered == b.delivered &&
-         a.duplicates_suppressed == b.duplicates_suppressed &&
-         a.out_of_order_buffered == b.out_of_order_buffered &&
-         a.malformed_dropped == b.malformed_dropped &&
-         a.flows_abandoned == b.flows_abandoned;
-}
-
-inline bool operator==(const FaultDevice::Counters& a,
-                       const FaultDevice::Counters& b) {
-  return a.seen == b.seen && a.dropped == b.dropped &&
-         a.duplicated == b.duplicated && a.corrupted == b.corrupted &&
-         a.reordered == b.reordered;
-}
-
 /// The devices of one reliability stack, in chain order; pointers are
 /// owned by the chain. `delay` is null when no artificial WAN delay was
-/// requested.
+/// requested. Counter publication goes through the metric registry —
+/// see net/metrics.hpp register_metrics(reg, stack).
 struct ReliabilityStack {
   CoalesceDevice* coalesce = nullptr;    ///< null unless config enabled it
   ReliableDevice* reliable = nullptr;
@@ -149,18 +132,6 @@ struct ReliabilityStack {
   DelayDevice* delay = nullptr;
 
   bool installed() const { return reliable != nullptr; }
-
-  /// Flat counter snapshot for reports and replay comparisons.
-  struct Report {
-    ReliableDevice::Counters reliable{};
-    FaultDevice::Counters faults{};
-    CoalesceDevice::Counters coalesce{};  ///< zero when not installed
-    std::uint64_t corrupt_dropped = 0;  ///< checksum-detected, pre-reliable
-    double mean_ack_rtt_ms = 0.0;
-
-    bool operator==(const Report&) const = default;
-  };
-  Report report() const;
 };
 
 /// Append the canonical lossy-WAN stack to `chain`:

@@ -1,0 +1,125 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mdo::obs {
+
+Json& Json::set(std::string key, Json value) {
+  MDO_CHECK_MSG(kind_ == Kind::kObject, "Json::set on a non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  MDO_CHECK_MSG(kind_ == Kind::kArray, "Json::push on a non-array");
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shortest round-trip double representation; NaN/inf become null (JSON
+/// has no encoding for them).
+void write_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  MDO_CHECK(ec == std::errc());
+  out.append(buf, ptr);
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: write_double(out, double_); break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : elements_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        e.write(out, indent, depth + 1);
+      }
+      if (!elements_.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        out += '"';
+        out += json_escape(k);
+        out += "\": ";
+        if (indent < 0) out.pop_back();  // compact: no space after colon
+        v.write(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace mdo::obs

@@ -1,0 +1,80 @@
+#pragma once
+// Minimal ordered JSON value, the serialization substrate of the
+// observability layer: metric snapshots (obs/metrics.hpp) and the
+// machine-readable BENCH_*.json files the bench harnesses emit. Objects
+// preserve insertion order so rendered documents are deterministic and
+// diff-able across runs; numbers render shortest-round-trip so a value
+// read back compares equal bit for bit.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mdo::obs {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                  // NOLINT
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}            // NOLINT
+  Json(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}         // NOLINT
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}             // NOLINT
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}            // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                   // NOLINT
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+
+  /// Object member set (append-or-overwrite, order-preserving).
+  Json& set(std::string key, Json value);
+  /// Array element append.
+  Json& push(Json value);
+
+  std::size_t size() const {
+    return kind_ == Kind::kObject ? members_.size() : elements_.size();
+  }
+
+  /// Serialize. indent < 0: compact one-liner; indent >= 0: pretty-print
+  /// with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> elements_;                         ///< kArray
+  std::vector<std::pair<std::string, Json>> members_;  ///< kObject
+};
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace mdo::obs

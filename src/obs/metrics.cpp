@@ -1,0 +1,108 @@
+#include "obs/metrics.hpp"
+
+#include "util/table.hpp"
+
+namespace mdo::obs {
+
+void MetricSink::counter(const std::string& name, std::uint64_t v) {
+  MetricValue m;
+  m.kind = MetricValue::Kind::kCounter;
+  m.count = v;
+  (*out_)[prefix_ + "." + name] = m;
+}
+
+void MetricSink::gauge(const std::string& name, double v) {
+  MetricValue m;
+  m.kind = MetricValue::Kind::kGauge;
+  m.value = v;
+  (*out_)[prefix_ + "." + name] = m;
+}
+
+void MetricSink::histogram(const std::string& name, const RunningStats& s) {
+  MetricValue m;
+  m.kind = MetricValue::Kind::kHistogram;
+  m.count = s.count();
+  m.value = s.mean();
+  m.min = s.min();
+  m.max = s.max();
+  (*out_)[prefix_ + "." + name] = m;
+}
+
+Snapshot Snapshot::diff(const Snapshot& earlier) const {
+  Snapshot out;
+  for (const auto& [name, now] : values) {
+    MetricValue d = now;
+    if (now.kind == MetricValue::Kind::kCounter) {
+      auto it = earlier.values.find(name);
+      if (it != earlier.values.end() && it->second.count <= now.count) {
+        d.count = now.count - it->second.count;
+      }
+    }
+    out.values[name] = d;
+  }
+  return out;
+}
+
+Json Snapshot::to_json() const {
+  Json obj = Json::object();
+  for (const auto& [name, m] : values) {
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        obj.set(name, m.count);
+        break;
+      case MetricValue::Kind::kGauge:
+        obj.set(name, m.value);
+        break;
+      case MetricValue::Kind::kHistogram: {
+        Json h = Json::object();
+        h.set("count", m.count);
+        h.set("mean", m.value);
+        h.set("min", m.min);
+        h.set("max", m.max);
+        obj.set(name, std::move(h));
+        break;
+      }
+    }
+  }
+  return obj;
+}
+
+std::string Snapshot::render_table(const std::string& prefix) const {
+  TextTable table({"metric", "kind", "value"});
+  for (const auto& [name, m] : values) {
+    if (!prefix.empty() && name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        table.add_row({name, "counter", std::to_string(m.count)});
+        break;
+      case MetricValue::Kind::kGauge:
+        table.add_row({name, "gauge", fmt_double(m.value, 3)});
+        break;
+      case MetricValue::Kind::kHistogram:
+        table.add_row({name, "histogram",
+                       "n=" + std::to_string(m.count) +
+                           " mean=" + fmt_double(m.value, 3) +
+                           " min=" + fmt_double(m.min, 3) +
+                           " max=" + fmt_double(m.max, 3)});
+        break;
+    }
+  }
+  return table.render();
+}
+
+void MetricRegistry::add_source(std::string prefix, SourceFn fn) {
+  sources_.emplace_back(std::move(prefix), std::move(fn));
+}
+
+Snapshot MetricRegistry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [prefix, fn] : sources_) {
+    MetricSink sink(prefix, &snap.values);
+    fn(sink);
+  }
+  return snap;
+}
+
+}  // namespace mdo::obs

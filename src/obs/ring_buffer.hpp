@@ -1,0 +1,69 @@
+#pragma once
+// Lock-free single-producer/single-consumer ring buffer. ThreadMachine
+// gives each PE worker one of these so tracing never takes a lock on
+// the delivery path: the worker (sole producer) appends TraceEvents,
+// the joining main thread (sole consumer, after workers stop) drains
+// them. Generic over T so the obs layer stays independent of core's
+// TraceEvent type.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mdo::obs {
+
+/// Fixed-capacity SPSC ring. push() is wait-free for the producer; when
+/// the ring is full events are dropped and counted rather than blocking
+/// the hot path. drain() is intended for use after the producer has
+/// quiesced (it is safe concurrently, but may miss in-flight pushes).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : slots_(capacity ? capacity : 1) {}
+
+  /// Producer side. Returns false (and counts a drop) when full.
+  bool push(const T& item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head % slots_.size()] = item;
+    // Release publishes the slot write before the new head.
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pop everything currently published, in FIFO order.
+  std::vector<T> drain() {
+    std::vector<T> out;
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    out.reserve(head - tail);
+    for (; tail != head; ++tail) {
+      out.push_back(slots_[tail % slots_.size()]);
+    }
+    tail_.store(tail, std::memory_order_release);
+    return out;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::atomic<std::size_t> head_{0};  ///< next write index (producer)
+  std::atomic<std::size_t> tail_{0};  ///< next read index (consumer)
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace mdo::obs

@@ -67,6 +67,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) {
+    // A NaN sample has no defined bin: casting the NaN bin index to an
+    // integer is UB and in practice landed it in bin 0, silently
+    // skewing the low edge. Count it in the explicit overflow bin.
+    ++overflow_;
+    ++total_;
+    return;
+  }
+  if (std::isinf(x)) {
+    // Infinities behave like any other out-of-range value: clamp to the
+    // edge bin (the index cast below would be UB on them).
+    ++(x > 0.0 ? counts_.back() : counts_.front());
+    ++total_;
+    return;
+  }
   double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
   auto i = static_cast<std::ptrdiff_t>(std::floor(t));
   i = std::clamp<std::ptrdiff_t>(i, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);

@@ -45,6 +45,9 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  /// Samples that fit no bin (NaN); counted in total() but in no bin.
+  /// Out-of-range finite values still clamp to the edge bins.
+  std::size_t overflow() const { return overflow_; }
   double bin_low(std::size_t i) const;
   double bin_high(std::size_t i) const;
 
@@ -53,6 +56,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 /// Coefficient of variation of a sample (stddev/mean); 0 for empty/zero-mean.

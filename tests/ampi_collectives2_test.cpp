@@ -205,18 +205,21 @@ TEST(AmpiFabricIndependence, CollectivesIdenticalUnderLossAndCoalescing) {
   ASSERT_EQ(clean.size(), static_cast<std::size_t>(ranks));
 
   auto lossy = collective_signature(
-      grid::Scenario::lossy(4, sim::milliseconds(1.0), 0.03, /*seed=*/11),
+      grid::Scenario::artificial(4, sim::milliseconds(1.0))
+          .with_loss(0.03, /*seed=*/11),
       ranks);
   EXPECT_EQ(lossy, clean);
 
   auto coalesced = collective_signature(
-      grid::Scenario::lossy(4, sim::milliseconds(1.0), 0.03, /*seed=*/11)
+      grid::Scenario::artificial(4, sim::milliseconds(1.0))
+          .with_loss(0.03, /*seed=*/11)
           .with_coalescing(),
       ranks);
   EXPECT_EQ(coalesced, clean);
 
   auto clean_coalesced = collective_signature(
-      grid::Scenario::coalesced(4, sim::milliseconds(1.0)), ranks);
+      grid::Scenario::artificial(4, sim::milliseconds(1.0)).with_coalescing(),
+      ranks);
   EXPECT_EQ(clean_coalesced, clean);
 }
 

@@ -61,7 +61,7 @@ struct FtHarness {
 };
 
 TEST(FaultToleranceSim, RecoverRestoresLostElementsOntoSurvivors) {
-  FtHarness h(grid::Scenario::crashy(4, sim::milliseconds(2.0)));
+  FtHarness h(grid::Scenario::artificial(4, sim::milliseconds(2.0)).with_crashes());
   h.ft.checkpoint();
   EXPECT_EQ(h.ft.checkpoints_taken(), 1u);
   EXPECT_GT(h.ft.checkpoint_bytes(), 0u);
@@ -89,7 +89,9 @@ TEST(FaultToleranceSim, RecoverRestoresLostElementsOntoSurvivors) {
     EXPECT_NE(pe, 3) << "element " << i << " left on the dead PE";
     // Default placement walks the ring inside the home cluster: the dead
     // PE 3's elements belong to cluster B = {2, 3}, so they land on 2.
-    if (i % 4 == 3) EXPECT_EQ(pe, 2);
+    if (i % 4 == 3) {
+      EXPECT_EQ(pe, 2);
+    }
     EXPECT_EQ(h.cells.local(Index(i))->value, i * 10);
   }
 
@@ -102,12 +104,12 @@ TEST(FaultToleranceSim, RecoverRestoresLostElementsOntoSurvivors) {
 }
 
 TEST(FaultToleranceSim, RecoverWithoutCheckpointDies) {
-  FtHarness h(grid::Scenario::crashy(4, sim::milliseconds(2.0)));
+  FtHarness h(grid::Scenario::artificial(4, sim::milliseconds(2.0)).with_crashes());
   EXPECT_DEATH(h.ft.recover(), "without a prior checkpoint");
 }
 
 TEST(FaultToleranceSim, CheckpointWithUnrecoveredDeadPeDies) {
-  FtHarness h(grid::Scenario::crashy(4, sim::milliseconds(2.0)));
+  FtHarness h(grid::Scenario::artificial(4, sim::milliseconds(2.0)).with_crashes());
   h.ft.checkpoint();
   h.sim->kill_pe(3, sim::milliseconds(5.0));
   h.ft.watch(sim::milliseconds(100.0));
@@ -118,7 +120,7 @@ TEST(FaultToleranceSim, CheckpointWithUnrecoveredDeadPeDies) {
 TEST(FaultToleranceSim, OwnerAndBuddyDyingTogetherIsUnrecoverable) {
   // two_cluster(4): cluster B = {2, 3}. PE 2's buddy is PE 3, so wiping
   // the whole cluster loses both copies of PE 2's elements.
-  FtHarness h(grid::Scenario::crashy(4, sim::milliseconds(2.0)));
+  FtHarness h(grid::Scenario::artificial(4, sim::milliseconds(2.0)).with_crashes());
   h.ft.checkpoint();
   h.sim->kill_pe(2, sim::milliseconds(5.0));
   h.sim->kill_pe(3, sim::milliseconds(6.0));
@@ -128,14 +130,14 @@ TEST(FaultToleranceSim, OwnerAndBuddyDyingTogetherIsUnrecoverable) {
   EXPECT_DEATH(h.ft.recover(), "unrecoverable");
 }
 
-/// Drives one full stencil run under Scenario::crashy, optionally killing
+/// Drives one full stencil run under a crash-tolerant scenario, killing
 /// PE 2 at a fixed virtual time, recovering, and re-running the disturbed
 /// phase. Returns the final mesh after exactly `phases * steps_per_phase`
 /// effective Jacobi steps.
 std::vector<double> run_stencil_with_ft(const Params& p, bool crash,
                                         int phases, int steps_per_phase,
                                         core::RecoveryReport* out_report) {
-  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(8.0));
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_crashes();
   auto machine = grid::make_sim_machine(s);
   core::SimMachine* sim = machine.get();
   Runtime rt(std::move(machine));
@@ -198,7 +200,7 @@ TEST(FaultToleranceSim, CrashRecoveryIsBitIdenticalToCrashFreeRun) {
 }
 
 TEST(FaultToleranceThread, StencilSurvivesKilledPe) {
-  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(1.0));
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(1.0)).with_crashes();
   // Real-time detector cadence: generous timeout so a loaded CI host
   // never misreads a live (but descheduled) worker as dead.
   s.heartbeat.period = sim::milliseconds(20.0);
@@ -261,7 +263,7 @@ TEST(CheckpointUnderLoss, SimRoundTripAcrossMigrationIsExact) {
   p.mesh = 24;
   p.objects = 16;
   p.real_compute = true;
-  grid::Scenario s = grid::Scenario::lossy(4, sim::milliseconds(4.0), 0.02, 7);
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(4.0)).with_loss(0.02, 7);
 
   Runtime rt(grid::make_sim_machine(s));
   StencilApp app(rt, p);
@@ -298,7 +300,7 @@ TEST(CheckpointUnderLoss, ThreadRoundTripMatchesReference) {
   p.objects = 16;
   p.real_compute = true;
   p.modeled_charge = false;
-  grid::Scenario s = grid::Scenario::lossy(4, sim::milliseconds(1.0), 0.02, 9);
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(1.0)).with_loss(0.02, 9);
   core::ThreadMachine::Config cfg;
   cfg.emulate_charge = false;
 

@@ -10,6 +10,8 @@
 #include "core/mapping.hpp"
 #include "core/runtime.hpp"
 #include "core/thread_machine.hpp"
+#include "core/trace_report.hpp"
+#include "grid/scenario.hpp"
 
 namespace {
 
@@ -131,6 +133,66 @@ TEST(ThreadMachineTest, StatsAreAccounted) {
   rt.run();
   EXPECT_GT(rt.machine().pe_stats(0).msgs_executed, 0u);
   EXPECT_GT(rt.machine().pe_stats(1).msgs_executed, 0u);
+}
+
+// -- tracing ------------------------------------------------------------------
+
+/// Run the deterministic 9-hop ping-pong on `machine` with tracing
+/// enabled and return the entry events (system message kinds filtered
+/// out, since the two machine backends drive quiescence differently).
+std::vector<core::TraceEvent> traced_pingpong(
+    std::unique_ptr<core::Machine> machine) {
+  Runtime rt(std::move(machine));
+  auto proxy = rt.create_array<Echo>(
+      "echo", core::indices_1d(2), core::block_map_1d(2, 2),
+      [](const Index&) { return std::make_unique<Echo>(); });
+  proxy.send<&Echo::hit>(Index(0), 9);
+  rt.run();
+  std::vector<core::TraceEvent> trace = rt.machine().trace();
+  std::erase_if(trace, [](const core::TraceEvent& ev) {
+    return ev.kind != core::MsgKind::kEntry;
+  });
+  return trace;
+}
+
+TEST(ThreadMachineTest, TracingMatchesSimMachineOverlapReport) {
+  // The same ping-pong on real threads and on the virtual-time machine:
+  // timestamps differ (wall clock vs DES clock) but the overlap report's
+  // structure — per-PE entry counts and WAN-delivery classification —
+  // must be identical, so summarize_trace works on real-thread runs.
+  const net::Topology topo = net::Topology::two_cluster(2);
+
+  auto thread_machine = make_machine(2);
+  thread_machine->set_tracing(true);
+  auto thread_trace = traced_pingpong(std::move(thread_machine));
+
+  auto sim_trace = traced_pingpong(grid::make_sim_machine(
+      grid::Scenario::artificial(2, sim::milliseconds(1.0)).with_tracing()));
+
+  auto thread_report = core::summarize_trace(thread_trace, topo);
+  auto sim_report = core::summarize_trace(sim_trace, topo);
+  ASSERT_EQ(thread_report.per_pe.size(), 2u);
+  ASSERT_EQ(sim_report.per_pe.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(thread_report.per_pe[i].pe, sim_report.per_pe[i].pe);
+    EXPECT_EQ(thread_report.per_pe[i].entries, sim_report.per_pe[i].entries);
+    EXPECT_EQ(thread_report.per_pe[i].from_remote_cluster,
+              sim_report.per_pe[i].from_remote_cluster);
+    EXPECT_GT(thread_report.per_pe[i].busy, 0);
+    EXPECT_GT(thread_report.per_pe[i].utilization, 0.0);
+  }
+  EXPECT_GT(thread_report.mean_utilization, 0.0);
+}
+
+TEST(ThreadMachineTest, TraceRingDropsAreCountedNotFatal) {
+  // Nothing traced: the ring metrics still publish, with enabled=0.
+  auto machine = make_machine(2);
+  core::Machine* raw = machine.get();
+  Runtime rt(std::move(machine));
+  auto snap = raw->metrics().snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauge("trace.enabled"), 0.0);
+  EXPECT_EQ(snap.counter("trace.dropped"), 0u);
+  EXPECT_TRUE(raw->trace().empty());
 }
 
 }  // namespace

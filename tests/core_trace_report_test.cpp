@@ -1,14 +1,14 @@
 // Trace-report rendering and overlap accounting on hand-built traces:
-// exact golden output for render()/render_coalesce(), per-PE utilization
-// math, WAN-delivery classification, and the entries_within() overlap
-// measure on boundary cases.
+// exact golden output for render(), per-PE utilization math,
+// WAN-delivery classification, and the entries_within() overlap measure
+// on boundary cases. Phase-marker events must be excluded from all
+// accounting.
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "core/trace_report.hpp"
-#include "net/coalesce.hpp"
 #include "net/topology.hpp"
 
 namespace {
@@ -118,29 +118,24 @@ TEST(TraceReportTest, OverlapAccountingDuringRemoteWait) {
             1);
 }
 
-TEST(TraceReportTest, RenderCoalesceGoldenOutput) {
-  net::CoalesceDevice::Counters c;
-  c.bundles_sent = 4;
-  c.packets_bundled = 10;
-  c.bundle_bytes = 2048;
-  c.eager_sent = 3;
-  c.flush_size = 1;
-  c.flush_timer = 2;
-  c.flush_idle = 1;
-  c.flush_bypass = 0;
-  c.bypass_urgent = 5;
-  c.bypass_large = 6;
-  const std::string expected =
-      "| bundles | pkts_bundled | bundle_bytes | mean_occupancy | "
-      "frames_saved | eager | flush_size | flush_timer | flush_idle | "
-      "flush_bypass | bypass_urgent | bypass_large |\n"
-      "|---------|--------------|--------------|----------------|"
-      "--------------|-------|------------|-------------|------------|"
-      "--------------|---------------|--------------|\n"
-      "| 4       | 10           | 2048         | 2.50           | "
-      "6            | 3     | 1          | 2           | 1          | "
-      "0            | 5             | 6            |\n";
-  EXPECT_EQ(core::render_coalesce(c), expected);
+TEST(TraceReportTest, PhaseMarkersAreExcludedFromAccounting) {
+  net::Topology topo = net::Topology::two_cluster(4);
+  auto trace = sample_trace();
+  TraceEvent marker;
+  marker.pe = 0;
+  marker.begin = marker.end = sim::milliseconds(3.5);
+  marker.src_pe = 0;
+  marker.entry = 7;  // phase number rides in the entry field
+  marker.kind = core::MsgKind::kPhaseMarker;
+  trace.push_back(marker);
+
+  auto report = core::summarize_trace(trace, topo);
+  EXPECT_EQ(report.per_pe[0].entries, 2u);  // unchanged by the marker
+  EXPECT_EQ(report.per_pe[0].busy, sim::milliseconds(3.0));
+  // entries_within skips markers too, even when the window covers one.
+  EXPECT_EQ(core::entries_within(trace, 0, sim::milliseconds(3.4),
+                                 sim::milliseconds(3.6)),
+            0);
 }
 
 }  // namespace

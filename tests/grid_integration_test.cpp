@@ -62,8 +62,8 @@ TEST(Scenario, ArtificialLatencyPredictsRealGrid) {
 TEST(Timeline, TraceShowsOverlapOfComputeWithWanWait) {
   // Figure 2 in miniature: while a WAN round-trip is in flight, the
   // sending PE keeps executing other objects' entries.
-  grid::Scenario scenario = grid::Scenario::artificial(2, sim::milliseconds(10.0));
-  scenario.tracing = true;
+  grid::Scenario scenario =
+      grid::Scenario::artificial(2, sim::milliseconds(10.0)).with_tracing();
   Runtime rt(grid::make_sim_machine(scenario));
   Params p;
   p.mesh = 1024;

@@ -284,7 +284,7 @@ TEST(CoalesceScenario, ReducesWanWireFramesOnStencil) {
   auto [base_frames, no_dev] = run(grid::Scenario::artificial(4, one_way));
   EXPECT_EQ(no_dev, nullptr);
 
-  auto machine = grid::make_sim_machine(grid::Scenario::coalesced(4, one_way));
+  auto machine = grid::make_sim_machine(grid::Scenario::artificial(4, one_way).with_coalescing());
   core::SimMachine* raw = machine.get();
   ASSERT_NE(raw->coalesce(), nullptr);
   core::Runtime rt(std::move(machine));
@@ -309,7 +309,7 @@ TEST(CoalesceScenario, IdleFlushFiresWhenPeDrains) {
   // One-shot burst: after the sending PE drains its queue the idle
   // notification must flush the open window without waiting out the
   // (long) backstop timer.
-  grid::Scenario s = grid::Scenario::coalesced(4, sim::milliseconds(4.0));
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(4.0)).with_coalescing();
   s.coalesce.flush_timeout = sim::milliseconds(50.0);
   auto machine = grid::make_sim_machine(s);
   core::SimMachine* raw = machine.get();
@@ -323,8 +323,9 @@ TEST(CoalesceScenario, IdleFlushFiresWhenPeDrains) {
 TEST(CoalesceScenario, LossyCrashyCoalescedReplayIsBitIdentical) {
   auto run_once = [] {
     grid::Scenario s =
-        grid::Scenario::crashy(4, sim::milliseconds(2.0), /*drop=*/0.02,
-                               /*seed=*/5)
+        grid::Scenario::artificial(4, sim::milliseconds(2.0))
+            .with_loss(/*drop=*/0.02, /*seed=*/5)
+            .with_crashes()
             .with_coalescing();
     auto machine = grid::make_sim_machine(s);
     core::SimMachine* raw = machine.get();
@@ -333,14 +334,14 @@ TEST(CoalesceScenario, LossyCrashyCoalescedReplayIsBitIdentical) {
     p.objects = 16;
     apps::stencil::StencilApp app(rt, p);
     app.run_steps(6);
-    return std::make_pair(raw->reliability().report(), rt.now());
+    return std::make_pair(raw->metrics().snapshot(), rt.now());
   };
-  auto [report_a, end_a] = run_once();
-  auto [report_b, end_b] = run_once();
-  EXPECT_EQ(report_a, report_b);  // includes the coalesce counters
+  auto [snap_a, end_a] = run_once();
+  auto [snap_b, end_b] = run_once();
+  EXPECT_EQ(snap_a, snap_b);  // includes the coalesce counters
   EXPECT_EQ(end_a, end_b);
-  EXPECT_GT(report_a.coalesce.bundles_sent, 0u);
-  EXPECT_GT(report_a.faults.dropped, 0u);
+  EXPECT_GT(snap_a.counter("net.coalesce.bundles_sent"), 0u);
+  EXPECT_GT(snap_a.counter("net.fault.dropped"), 0u);
 }
 
 TEST(CoalesceScenario, DetectionWindowIsNotWidenedByBundling) {
@@ -349,7 +350,9 @@ TEST(CoalesceScenario, DetectionWindowIsNotWidenedByBundling) {
   // injected below the coalescing device and the flush window is clamped
   // under half a heartbeat period.
   grid::Scenario s =
-      grid::Scenario::crashy(4, sim::milliseconds(8.0)).with_coalescing();
+      grid::Scenario::artificial(4, sim::milliseconds(8.0))
+          .with_crashes()
+          .with_coalescing();
   ASSERT_LE(s.coalesce.flush_timeout, s.heartbeat.period / 2);
   auto machine = grid::make_sim_machine(s);
   ASSERT_NE(machine->reliability().coalesce, nullptr);

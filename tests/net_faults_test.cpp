@@ -15,8 +15,10 @@
 #include "apps/stencil/stencil.hpp"
 #include "grid/scenario.hpp"
 #include "net/faults.hpp"
+#include "net/metrics.hpp"
 #include "net/reliable.hpp"
 #include "net/sim_fabric.hpp"
+#include "obs/metrics.hpp"
 #include "net/thread_fabric.hpp"
 #include "sim/engine.hpp"
 
@@ -148,6 +150,7 @@ struct LossySim {
   net::FixedLatencyModel model{sim::microseconds(100)};
   std::unique_ptr<SimFabric> fabric;
   net::ReliabilityStack stack;
+  obs::MetricRegistry metrics;  ///< fabric-level harness: no Machine to own one
   std::map<std::pair<net::NodeId, net::NodeId>, std::vector<std::string>>
       received;
 
@@ -158,6 +161,7 @@ struct LossySim {
     rel.rto_initial = rto;
     stack = net::install_reliability_stack(chain, &topo, rel, faults,
                                            /*cross_cluster_delay=*/0);
+    net::register_metrics(metrics, stack);
     fabric = std::make_unique<SimFabric>(&engine, &topo, &model,
                                          std::move(chain));
     for (net::NodeId n = 0; n < 4; ++n) {
@@ -238,13 +242,13 @@ TEST(ReliableSimTest, ReplayWithSameSeedIsBitIdentical) {
       sim.fabric->send(text_packet(3, 1, "reverse-" + std::to_string(i)));
     }
     sim.engine.run();
-    return std::make_pair(sim.stack.report(), sim.engine.now());
+    return std::make_pair(sim.metrics.snapshot(), sim.engine.now());
   };
-  auto [report_a, end_a] = run_once();
-  auto [report_b, end_b] = run_once();
-  EXPECT_EQ(report_a, report_b);
+  auto [snap_a, end_a] = run_once();
+  auto [snap_b, end_b] = run_once();
+  EXPECT_EQ(snap_a, snap_b);
   EXPECT_EQ(end_a, end_b);
-  EXPECT_GT(report_a.reliable.retransmits, 0u);
+  EXPECT_GT(snap_a.counter("net.reliable.retransmits"), 0u);
 }
 
 TEST(ReliableSimTest, AckRttIsMeasured) {
@@ -316,8 +320,8 @@ TEST(LossyScenarioTest, StencilAtOnePercentLossMatchesLossless) {
   auto lossless =
       stencil_mesh(grid::Scenario::artificial(4, sim::milliseconds(5.0)));
   auto scenario =
-      grid::Scenario::lossy(4, sim::milliseconds(5.0), /*drop=*/0.01,
-                            /*seed=*/11);
+      grid::Scenario::artificial(4, sim::milliseconds(5.0))
+          .with_loss(/*drop=*/0.01, /*seed=*/11);
   scenario.faults.duplicate = 0.01;
   scenario.faults.reorder = 0.1;
   scenario.faults.reorder_jitter = sim::milliseconds(1.0);
@@ -331,7 +335,8 @@ TEST(LossyScenarioTest, StencilAtOnePercentLossMatchesLossless) {
 TEST(LossyScenarioTest, SimMachineReplayHasIdenticalCounters) {
   auto run_once = [] {
     auto scenario =
-        grid::Scenario::lossy(4, sim::milliseconds(2.0), 0.02, /*seed=*/23);
+        grid::Scenario::artificial(4, sim::milliseconds(2.0))
+            .with_loss(0.02, /*seed=*/23);
     auto machine = grid::make_sim_machine(scenario);
     core::SimMachine* raw = machine.get();
     core::Runtime rt(std::move(machine));
@@ -340,14 +345,14 @@ TEST(LossyScenarioTest, SimMachineReplayHasIdenticalCounters) {
     p.objects = 16;
     apps::stencil::StencilApp app(rt, p);
     app.run_steps(5);
-    return std::make_pair(raw->reliability().report(), rt.now());
+    return std::make_pair(raw->metrics().snapshot(), rt.now());
   };
-  auto [report_a, end_a] = run_once();
-  auto [report_b, end_b] = run_once();
-  EXPECT_EQ(report_a, report_b);
+  auto [snap_a, end_a] = run_once();
+  auto [snap_b, end_b] = run_once();
+  EXPECT_EQ(snap_a, snap_b);
   EXPECT_EQ(end_a, end_b);
-  EXPECT_GT(report_a.faults.dropped, 0u);
-  EXPECT_GT(report_a.reliable.retransmits, 0u);
+  EXPECT_GT(snap_a.counter("net.fault.dropped"), 0u);
+  EXPECT_GT(snap_a.counter("net.reliable.retransmits"), 0u);
 }
 
 }  // namespace

@@ -22,12 +22,12 @@ using core::Runtime;
 
 TEST(HeartbeatInstall, CrashyScenarioInstallsDetectorLossyDoesNot) {
   auto crashy =
-      grid::make_sim_machine(grid::Scenario::crashy(4, sim::milliseconds(8.0)));
+      grid::make_sim_machine(grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_crashes());
   ASSERT_NE(crashy->reliability().heartbeat, nullptr);
   EXPECT_NE(crashy->reliability().reliable, nullptr);
 
   auto lossy = grid::make_sim_machine(
-      grid::Scenario::lossy(4, sim::milliseconds(8.0), 0.01));
+      grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_loss(0.01));
   EXPECT_EQ(lossy->reliability().heartbeat, nullptr);
 }
 
@@ -43,7 +43,7 @@ TEST(HeartbeatInstall, TimeoutMustExceedPeriod) {
 TEST(HeartbeatSim, DetectsKilledPeWithinTimeout) {
   // Pure message-layer run: beats are consumed at the device, so no
   // Runtime is needed to drive the DES.
-  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(8.0));
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_crashes();
   auto machine = grid::make_sim_machine(s);
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);
@@ -78,7 +78,7 @@ TEST(HeartbeatSim, DetectsKilledPeWithinTimeout) {
 TEST(HeartbeatSim, WanLatencyIsNotMisreadAsDeath) {
   // 32 ms one-way WAN: every cross-cluster beat arrives 32 ms stale. The
   // crashy timeout (2*one_way + 4*period) must absorb that.
-  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(32.0));
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(32.0)).with_crashes();
   ASSERT_GT(s.heartbeat.timeout, sim::milliseconds(32.0));
   auto machine = grid::make_sim_machine(s);
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
@@ -96,7 +96,7 @@ TEST(HeartbeatSim, TooTightTimeoutMisreadsWanLatency) {
   // The cautionary inverse: a LAN-tuned timeout below the WAN one-way
   // latency declares healthy peers dead. This is the misconfiguration
   // the crashy() sizing rule exists to prevent.
-  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(32.0));
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(32.0)).with_crashes();
   s.heartbeat.period = sim::milliseconds(2.0);
   s.heartbeat.timeout = sim::milliseconds(10.0);  // < 32 ms one-way
   auto machine = grid::make_sim_machine(s);
@@ -119,7 +119,7 @@ struct Poke : core::Chare {
 };
 
 TEST(ReliableGiveUp, DeadPeerTriggersUnreachableCallback) {
-  grid::Scenario s = grid::Scenario::crashy(4, sim::milliseconds(2.0));
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(2.0)).with_crashes();
   auto machine = grid::make_sim_machine(s);
   core::SimMachine* sim = machine.get();
   Runtime rt(std::move(machine));
@@ -158,7 +158,7 @@ TEST(ReliableGiveUp, DeadPeerTriggersUnreachableCallback) {
 TEST(ReliableGiveUp, LiveLossyPeerIsNotAbandoned) {
   // Heavy but survivable loss: retransmissions make progress before the
   // max_retries budget runs out, so no flow is ever abandoned.
-  grid::Scenario s = grid::Scenario::lossy(4, sim::milliseconds(2.0), 0.05, 3);
+  grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(2.0)).with_loss(0.05, 3);
   auto machine = grid::make_sim_machine(s);
   core::SimMachine* sim = machine.get();
   Runtime rt(std::move(machine));

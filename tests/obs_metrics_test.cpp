@@ -1,0 +1,230 @@
+// The observability layer in isolation: ordered JSON rendering, metric
+// registry snapshots, snapshot diff/equality semantics, golden output
+// for the JSON and table renderers, and the SPSC trace ring.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring_buffer.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using mdo::RunningStats;
+using mdo::obs::Json;
+using mdo::obs::MetricRegistry;
+using mdo::obs::MetricSink;
+using mdo::obs::MetricValue;
+using mdo::obs::Snapshot;
+using mdo::obs::SpscRing;
+
+// -- Json ----------------------------------------------------------------------
+
+TEST(JsonTest, CompactGoldenOutput) {
+  Json obj = Json::object();
+  obj.set("name", "stencil");
+  obj.set("steps", 10);
+  obj.set("ratio", 0.5);
+  obj.set("ok", true);
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push(2);
+  obj.set("pes", std::move(arr));
+  EXPECT_EQ(obj.dump(),
+            R"({"name":"stencil","steps":10,"ratio":0.5,"ok":true,"pes":[1,2]})");
+}
+
+TEST(JsonTest, PrettyGoldenOutput) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  Json inner = Json::object();
+  inner.set("b", 2);
+  obj.set("nested", std::move(inner));
+  EXPECT_EQ(obj.dump(2),
+            "{\n  \"a\": 1,\n  \"nested\": {\n    \"b\": 2\n  }\n}");
+}
+
+TEST(JsonTest, PreservesInsertionOrderAndOverwrites) {
+  Json obj = Json::object();
+  obj.set("z", 1);
+  obj.set("a", 2);
+  obj.set("z", 3);  // overwrite keeps the original position
+  EXPECT_EQ(obj.dump(), R"({"z":3,"a":2})");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  Json obj = Json::object();
+  obj.set("s", "quote\" slash\\ nl\n tab\t bell\x07");
+  EXPECT_EQ(obj.dump(),
+            "{\"s\":\"quote\\\" slash\\\\ nl\\n tab\\t bell\\u0007\"}");
+}
+
+TEST(JsonTest, NonFiniteDoublesRenderNull) {
+  Json obj = Json::object();
+  obj.set("nan", std::numeric_limits<double>::quiet_NaN());
+  obj.set("inf", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(obj.dump(), R"({"nan":null,"inf":null})");
+}
+
+TEST(JsonTest, DoublesRoundTripShortest) {
+  Json obj = Json::object();
+  obj.set("x", 0.1);
+  obj.set("y", 1e300);
+  EXPECT_EQ(obj.dump(), R"({"x":0.1,"y":1e+300})");
+}
+
+// -- MetricRegistry / Snapshot -------------------------------------------------
+
+/// A registry with one source of each metric kind under "net.a".
+MetricRegistry small_registry(std::uint64_t* counter, double* gauge) {
+  MetricRegistry reg;
+  reg.add_source("net.a", [counter, gauge](MetricSink& sink) {
+    sink.counter("x", *counter);
+    sink.gauge("y", *gauge);
+  });
+  return reg;
+}
+
+TEST(MetricRegistryTest, SnapshotPrefixesNamesAndReadsLiveValues) {
+  std::uint64_t c = 3;
+  double g = 2.5;
+  MetricRegistry reg = small_registry(&c, &g);
+  Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("net.a.x"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauge("net.a.y"), 2.5);
+  c = 10;  // sources read the producer at snapshot time, not registration
+  EXPECT_EQ(reg.snapshot().counter("net.a.x"), 10u);
+  EXPECT_EQ(snap.find("net.b.x"), nullptr);
+  EXPECT_EQ(snap.counter("net.b.x"), 0u);  // absent reads as zero
+}
+
+TEST(MetricRegistryTest, HistogramPublishesSummary) {
+  RunningStats stats;
+  stats.add(100.0);
+  stats.add(200.0);
+  MetricRegistry reg;
+  reg.add_source("rt", [&stats](MetricSink& sink) {
+    sink.histogram("lat_ns", stats);
+  });
+  Snapshot snap = reg.snapshot();
+  const MetricValue* m = snap.find("rt.lat_ns");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricValue::Kind::kHistogram);
+  EXPECT_EQ(m->count, 2u);
+  EXPECT_DOUBLE_EQ(m->value, 150.0);
+  EXPECT_DOUBLE_EQ(m->min, 100.0);
+  EXPECT_DOUBLE_EQ(m->max, 200.0);
+}
+
+TEST(SnapshotTest, DiffSubtractsCountersKeepsGauges) {
+  std::uint64_t c = 5;
+  double g = 1.0;
+  MetricRegistry reg = small_registry(&c, &g);
+  Snapshot before = reg.snapshot();
+  c = 12;
+  g = 7.0;
+  Snapshot after = reg.snapshot();
+  Snapshot delta = after.diff(before);
+  EXPECT_EQ(delta.counter("net.a.x"), 7u);       // 12 - 5
+  EXPECT_DOUBLE_EQ(delta.gauge("net.a.y"), 7.0);  // later observation wins
+}
+
+TEST(SnapshotTest, DiffClampsOnCounterResetAndPassesNewNames) {
+  Snapshot earlier, now;
+  MetricValue c;
+  c.kind = MetricValue::Kind::kCounter;
+  c.count = 10;
+  earlier.values["a.n"] = c;
+  c.count = 4;  // counter went backwards (producer was reset)
+  now.values["a.n"] = c;
+  c.count = 9;
+  now.values["a.fresh"] = c;  // absent from `earlier`
+  Snapshot delta = now.diff(earlier);
+  EXPECT_EQ(delta.counter("a.n"), 4u);      // kept, not underflowed
+  EXPECT_EQ(delta.counter("a.fresh"), 9u);  // passes through
+}
+
+TEST(SnapshotTest, EqualityIsValueBased) {
+  std::uint64_t c = 3;
+  double g = 0.5;
+  MetricRegistry reg = small_registry(&c, &g);
+  Snapshot a = reg.snapshot();
+  Snapshot b = reg.snapshot();
+  EXPECT_EQ(a, b);
+  c = 4;
+  EXPECT_NE(a, reg.snapshot());
+}
+
+// -- renderers -----------------------------------------------------------------
+
+TEST(SnapshotRenderTest, JsonGoldenOutput) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  std::uint64_t c = 7;
+  double g = 0.25;
+  MetricRegistry reg;
+  reg.add_source("net.a", [&](MetricSink& sink) {
+    sink.counter("x", c);
+    sink.gauge("y", g);
+    sink.histogram("h", stats);
+  });
+  EXPECT_EQ(
+      reg.snapshot().to_json().dump(),
+      R"({"net.a.h":{"count":2,"mean":2,"min":1,"max":3},"net.a.x":7,"net.a.y":0.25})");
+}
+
+TEST(SnapshotRenderTest, TableGoldenOutputWithPrefixFilter) {
+  std::uint64_t c = 1;
+  double g = 0.5;
+  MetricRegistry reg = small_registry(&c, &g);
+  reg.add_source("rt", [](MetricSink& sink) { sink.counter("other", 9); });
+  const std::string expected =
+      "| metric  | kind    | value |\n"
+      "|---------|---------|-------|\n"
+      "| net.a.x | counter | 1     |\n"
+      "| net.a.y | gauge   | 0.500 |\n";
+  EXPECT_EQ(reg.snapshot().render_table("net.a"), expected);
+  // Unfiltered render includes the rt source too.
+  EXPECT_NE(reg.snapshot().render_table().find("rt.other"), std::string::npos);
+}
+
+// -- SpscRing ------------------------------------------------------------------
+
+TEST(SpscRingTest, FifoAndDropCounting) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 6; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 2u);  // 4 and 5 fell on the floor
+  std::vector<int> got = ring.drain();
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(ring.size(), 0u);
+  // Space freed by the drain is reusable; the drop count is cumulative.
+  EXPECT_TRUE(ring.push(42));
+  EXPECT_EQ(ring.drain(), std::vector<int>{42});
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(SpscRingTest, ConcurrentProducerLosesNothingWithinCapacity) {
+  SpscRing<int> ring(1 << 12);
+  constexpr int kItems = 2000;
+  std::thread producer([&ring] {
+    for (int i = 0; i < kItems; ++i) ring.push(i);
+  });
+  producer.join();
+  std::vector<int> got = ring.drain();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i)
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+}  // namespace

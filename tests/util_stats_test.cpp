@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -90,6 +91,27 @@ TEST(HistogramTest, BinsAndClamps) {
   EXPECT_EQ(h.bin_count(4), 2u);
   EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
   EXPECT_DOUBLE_EQ(h.bin_high(2), 6.0);
+}
+
+TEST(HistogramTest, NanGoesToOverflowNotBinZero) {
+  // Regression: a NaN sample used to land in bin 0 (the NaN bin index
+  // cast to an integer is UB that resolved to the low clamp), skewing
+  // the low edge of every histogram fed an undefined sample.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  for (std::size_t i = 0; i < h.bins(); ++i) EXPECT_EQ(h.bin_count(i), 0u);
+}
+
+TEST(HistogramTest, InfinitiesClampToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
 }
 
 TEST(CoefficientOfVariation, UniformLoadIsZero) {
