@@ -1,0 +1,100 @@
+#pragma once
+// Shared main() for the google-benchmark micro harnesses. Runs the
+// registered benchmarks with the normal console reporter, additionally
+// collecting every iteration-level result, and writes the timings as
+// BENCH_<name>.json (JsonRecorder shape) into the working directory.
+// The perf gate (perf_gate.cpp) diffs that file against the checked-in
+// baseline under bench/baselines/ — together they form the `ctest -L
+// perf` regression tier that locks in the zero-copy hot path.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace mdo::bench {
+
+/// ConsoleReporter subclass that keeps printing the familiar table while
+/// capturing per-benchmark adjusted times for the JSON dump.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_ns = 0.0;  ///< adjusted wall time per iteration
+    double cpu_ns = 0.0;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.real_ns = run.GetAdjustedRealTime();
+      row.cpu_ns = run.GetAdjustedCPUTime();
+      row.iterations = run.iterations;
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  /// One row per benchmark, keeping the *minimum* time across
+  /// repetitions (--benchmark_repetitions=N). The min is the standard
+  /// noise-robust estimator for regression gating: scheduler preemption
+  /// and cache pollution only ever add time, so the smallest observation
+  /// is the closest to the code's true cost.
+  std::vector<Row> min_rows() const {
+    std::vector<Row> out;
+    for (const Row& row : rows_) {
+      auto it = std::find_if(out.begin(), out.end(), [&](const Row& r) {
+        return r.name == row.name;
+      });
+      if (it == out.end()) {
+        out.push_back(row);
+      } else if (row.real_ns < it->real_ns) {
+        *it = row;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN(): run benchmarks, then write
+/// BENCH_<bench_name>.json into the current directory. Returns non-zero
+/// when the JSON cannot be written so ctest notices broken perf output.
+inline int micro_main(const std::string& bench_name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  JsonRecorder recorder(bench_name);
+  recorder.config("time_unit", "ns");
+  recorder.config("estimator", "min_over_repetitions");
+  const std::vector<CollectingReporter::Row> rows = reporter.min_rows();
+  for (const auto& row : rows) {
+    obs::Json r = obs::Json::object();
+    r.set("name", row.name);
+    r.set("real_ns", row.real_ns);
+    r.set("cpu_ns", row.cpu_ns);
+    r.set("iterations", row.iterations);
+    recorder.add_run(std::move(r));
+  }
+  if (!recorder.write(".")) {
+    std::fprintf(stderr, "failed to write %s\n", recorder.path(".").c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu benchmarks)\n", recorder.path(".").c_str(),
+              rows.size());
+  return 0;
+}
+
+}  // namespace mdo::bench

@@ -6,6 +6,8 @@
 
 #include <cstring>
 
+#include "micro_main.hpp"
+
 #include "net/chain.hpp"
 #include "net/devices.hpp"
 #include "net/sim_fabric.hpp"
@@ -140,4 +142,6 @@ BENCHMARK(BM_SimFabricDelivery);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdo::bench::micro_main("micro_net", argc, argv);
+}

@@ -7,6 +7,8 @@
 
 #include <memory>
 
+#include "micro_main.hpp"
+
 #include "core/array.hpp"
 #include "core/mapping.hpp"
 #include "core/runtime.hpp"
@@ -177,4 +179,6 @@ BENCHMARK(BM_MigrationRoundtrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdo::bench::micro_main("micro_runtime", argc, argv);
+}

@@ -36,7 +36,11 @@ struct Envelope {
   std::uint8_t flags = 0;  ///< kFlagFanout: broadcast is past the tree root
   std::uint64_t seq = 0;   ///< machine-assigned, for stable FIFO tiebreaks
   sim::TimeNs sent_at = 0;
-  Bytes payload;
+  /// Ref-counted and immutable once sealed: copying an envelope (local
+  /// delivery, broadcast fan-out, device-chain pass-through) shares one
+  /// buffer instead of duplicating it. Serializes identically to the
+  /// Bytes vector it replaced.
+  PayloadBuf payload;
 
   static constexpr std::uint8_t kFlagFanout = 1;
 

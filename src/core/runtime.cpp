@@ -110,7 +110,7 @@ void Runtime::send_entry(ArrayId array_id, const Index& to, EntryId entry,
   env.index = to;
   env.entry = entry;
   env.priority = priority;
-  env.payload = std::move(args);
+  env.payload = PayloadBuf::adopt(std::move(args));
   post(std::move(env));
 }
 
@@ -122,7 +122,7 @@ void Runtime::broadcast_entry(ArrayId array_id, EntryId entry,
   env.array = array_id;
   env.entry = entry;
   env.priority = priority;
-  env.payload = std::move(args);
+  env.payload = PayloadBuf::adopt(std::move(args));
   if (current_pe() == tree_.root()) env.flags |= Envelope::kFlagFanout;
   post(std::move(env));
 }
@@ -141,11 +141,13 @@ void Runtime::multicast_entry(ArrayId array_id, std::span<const Index> targets,
     env.array = array_id;
     env.entry = entry;
     env.priority = priority;
+    Bytes packed = ScratchArena::local().take();
     Pup sizer = Pup::sizer();
     sizer | list | args;
-    env.payload.reserve(sizer.size());
-    Pup packer = Pup::packer(env.payload);
+    packed.reserve(sizer.size());
+    Pup packer = Pup::packer(packed);
     packer | list | args;
+    env.payload = PayloadBuf::adopt(std::move(packed));
     post(std::move(env));
   }
 }
@@ -162,7 +164,7 @@ void Runtime::schedule_host(Pe pe, std::function<void()> fn, Priority priority) 
   env.kind = MsgKind::kHostCall;
   env.dst_pe = pe;
   env.priority = priority;
-  env.payload = pack_object(cookie);
+  env.payload = PayloadBuf::adopt(pack_object(cookie));
   post(std::move(env));
 }
 
@@ -188,7 +190,7 @@ sim::TimeNs Runtime::deliver(Envelope&& env) {
       deliver_host_call(env);
       break;
     case MsgKind::kMigrate:
-      MDO_CHECK_MSG(false, "kMigrate envelopes are not used (quiescent migration)");
+      deliver_migrate(env);
       break;
     case MsgKind::kPhaseMarker:
       MDO_CHECK_MSG(false, "kPhaseMarker is trace-only, never enqueued");
@@ -272,6 +274,25 @@ void Runtime::deliver_host_call(Envelope& env) {
     host_fns_.erase(it);
   }
   fn();
+}
+
+void Runtime::deliver_migrate(Envelope& env) {
+  ArrayRec& r = rec(env.array);
+  ArrayBase& arr = *r.array;
+  MDO_CHECK_MSG(arr.contains(env.index), "migrate envelope for unknown element");
+  std::unique_ptr<Chare> fresh = arr.make_element();
+  {
+    Pup unpacker = Pup::unpacker(env.payload);
+    fresh->pup(unpacker);
+    MDO_CHECK_MSG(unpacker.bytes_remaining() == 0,
+                  "element pup() is asymmetric between pack and unpack");
+  }
+  fresh->install(this, env.array, env.index, current_pe());
+  arr.extract(env.index);  // destroys the stale origin instance
+  arr.insert(env.index, current_pe(), std::move(fresh));
+  ++migrations_;
+  migration_bytes_ += env.payload.size();
+  r.subtree_dirty = true;
 }
 
 // -- reductions -----------------------------------------------------------
@@ -380,11 +401,13 @@ void Runtime::reduction_complete(Pe pe, ArrayId array_id, std::uint32_t epoch,
     env.dst_pe = tree_.parent(pe);
     env.array = array_id;
     auto op = static_cast<std::uint8_t>(partial.op);
+    Bytes packed = ScratchArena::local().take();
     Pup sizer = Pup::sizer();
     sizer | epoch | op | partial.client | partial.data;
-    env.payload.reserve(sizer.size());
-    Pup packer = Pup::packer(env.payload);
+    packed.reserve(sizer.size());
+    Pup packer = Pup::packer(packed);
     packer | epoch | op | partial.client | partial.data;
+    env.payload = PayloadBuf::adopt(std::move(packed));
     post(std::move(env));
     return;
   }
@@ -405,6 +428,35 @@ void Runtime::reduction_complete(Pe pe, ArrayId array_id, std::uint32_t epoch,
 }
 
 // -- migration & checkpoint ---------------------------------------------
+
+void Runtime::migrate_async(ArrayId array_id, const Index& index, Pe to) {
+  MDO_CHECK(to >= 0 && to < num_pes());
+  ArrayRec& r = rec(array_id);
+  ArrayBase& arr = *r.array;
+  MDO_CHECK_MSG(arr.contains(index), "migrate of nonexistent element");
+  Pe from = arr.location(index);
+  if (from == to) return;
+
+  // Pack the element's state into a kMigrate envelope and ship it through
+  // the machine like any other message — it traverses the device chain
+  // (coalescing, loss recovery, ...) on WAN hops. The origin instance
+  // keeps serving messages until the envelope lands on `to`, where
+  // deliver_migrate rebuilds and installs the element; deliver_entry
+  // forwards any messages that raced with the move. Like migrate(), call
+  // at quiescent points: state packed now is what arrives.
+  Bytes state = ScratchArena::local().take();
+  {
+    Pup packer = Pup::packer(state);
+    arr.find(index)->pup(packer);
+  }
+  Envelope env;
+  env.kind = MsgKind::kMigrate;
+  env.dst_pe = to;
+  env.array = array_id;
+  env.index = index;
+  env.payload = PayloadBuf::adopt(std::move(state));
+  post(std::move(env));
+}
 
 void Runtime::migrate(ArrayId array_id, const Index& index, Pe to) {
   MDO_CHECK(to >= 0 && to < num_pes());

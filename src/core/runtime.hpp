@@ -98,6 +98,11 @@ class Runtime {
 
   // -- migration & checkpoint (quiescent points only) ----------------------
   void migrate(ArrayId array, const Index& index, Pe to);
+  /// Like migrate(), but ships the packed state as a kMigrate envelope
+  /// through the machine (and its device chain) instead of moving it
+  /// in-process; the element is rebuilt on `to` when the envelope is
+  /// delivered. Messages that race with the move are forwarded.
+  void migrate_async(ArrayId array, const Index& index, Pe to);
   std::uint64_t migrations() const { return migrations_; }
   std::uint64_t migration_bytes() const { return migration_bytes_; }
 
@@ -148,6 +153,7 @@ class Runtime {
   void deliver_multicast(Envelope& env);
   void deliver_reduction(Envelope& env);
   void deliver_host_call(Envelope& env);
+  void deliver_migrate(Envelope& env);
 
   void invoke_on(Chare& element, EntryId entry, std::span<const std::byte> args);
   void post(Envelope&& env);  ///< stamp seq/sent_at/src and hand to machine

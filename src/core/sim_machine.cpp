@@ -22,6 +22,10 @@ SimMachine::SimMachine(net::Topology topo, net::GridLatencyModel::Config link,
         static_cast<net::NodeId>(node), [this, node](net::Packet&& packet) {
           Envelope env;
           unpack_object(packet.payload, env);
+          // The packet's storage came from the scratch arena (dispatch
+          // packs into a pooled buffer); return it so the cycle stays
+          // allocation-free in steady state.
+          ScratchArena::local().give(std::move(packet.payload));
           enqueue(static_cast<Pe>(node), std::move(env));
         });
   }
@@ -42,6 +46,14 @@ SimMachine::SimMachine(net::Topology topo, net::GridLatencyModel::Config link,
     sink.counter("busy_ns", static_cast<std::uint64_t>(busy));
     sink.counter("pes_killed", kills_);
     sink.gauge("queue_depth", static_cast<double>(queued));
+  });
+  metrics_.add_source("mem", [](obs::MetricSink& sink) {
+    sink.counter("allocs", alloc::allocations());
+    sink.counter("frees", alloc::deallocations());
+    sink.counter("alloc_bytes", alloc::allocated_bytes());
+    sink.gauge("hook_active", alloc::hook_active() ? 1.0 : 0.0);
+    sink.gauge("arena_buffers",
+               static_cast<double>(ScratchArena::local().size()));
   });
   metrics_.add_source("trace", [this](obs::MetricSink& sink) {
     sink.counter("events", trace_.size());
@@ -168,32 +180,36 @@ void SimMachine::execute_next(Pe pe) {
   sim::TimeNs charged = rt_->deliver(std::move(item.env));
 
   executing_ = false;
-  std::vector<Envelope> outbox = std::move(outbox_);
-  outbox_.clear();
+  // Park the outbox in the PE's slot (swap keeps both vectors' capacity
+  // alive) so the busy-end event below captures only [this, pe] — small
+  // enough for std::function's inline storage, no allocation.
+  MDO_CHECK(state.pending_outbox.empty());
+  std::swap(state.pending_outbox, outbox_);
 
-  sim::TimeNs cost = overheads_.recv + charged +
-                     overheads_.send * static_cast<sim::TimeNs>(outbox.size());
+  sim::TimeNs cost =
+      overheads_.recv + charged +
+      overheads_.send * static_cast<sim::TimeNs>(state.pending_outbox.size());
   state.stats.busy_ns += cost;
 
   const sim::TimeNs t_end = t_start + cost;
   if (tracing_) trace_.push_back(TraceEvent{pe, t_start, t_end, msg_src, entry, kind});
 
-  engine_.schedule_at(t_end, [this, pe, moved = std::move(outbox)]() mutable {
-    finish_execution(pe, std::move(moved));
-  });
+  engine_.schedule_at(t_end, [this, pe] { finish_execution(pe); });
 }
 
-void SimMachine::finish_execution(Pe pe, std::vector<Envelope>&& outbox) {
+void SimMachine::finish_execution(Pe pe) {
   PeState& state = pes_[static_cast<std::size_t>(pe)];
   if (state.dead) {
     // The PE crashed mid-execution: whatever the entry produced never
     // made it onto the wire.
-    state.stats.msgs_dropped += outbox.size();
+    state.stats.msgs_dropped += state.pending_outbox.size();
+    state.pending_outbox.clear();
     state.busy = false;
     return;
   }
   sim::TimeNs chain_cpu = 0;
-  for (auto& env : outbox) chain_cpu += dispatch(std::move(env));
+  for (auto& env : state.pending_outbox) chain_cpu += dispatch(std::move(env));
+  state.pending_outbox.clear();
 
   if (overheads_.charge_chain_cpu && chain_cpu > 0) {
     state.stats.busy_ns += chain_cpu;

@@ -118,6 +118,11 @@ class SimMachine final : public Machine {
   };
   struct PeState {
     std::priority_queue<QueueItem, std::vector<QueueItem>, Later> queue;
+    /// Sends buffered by the entry executing on this PE, parked here until
+    /// its busy period ends. A per-PE slot (instead of a move-captured
+    /// vector) keeps the busy-end event small enough for std::function's
+    /// inline storage — no heap allocation per execution.
+    std::vector<Envelope> pending_outbox;
     bool busy = false;
     bool dead = false;  ///< fail-stop: set once by kill_pe, never cleared
     PeStats stats;
@@ -129,7 +134,7 @@ class SimMachine final : public Machine {
   /// Immediately route one envelope (local enqueue or fabric). Returns
   /// the device-chain CPU cost incurred on the sender.
   sim::TimeNs dispatch(Envelope&& env);
-  void finish_execution(Pe pe, std::vector<Envelope>&& outbox);
+  void finish_execution(Pe pe);  ///< drains pes_[pe].pending_outbox
 
   net::Topology topo_;
   Overheads overheads_;

@@ -33,6 +33,10 @@ ThreadMachine::ThreadMachine(net::Topology topo,
         static_cast<net::NodeId>(node), [this, node](net::Packet&& packet) {
           Envelope env;
           unpack_object(packet.payload, env);
+          // The packed bytes came from the sender thread's arena; giving
+          // them to the receiving thread's arena keeps both sides warm
+          // (ThreadFabric delivers on the destination's path).
+          ScratchArena::local().give(std::move(packet.payload));
           enqueue(static_cast<Pe>(node), std::move(env));
         });
   }
@@ -54,6 +58,14 @@ ThreadMachine::ThreadMachine(net::Topology topo,
     sink.counter("busy_ns", static_cast<std::uint64_t>(busy));
     sink.counter("pes_killed", kills_.load(std::memory_order_acquire));
     sink.gauge("queue_depth", static_cast<double>(queued));
+  });
+  metrics_.add_source("mem", [](obs::MetricSink& sink) {
+    sink.counter("allocs", alloc::allocations());
+    sink.counter("frees", alloc::deallocations());
+    sink.counter("alloc_bytes", alloc::allocated_bytes());
+    sink.gauge("hook_active", alloc::hook_active() ? 1.0 : 0.0);
+    sink.gauge("arena_buffers",
+               static_cast<double>(ScratchArena::local().size()));
   });
   metrics_.add_source("trace", [this](obs::MetricSink& sink) {
     std::uint64_t recorded = 0, ring_dropped = 0;

@@ -19,11 +19,17 @@ std::size_t Chain::index_of(const FilterDevice* device) const {
 
 std::vector<Packet> Chain::apply_send(Packet&& packet, SendContext& ctx) {
   std::vector<Packet> packets;
-  packets.push_back(std::move(packet));
-  for (auto& device : devices_) {
-    device->send_transform(packets, ctx);
-  }
+  apply_send(std::move(packet), ctx, packets);
   return packets;
+}
+
+void Chain::apply_send(Packet&& packet, SendContext& ctx,
+                       std::vector<Packet>& out) {
+  out.clear();
+  out.push_back(std::move(packet));
+  for (auto& device : devices_) {
+    device->send_transform(out, ctx);
+  }
 }
 
 std::optional<Packet> Chain::apply_receive(Packet&& packet) {
@@ -38,11 +44,17 @@ std::optional<Packet> Chain::apply_receive(Packet&& packet) {
 std::vector<Packet> Chain::apply_send_below(const FilterDevice* from,
                                             Packet&& packet, SendContext& ctx) {
   std::vector<Packet> packets;
-  packets.push_back(std::move(packet));
-  for (std::size_t i = index_of(from) + 1; i < devices_.size(); ++i) {
-    devices_[i]->send_transform(packets, ctx);
-  }
+  apply_send_below(from, std::move(packet), ctx, packets);
   return packets;
+}
+
+void Chain::apply_send_below(const FilterDevice* from, Packet&& packet,
+                             SendContext& ctx, std::vector<Packet>& out) {
+  out.clear();
+  out.push_back(std::move(packet));
+  for (std::size_t i = index_of(from) + 1; i < devices_.size(); ++i) {
+    devices_[i]->send_transform(out, ctx);
+  }
 }
 
 std::optional<Packet> Chain::apply_receive_above(const FilterDevice* from,

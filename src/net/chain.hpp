@@ -39,6 +39,11 @@ class Chain {
   /// delay and sender CPU cost.
   std::vector<Packet> apply_send(Packet&& packet, SendContext& ctx);
 
+  /// As above, but building into a caller-provided vector (cleared first)
+  /// so fabrics can reuse one wire vector across sends instead of
+  /// allocating a fresh one per message.
+  void apply_send(Packet&& packet, SendContext& ctx, std::vector<Packet>& out);
+
   /// Run one arriving packet up the receive path. nullopt means the
   /// packet was consumed (a buffered fragment).
   std::optional<Packet> apply_receive(Packet&& packet);
@@ -49,6 +54,8 @@ class Chain {
   /// wire but not the devices above the originator.
   std::vector<Packet> apply_send_below(const FilterDevice* from,
                                        Packet&& packet, SendContext& ctx);
+  void apply_send_below(const FilterDevice* from, Packet&& packet,
+                        SendContext& ctx, std::vector<Packet>& out);
 
   /// Run `packet` up the receive path starting just above `from` — the
   /// exit path for packets a device buffered and releases later.

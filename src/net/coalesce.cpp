@@ -68,6 +68,7 @@ Packet CoalesceDevice::make_bundle(const PairKey& key, Buffer& buf) {
     bundle.priority = std::min(bundle.priority, p.priority);
     wire += sizeof(SubHeader) + p.payload.size();
   }
+  bundle.payload = ScratchArena::local().take();
   bundle.payload.reserve(wire);
   bundle.payload.push_back(kBundle);
   const auto count = static_cast<std::uint32_t>(buf.packets.size());
@@ -80,6 +81,7 @@ Packet CoalesceDevice::make_bundle(const PairKey& key, Buffer& buf) {
     bundle.payload.insert(bundle.payload.end(), hp, hp + sizeof(hdr));
     bundle.payload.insert(bundle.payload.end(), p.payload.begin(),
                           p.payload.end());
+    ScratchArena::local().give(std::move(p.payload));
   }
   ++counters_.bundles_sent;
   counters_.packets_bundled += buf.packets.size();
@@ -91,7 +93,9 @@ Packet CoalesceDevice::make_bundle(const PairKey& key, Buffer& buf) {
 
 void CoalesceDevice::send_transform(std::vector<Packet>& packets,
                                     SendContext&) {
-  std::vector<Packet> out;
+  ScratchArena& arena = ScratchArena::local();
+  std::vector<Packet>& out = send_scratch_;
+  out.clear();
   out.reserve(packets.size());
   for (auto& p : packets) {
     ++counters_.packets_seen;
@@ -104,10 +108,11 @@ void CoalesceDevice::send_transform(std::vector<Packet>& packets,
         ++counters_.flush_bypass;
         out.push_back(make_bundle(key, it->second));
       }
-      Bytes framed;
+      Bytes framed = arena.take();
       framed.reserve(p.payload.size() + 1);
       framed.push_back(kPlain);
       framed.insert(framed.end(), p.payload.begin(), p.payload.end());
+      arena.give(std::move(p.payload));
       p.payload = std::move(framed);
       out.push_back(std::move(p));
       continue;
@@ -118,10 +123,11 @@ void CoalesceDevice::send_transform(std::vector<Packet>& packets,
       // through (it is the likely critical-path message) and opens the
       // aggregation window its followers will buffer into.
       ++counters_.eager_sent;
-      Bytes framed;
+      Bytes framed = arena.take();
       framed.reserve(p.payload.size() + 1);
       framed.push_back(kPlain);
       framed.insert(framed.end(), p.payload.begin(), p.payload.end());
+      arena.give(std::move(p.payload));
       p.payload = std::move(framed);
       out.push_back(std::move(p));
       arm_timer(key);
@@ -137,7 +143,8 @@ void CoalesceDevice::send_transform(std::vector<Packet>& packets,
       arm_timer(key);
     }
   }
-  packets = std::move(out);
+  // Swap so both vectors keep their capacity for the next call.
+  packets.swap(out);
 }
 
 void CoalesceDevice::arm_timer(const PairKey& key) {
@@ -219,6 +226,7 @@ std::optional<Packet> CoalesceDevice::receive_transform(Packet packet) {
     sub.id = hdr.id;
     sub.priority = hdr.priority;
     sub.inject_time = hdr.inject_time;
+    sub.payload = ScratchArena::local().take();
     sub.payload.assign(
         packet.payload.begin() + static_cast<std::ptrdiff_t>(off),
         packet.payload.begin() + static_cast<std::ptrdiff_t>(off + hdr.bytes));
@@ -238,6 +246,7 @@ std::optional<Packet> CoalesceDevice::receive_transform(Packet packet) {
   // order; one uniform path whether the stack continues or ends here.
   MDO_CHECK_MSG(host_ != nullptr,
                 "CoalesceDevice needs a fabric host (timers, injection)");
+  ScratchArena::local().give(std::move(packet.payload));
   for (auto& sub : subs) host_->inject_receive(this, std::move(sub));
   return std::nullopt;
 }

@@ -128,6 +128,9 @@ class CoalesceDevice final : public FilterDevice {
 
   const Topology* topo_;  ///< may be null: coalesce all non-local pairs
   CoalesceConfig config_;
+  /// Reused across send_transform calls (swapped with the chain's packet
+  /// list) so the framing/bundling path allocates nothing in steady state.
+  std::vector<Packet> send_scratch_;
   std::map<PairKey, Buffer> buffers_;
   Counters counters_;
   UnbundleFn on_unbundle_;

@@ -56,8 +56,9 @@ constexpr std::byte kRle{1};
 CompressionDevice::CompressionDevice(double cpu_ns_per_byte)
     : cpu_ns_per_byte_(cpu_ns_per_byte) {}
 
-Bytes CompressionDevice::rle_encode(const Bytes& in) {
-  Bytes out;
+void CompressionDevice::rle_encode_into(std::span<const std::byte> in,
+                                        Bytes& out) {
+  out.clear();
   out.reserve(in.size() / 2 + 16);
   std::size_t i = 0;
   while (i < in.size()) {
@@ -68,27 +69,41 @@ Bytes CompressionDevice::rle_encode(const Bytes& in) {
     out.push_back(value);
     i += run;
   }
+}
+
+bool CompressionDevice::rle_decode_into(std::span<const std::byte> in,
+                                        Bytes& out) {
+  out.clear();
+  if (in.size() % 2 != 0) return false;  // truncated (run, value) pair
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); i += 2) {
+    auto run = static_cast<std::size_t>(in[i]);
+    if (run == 0) return false;  // the encoder never emits empty runs
+    out.insert(out.end(), run, in[i + 1]);
+  }
+  return true;
+}
+
+Bytes CompressionDevice::rle_encode(const Bytes& in) {
+  Bytes out;
+  rle_encode_into(in, out);
   return out;
 }
 
 std::optional<Bytes> CompressionDevice::rle_decode(
     std::span<const std::byte> in) {
-  if (in.size() % 2 != 0) return std::nullopt;  // truncated (run, value) pair
   Bytes out;
-  out.reserve(in.size());
-  for (std::size_t i = 0; i < in.size(); i += 2) {
-    auto run = static_cast<std::size_t>(in[i]);
-    if (run == 0) return std::nullopt;  // the encoder never emits empty runs
-    out.insert(out.end(), run, in[i + 1]);
-  }
+  if (!rle_decode_into(in, out)) return std::nullopt;
   return out;
 }
 
 void CompressionDevice::on_send(Packet& packet, SendContext& ctx) {
   ctx.cpu_cost += static_cast<sim::TimeNs>(
       cpu_ns_per_byte_ * static_cast<double>(packet.payload.size()));
-  Bytes encoded = rle_encode(packet.payload);
-  Bytes framed;
+  ScratchArena& arena = ScratchArena::local();
+  Bytes encoded = arena.take();
+  rle_encode_into(packet.payload, encoded);
+  Bytes framed = arena.take();
   if (encoded.size() < packet.payload.size()) {
     bytes_saved_ += packet.payload.size() - encoded.size();
     framed.reserve(encoded.size() + 1);
@@ -99,6 +114,8 @@ void CompressionDevice::on_send(Packet& packet, SendContext& ctx) {
     framed.push_back(kStored);
     framed.insert(framed.end(), packet.payload.begin(), packet.payload.end());
   }
+  arena.give(std::move(encoded));
+  arena.give(std::move(packet.payload));
   packet.payload = std::move(framed);
 }
 
@@ -111,14 +128,19 @@ std::optional<Packet> CompressionDevice::receive_transform(Packet packet) {
   std::span<const std::byte> body{packet.payload.data() + 1,
                                   packet.payload.size() - 1};
   if (tag == kRle) {
-    std::optional<Bytes> decoded = rle_decode(body);
-    if (!decoded.has_value()) {
+    ScratchArena& arena = ScratchArena::local();
+    Bytes decoded = arena.take();
+    if (!rle_decode_into(body, decoded)) {
+      arena.give(std::move(decoded));
       ++decode_failures_;
       return std::nullopt;
     }
-    packet.payload = std::move(*decoded);
+    arena.give(std::move(packet.payload));
+    packet.payload = std::move(decoded);
   } else if (tag == kStored) {
-    packet.payload.assign(body.begin(), body.end());
+    // In-place strip of the tag byte; assigning from the vector's own
+    // iterators after clear() would read invalidated elements.
+    packet.payload.erase(packet.payload.begin());
   } else {
     ++decode_failures_;
     return std::nullopt;

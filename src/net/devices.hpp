@@ -51,6 +51,12 @@ class CompressionDevice final : public FilterDevice {
   /// nullopt for malformed input (odd length, zero-length run).
   static std::optional<Bytes> rle_decode(std::span<const std::byte> in);
 
+  /// In-place variants appending into a caller buffer (cleared first) so
+  /// the hot path can feed them arena-recycled storage. rle_decode_into
+  /// returns false for malformed input.
+  static void rle_encode_into(std::span<const std::byte> in, Bytes& out);
+  static bool rle_decode_into(std::span<const std::byte> in, Bytes& out);
+
   std::uint64_t bytes_saved() const { return bytes_saved_; }
   std::uint64_t decode_failures() const { return decode_failures_; }
 

@@ -34,8 +34,7 @@ sim::TimeNs SimFabric::send(Packet&& packet) {
   }
 
   SendContext ctx;
-  std::vector<Packet> wire = chain_.apply_send(std::move(packet), ctx);
-  transmit(std::move(wire), ctx);
+  send_through(nullptr, std::move(packet), ctx);
   return ctx.cpu_cost;
 }
 
@@ -45,12 +44,33 @@ void SimFabric::inject_send(const FilterDevice* from, Packet&& packet) {
   // The injecting device's CPU cost is absorbed by the fabric.
   ++stats_.frames_injected;
   SendContext ctx;
-  std::vector<Packet> wire =
-      chain_.apply_send_below(from, std::move(packet), ctx);
-  transmit(std::move(wire), ctx);
+  send_through(from, std::move(packet), ctx);
 }
 
-void SimFabric::transmit(std::vector<Packet>&& wire, const SendContext& ctx) {
+void SimFabric::send_through(const FilterDevice* below, Packet&& packet,
+                             SendContext& ctx) {
+  if (wire_busy_) {
+    // Re-entrant send from inside a chain transform: rare protocol path,
+    // take the allocating route rather than clobbering the scratch.
+    std::vector<Packet> wire =
+        below == nullptr
+            ? chain_.apply_send(std::move(packet), ctx)
+            : chain_.apply_send_below(below, std::move(packet), ctx);
+    transmit(wire, ctx);
+    return;
+  }
+  wire_busy_ = true;
+  if (below == nullptr) {
+    chain_.apply_send(std::move(packet), ctx, wire_scratch_);
+  } else {
+    chain_.apply_send_below(below, std::move(packet), ctx, wire_scratch_);
+  }
+  transmit(wire_scratch_, ctx);
+  wire_scratch_.clear();
+  wire_busy_ = false;
+}
+
+void SimFabric::transmit(std::vector<Packet>& wire, const SendContext& ctx) {
   for (auto& frame : wire) {
     // A crashed node cannot put new bytes on the wire: its acks and
     // retransmissions are squashed here, after the chain transforms (so

@@ -44,7 +44,9 @@ class SimFabric final : public Fabric, public DeviceHost {
   }
 
  private:
-  void transmit(std::vector<Packet>&& wire, const SendContext& ctx);
+  void transmit(std::vector<Packet>& wire, const SendContext& ctx);
+  void send_through(const FilterDevice* below, Packet&& packet,
+                    SendContext& ctx);
   void arrive(Packet&& packet);
   void deliver(std::optional<Packet>&& complete);
 
@@ -53,6 +55,10 @@ class SimFabric final : public Fabric, public DeviceHost {
   LatencyModel* model_;
   Chain chain_;
   std::vector<DeliverFn> handlers_;
+  /// Reused across sends; guarded against the (rare) re-entrant send from
+  /// a chain transform, which falls back to a local vector.
+  std::vector<Packet> wire_scratch_;
+  bool wire_busy_ = false;
   NodeUpProbe node_up_;
   std::uint64_t next_id_ = 1;
   Stats stats_;

@@ -20,14 +20,17 @@ StripingDevice::StripingDevice(std::size_t rails, std::size_t min_bytes)
 
 void StripingDevice::send_transform(std::vector<Packet>& packets,
                                     SendContext&) {
-  std::vector<Packet> out;
+  ScratchArena& arena = ScratchArena::local();
+  std::vector<Packet>& out = send_scratch_;
+  out.clear();
   out.reserve(packets.size());
   for (auto& p : packets) {
     if (p.payload.size() < min_bytes_) {
-      Bytes framed;
+      Bytes framed = arena.take();
       framed.reserve(p.payload.size() + 1);
       framed.push_back(kPlain);
       framed.insert(framed.end(), p.payload.begin(), p.payload.end());
+      arena.give(std::move(p.payload));
       p.payload = std::move(framed);
       out.push_back(std::move(p));
       continue;
@@ -47,6 +50,7 @@ void StripingDevice::send_transform(std::vector<Packet>& packets,
       frag.id = p.id;  // fabric ids are per original send; fragments share it
       frag.priority = p.priority;
       frag.inject_time = p.inject_time;
+      frag.payload = arena.take();
       frag.payload.reserve(1 + sizeof(hdr) + n);
       frag.payload.push_back(kFragment);
       const auto* hp = reinterpret_cast<const std::byte*>(&hdr);
@@ -55,8 +59,11 @@ void StripingDevice::send_transform(std::vector<Packet>& packets,
                           p.payload.begin() + off + n);
       out.push_back(std::move(frag));
     }
+    arena.give(std::move(p.payload));
   }
-  packets = std::move(out);
+  // Swap so both vectors keep their capacity for the next call (the
+  // chain's list becomes next call's scratch).
+  packets.swap(out);
 }
 
 void StripingDevice::drop_source(NodeId src) {
@@ -104,7 +111,10 @@ std::optional<Packet> StripingDevice::receive_transform(Packet packet) {
       packet.payload.begin() + 1 + static_cast<std::ptrdiff_t>(sizeof(hdr)),
       packet.payload.end());
   ++part.received;
-  if (part.received < hdr.count) return std::nullopt;
+  if (part.received < hdr.count) {
+    ScratchArena::local().give(std::move(packet.payload));
+    return std::nullopt;
+  }
 
   Packet whole;
   whole.src = packet.src;
@@ -112,6 +122,7 @@ std::optional<Packet> StripingDevice::receive_transform(Packet packet) {
   whole.id = hdr.original_id;
   whole.priority = packet.priority;
   whole.inject_time = packet.inject_time;
+  whole.payload = ScratchArena::local().take();
   whole.payload.reserve(part.original_bytes);
   for (auto& piece : part.pieces)
     whole.payload.insert(whole.payload.end(), piece.begin(), piece.end());

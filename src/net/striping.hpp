@@ -49,6 +49,9 @@ class StripingDevice final : public FilterDevice {
 
   std::size_t rails_;
   std::size_t min_bytes_;
+  /// Reused across send_transform calls (swapped with the chain's packet
+  /// list) so fragment fan-out allocates nothing in steady state.
+  std::vector<Packet> send_scratch_;
   std::uint64_t striped_ = 0;
   std::uint64_t squashed_fragments_ = 0;
   std::map<std::pair<NodeId, std::uint64_t>, Partial> partial_;

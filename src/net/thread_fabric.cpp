@@ -44,7 +44,7 @@ bool ThreadFabric::host_node_up(NodeId node) const {
   return !node_up_ || node_up_(node);
 }
 
-void ThreadFabric::enqueue_frames(std::vector<Packet>&& wire,
+void ThreadFabric::enqueue_frames(std::vector<Packet>& wire,
                                   const SendContext& ctx) {
   const sim::TimeNs now = now_ns();
   for (auto& frame : wire) {
@@ -80,8 +80,7 @@ sim::TimeNs ThreadFabric::send(Packet&& packet) {
   }
 
   SendContext ctx;
-  std::vector<Packet> wire = chain_.apply_send(std::move(packet), ctx);
-  enqueue_frames(std::move(wire), ctx);
+  send_through(nullptr, std::move(packet), ctx);
   cv_.notify_one();
   return ctx.cpu_cost;
 }
@@ -91,10 +90,31 @@ void ThreadFabric::inject_send(const FilterDevice* from, Packet&& packet) {
   if (stop_) return;
   ++stats_.frames_injected;
   SendContext ctx;
-  std::vector<Packet> wire =
-      chain_.apply_send_below(from, std::move(packet), ctx);
-  enqueue_frames(std::move(wire), ctx);
+  send_through(from, std::move(packet), ctx);
   cv_.notify_one();
+}
+
+void ThreadFabric::send_through(const FilterDevice* below, Packet&& packet,
+                                SendContext& ctx) {
+  if (wire_busy_) {
+    // Re-entrant send from inside a chain transform (the mutex is
+    // recursive): rare protocol path, take the allocating route.
+    std::vector<Packet> wire =
+        below == nullptr
+            ? chain_.apply_send(std::move(packet), ctx)
+            : chain_.apply_send_below(below, std::move(packet), ctx);
+    enqueue_frames(wire, ctx);
+    return;
+  }
+  wire_busy_ = true;
+  if (below == nullptr) {
+    chain_.apply_send(std::move(packet), ctx, wire_scratch_);
+  } else {
+    chain_.apply_send_below(below, std::move(packet), ctx, wire_scratch_);
+  }
+  enqueue_frames(wire_scratch_, ctx);
+  wire_scratch_.clear();
+  wire_busy_ = false;
 }
 
 void ThreadFabric::inject_receive(const FilterDevice* from, Packet&& packet) {

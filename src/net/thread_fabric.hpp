@@ -84,7 +84,11 @@ class ThreadFabric final : public Fabric, public DeviceHost {
   }
 
   /// Schedule the wire frames of one transmission (mutex held).
-  void enqueue_frames(std::vector<Packet>&& wire, const SendContext& ctx);
+  void enqueue_frames(std::vector<Packet>& wire, const SendContext& ctx);
+  /// Run packet down the chain (below `below` when non-null) and enqueue
+  /// the resulting frames, reusing wire_scratch_ when possible.
+  void send_through(const FilterDevice* below, Packet&& packet,
+                    SendContext& ctx);
   void dispatcher_loop();
 
   const Topology* topo_;
@@ -97,6 +101,10 @@ class ThreadFabric final : public Fabric, public DeviceHost {
   std::priority_queue<Timed, std::vector<Timed>, Later> pending_;
   std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
   std::vector<DeliverFn> handlers_;
+  /// Reused across sends (mutex held); re-entrant sends from chain
+  /// transforms fall back to a local vector.
+  std::vector<Packet> wire_scratch_;
+  bool wire_busy_ = false;
   NodeUpProbe node_up_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;

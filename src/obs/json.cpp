@@ -25,6 +25,56 @@ Json& Json::push(Json value) {
   return *this;
 }
 
+bool Json::as_bool() const {
+  MDO_CHECK_MSG(kind_ == Kind::kBool, "Json::as_bool on a non-bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    case Kind::kDouble: return double_;
+    default: MDO_CHECK_MSG(false, "Json::as_double on a non-number");
+  }
+  return 0.0;  // unreachable
+}
+
+std::int64_t Json::as_int() const {
+  switch (kind_) {
+    case Kind::kInt: return int_;
+    case Kind::kUint: return static_cast<std::int64_t>(uint_);
+    case Kind::kDouble: return static_cast<std::int64_t>(double_);
+    default: MDO_CHECK_MSG(false, "Json::as_int on a non-number");
+  }
+  return 0;  // unreachable
+}
+
+const std::string& Json::as_string() const {
+  MDO_CHECK_MSG(kind_ == Kind::kString, "Json::as_string on a non-string");
+  return str_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  MDO_CHECK_MSG(kind_ == Kind::kObject, "Json::find on a non-object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* v = find(key);
+  MDO_CHECK_MSG(v != nullptr, "Json::at: missing key");
+  return *v;
+}
+
+const Json& Json::at(std::size_t i) const {
+  MDO_CHECK_MSG(kind_ == Kind::kArray, "Json::at(index) on a non-array");
+  MDO_CHECK_MSG(i < elements_.size(), "Json::at: index out of range");
+  return elements_[i];
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -120,6 +170,190 @@ std::string Json::dump(int indent) const {
   std::string out;
   write(out, indent, 0);
   return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the subset Json::dump emits. Position
+/// advances on success; any failure aborts the whole parse.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> document() {
+    std::optional<Json> v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n': return literal("null") ? std::optional<Json>(Json{})
+                                       : std::nullopt;
+      case 't': return literal("true") ? std::optional<Json>(Json(true))
+                                       : std::nullopt;
+      case 'f': return literal("false") ? std::optional<Json>(Json(false))
+                                        : std::nullopt;
+      case '"': {
+        std::optional<std::string> s = string();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case '[': return array_body();
+      case '{': return object_body();
+      default: return number();
+    }
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // json_escape only emits \u00xx for control bytes; anything
+          // larger would need UTF-8 encoding that dump never produces.
+          if (code > 0xff) return std::nullopt;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return std::nullopt;
+    if (integral) {
+      if (tok[0] != '-') {
+        std::uint64_t u = 0;
+        auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+        if (ec == std::errc() && p == tok.data() + tok.size()) return Json(u);
+      } else {
+        std::int64_t i = 0;
+        auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+        if (ec == std::errc() && p == tok.data() + tok.size()) return Json(i);
+      }
+      // fall through: out-of-range integer parses as double
+    }
+    double d = 0.0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size()) return std::nullopt;
+    return Json(d);
+  }
+
+  std::optional<Json> array_body() {
+    if (!consume('[')) return std::nullopt;
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      std::optional<Json> v = value();
+      if (!v) return std::nullopt;
+      arr.push(std::move(*v));
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> object_body() {
+    if (!consume('{')) return std::nullopt;
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      std::optional<Json> v = value();
+      if (!v) return std::nullopt;
+      obj.set(std::move(*key), std::move(*v));
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text).document();
 }
 
 }  // namespace mdo::obs

@@ -7,7 +7,9 @@
 // read back compares equal bit for bit.
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -47,6 +49,33 @@ class Json {
   }
 
   Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  /// Numeric value widened to double (kInt/kUint/kDouble). Dies otherwise.
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  /// Object member lookup; nullptr when absent (dies on non-objects).
+  const Json* find(std::string_view key) const;
+  /// Object member access; dies when absent.
+  const Json& at(std::string_view key) const;
+  /// Array element access; dies when out of range.
+  const Json& at(std::size_t i) const;
+
+  const std::vector<Json>& elements() const { return elements_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
 
   /// Object member set (append-or-overwrite, order-preserving).
   Json& set(std::string key, Json value);
@@ -60,6 +89,11 @@ class Json {
   /// Serialize. indent < 0: compact one-liner; indent >= 0: pretty-print
   /// with that many spaces per level.
   std::string dump(int indent = -1) const;
+
+  /// Parse a JSON document (the subset this class emits: no \uXXXX
+  /// surrogate pairs beyond Latin-1). Returns nullopt on malformed input
+  /// or trailing garbage.
+  static std::optional<Json> parse(std::string_view text);
 
  private:
   void write(std::string& out, int indent, int depth) const;

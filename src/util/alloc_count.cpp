@@ -1,0 +1,29 @@
+#include "util/alloc_count.hpp"
+
+#include <atomic>
+
+namespace mdo::alloc {
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_active{false};
+
+}  // namespace
+
+std::uint64_t allocations() { return g_allocs.load(std::memory_order_relaxed); }
+std::uint64_t deallocations() { return g_frees.load(std::memory_order_relaxed); }
+std::uint64_t allocated_bytes() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+bool hook_active() { return g_active.load(std::memory_order_relaxed); }
+
+void note_alloc(std::size_t bytes) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+void note_free() { g_frees.fetch_add(1, std::memory_order_relaxed); }
+void set_hook_active() { g_active.store(true, std::memory_order_relaxed); }
+
+}  // namespace mdo::alloc

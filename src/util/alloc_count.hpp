@@ -1,0 +1,45 @@
+#pragma once
+// Heap-allocation counters behind the perf-regression harness: the
+// `mdo_alloc_hook` library replaces global operator new/delete with
+// versions that bump these counters, and the machines expose them as an
+// obs gauge ("mem.alloc"). Binaries that do not link the hook still
+// compile and run — the counters just stay at zero and hook_active()
+// reports false, so tests can skip instead of asserting on nothing.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mdo::alloc {
+
+/// Totals since process start (relaxed atomics; exact on one thread,
+/// monotonic across threads).
+std::uint64_t allocations();
+std::uint64_t deallocations();
+std::uint64_t allocated_bytes();
+
+/// True when the counting operator new/delete replacement is linked in.
+bool hook_active();
+
+/// Internal: bumped by the hook library.
+void note_alloc(std::size_t bytes);
+void note_free();
+void set_hook_active();
+
+/// Force-link anchor: calling this from a test/bench binary pulls the
+/// hook object file out of the static archive so its operator new/delete
+/// definitions replace the default ones. Defined in alloc_hook.cpp.
+void link_hook();
+
+/// Allocations made between construction and delta() — the measurement
+/// primitive of the zero-allocation tests.
+class AllocationCounter {
+ public:
+  AllocationCounter() : start_(allocations()) {}
+  std::uint64_t delta() const { return allocations() - start_; }
+  void reset() { start_ = allocations(); }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace mdo::alloc

@@ -1,0 +1,81 @@
+// Counting allocator: global operator new/delete replacements that feed
+// the counters in alloc_count.hpp. Built as its own static library
+// (mdo_alloc_hook) and linked only into binaries that measure
+// allocations (the perf tests and microbenchmarks) — replacing the
+// global allocator process-wide is too blunt an instrument for every
+// target. A binary opts in by linking the library and calling
+// link_hook() once, which also forces this object out of the archive.
+
+#include <cstdlib>
+#include <new>
+
+#include "util/alloc_count.hpp"
+
+namespace mdo::alloc {
+namespace {
+
+struct HookActivator {
+  HookActivator() { set_hook_active(); }
+};
+HookActivator g_activator;
+
+void* counted_alloc(std::size_t size) {
+  note_alloc(size);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  note_alloc(size);
+  void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void link_hook() {
+  // The HookActivator above runs at static-init time once this object is
+  // part of the binary; calling this function is what makes it so.
+}
+
+}  // namespace mdo::alloc
+
+void* operator new(std::size_t size) { return mdo::alloc::counted_alloc(size); }
+void* operator new[](std::size_t size) {
+  return mdo::alloc::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return mdo::alloc::counted_alloc_aligned(size,
+                                           static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return mdo::alloc::counted_alloc_aligned(size,
+                                           static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept {
+  mdo::alloc::note_free();
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  mdo::alloc::note_free();
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  mdo::alloc::note_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  mdo::alloc::note_free();
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  mdo::alloc::note_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  mdo::alloc::note_free();
+  std::free(p);
+}

@@ -1,12 +1,27 @@
 #pragma once
-// Contiguous byte buffer used for marshalled messages and checkpoints.
-// A thin wrapper over std::vector<std::byte> with append/consume cursors.
+// Contiguous byte buffers for marshalled messages and checkpoints.
+//
+//  * Bytes        — the growable byte vector everything serializes into.
+//  * ByteWriter / ByteReader — append/consume cursors with bounds checks.
+//  * ScratchArena — a bounded per-thread freelist of Bytes so the
+//    steady-state message path (marshalling, device-chain framing,
+//    envelope pack/unpack) recycles buffers instead of allocating. One
+//    thread per PE under ThreadMachine makes this the per-PE arena; the
+//    single-threaded SimMachine shares one arena across its PEs.
+//  * PayloadBuf   — a ref-counted, immutable-after-seal payload buffer.
+//    Copying an envelope (local delivery, broadcast fan-out, device-chain
+//    pass-through) bumps a refcount instead of copying bytes. Control
+//    blocks and their byte storage come from the same per-thread
+//    freelist, so warm-path deliveries are allocation-free.
 
+#include <atomic>
 #include <cstddef>
 #include <cstring>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "util/alloc_count.hpp"
 #include "util/assert.hpp"
 
 namespace mdo {
@@ -19,6 +34,9 @@ class ByteWriter {
   explicit ByteWriter(Bytes& out) : out_(out) {}
 
   void write(const void* data, std::size_t n) {
+    // Guard the n == 0 case: `data` may legitimately be null (an empty
+    // vector's .data()), and pointer arithmetic on null is UB.
+    if (n == 0) return;
     const auto* p = static_cast<const std::byte*>(data);
     out_.insert(out_.end(), p, p + n);
   }
@@ -41,7 +59,9 @@ class ByteReader {
   explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
 
   void read(void* out, std::size_t n) {
-    MDO_CHECK_MSG(pos_ + n <= data_.size(), "byte reader overrun");
+    MDO_CHECK_MSG(n <= data_.size() - pos_ && pos_ <= data_.size(),
+                  "byte reader overrun");
+    if (n == 0) return;  // memcpy with a null source/dest is UB even for 0
     std::memcpy(out, data_.data() + pos_, n);
     pos_ += n;
   }
@@ -61,6 +81,176 @@ class ByteReader {
  private:
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
+};
+
+/// Bounded per-thread freelist of Bytes buffers. take() hands out a
+/// cleared buffer with its previous capacity intact; give() returns a
+/// buffer to the pool. Buffers above kMaxRetainBytes are dropped so one
+/// giant checkpoint cannot pin memory forever.
+class ScratchArena {
+ public:
+  static constexpr std::size_t kMaxBuffers = 64;
+  static constexpr std::size_t kMaxRetainBytes = 1u << 20;
+
+  Bytes take() {
+    if (pool_.empty()) return Bytes{};
+    Bytes out = std::move(pool_.back());
+    pool_.pop_back();
+    out.clear();
+    return out;
+  }
+
+  void give(Bytes&& b) {
+    if (pool_.size() >= kMaxBuffers || b.capacity() > kMaxRetainBytes) return;
+    b.clear();
+    pool_.push_back(std::move(b));
+  }
+
+  std::size_t size() const { return pool_.size(); }
+
+  /// The calling thread's arena (= the PE's arena under ThreadMachine).
+  static ScratchArena& local() {
+    thread_local ScratchArena arena;
+    return arena;
+  }
+
+ private:
+  std::vector<Bytes> pool_;
+};
+
+/// Ref-counted message payload, immutable once sealed. The single-writer
+/// phase (marshalling) happens in an exclusively-owned unsealed buffer;
+/// seal() freezes it, after which copies are refcount bumps and every
+/// holder reads the same bytes. Control blocks ("reps") and their byte
+/// storage recycle through a per-thread freelist — the per-PE envelope
+/// freelist: a PE that delivers a message and sends another reuses the
+/// rep and capacity it just released.
+class PayloadBuf {
+ public:
+  PayloadBuf() = default;  ///< empty and sealed (no rep at all)
+
+  PayloadBuf(const PayloadBuf& other) : rep_(other.rep_) {
+    if (rep_ != nullptr) {
+      MDO_CHECK_MSG(rep_->sealed, "copying an unsealed PayloadBuf");
+      rep_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  PayloadBuf(PayloadBuf&& other) noexcept
+      : rep_(std::exchange(other.rep_, nullptr)) {}
+  PayloadBuf& operator=(const PayloadBuf& other) {
+    PayloadBuf copy(other);
+    std::swap(rep_, copy.rep_);
+    return *this;
+  }
+  PayloadBuf& operator=(PayloadBuf&& other) noexcept {
+    std::swap(rep_, other.rep_);
+    return *this;
+  }
+  ~PayloadBuf() { release(); }
+
+  /// A fresh unsealed buffer, exclusively owned, ready for marshalling.
+  static PayloadBuf make() { return PayloadBuf(acquire_rep()); }
+
+  /// Seal an existing byte vector (zero-copy: the vector is swapped into
+  /// a pooled rep and the rep's previous storage handed back to it, so
+  /// the caller's arena cycle stays balanced).
+  static PayloadBuf adopt(Bytes&& bytes) {
+    Rep* rep = acquire_rep();
+    rep->bytes.swap(bytes);
+    ScratchArena::local().give(std::move(bytes));
+    rep->sealed = true;
+    return PayloadBuf(rep);
+  }
+
+  /// Writable storage; only before seal(), only for the unique owner.
+  Bytes& mutable_bytes() {
+    MDO_CHECK_MSG(rep_ != nullptr && !rep_->sealed,
+                  "mutable_bytes() on a sealed PayloadBuf");
+    MDO_CHECK(rep_->refs.load(std::memory_order_relaxed) == 1);
+    return rep_->bytes;
+  }
+
+  /// Freeze the contents. Idempotent; sealing an empty buffer (even one
+  /// with no rep) is well defined and never touches a null pointer.
+  void seal() {
+    if (rep_ != nullptr) rep_->sealed = true;
+  }
+
+  bool sealed() const { return rep_ == nullptr || rep_->sealed; }
+
+  std::span<const std::byte> span() const {
+    // Guard the empty case: .data() of an empty vector may be null and
+    // must not be used to form a sized span via pointer arithmetic.
+    if (rep_ == nullptr || rep_->bytes.empty()) return {};
+    return {rep_->bytes.data(), rep_->bytes.size()};
+  }
+  operator std::span<const std::byte>() const { return span(); }  // NOLINT
+
+  std::size_t size() const { return rep_ == nullptr ? 0 : rep_->bytes.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Holders of the same sealed bytes (diagnostics/tests).
+  std::uint32_t use_count() const {
+    return rep_ == nullptr ? 0 : rep_->refs.load(std::memory_order_relaxed);
+  }
+
+  friend bool operator==(const PayloadBuf& a, const PayloadBuf& b) {
+    auto sa = a.span(), sb = b.span();
+    return sa.size() == sb.size() &&
+           (sa.empty() || std::memcmp(sa.data(), sb.data(), sa.size()) == 0);
+  }
+
+ private:
+  struct Rep {
+    std::atomic<std::uint32_t> refs{1};
+    bool sealed = false;
+    Bytes bytes;
+  };
+
+  explicit PayloadBuf(Rep* rep) : rep_(rep) {}
+
+  static Rep* acquire_rep() {
+    RepPool& pool = rep_pool();
+    if (!pool.reps.empty()) {
+      Rep* rep = pool.reps.back();
+      pool.reps.pop_back();
+      rep->refs.store(1, std::memory_order_relaxed);
+      rep->sealed = false;
+      rep->bytes.clear();
+      return rep;
+    }
+    return new Rep();
+  }
+
+  void release() {
+    if (rep_ == nullptr) return;
+    // acq_rel: the last holder must observe every write the sealing
+    // thread made before it recycles (or frees) the storage.
+    if (rep_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      RepPool& pool = rep_pool();
+      if (pool.reps.size() < kMaxPooledReps &&
+          rep_->bytes.capacity() <= ScratchArena::kMaxRetainBytes) {
+        pool.reps.push_back(rep_);
+      } else {
+        delete rep_;
+      }
+    }
+    rep_ = nullptr;
+  }
+
+  static constexpr std::size_t kMaxPooledReps = 64;
+  struct RepPool {
+    std::vector<Rep*> reps;
+    ~RepPool() {
+      for (Rep* rep : reps) delete rep;
+    }
+  };
+  static RepPool& rep_pool() {
+    thread_local RepPool pool;
+    return pool;
+  }
+
+  Rep* rep_ = nullptr;
 };
 
 }  // namespace mdo

@@ -160,6 +160,31 @@ Pup& operator|(Pup& p, std::vector<T>& v) {
   return p;
 }
 
+/// PayloadBuf serializes exactly like std::vector<std::byte> (u64 length
+/// + raw bytes), so swapping Envelope::payload from Bytes to PayloadBuf
+/// changed nothing on the wire. Unpacking fills a pooled rep and seals it.
+inline Pup& operator|(Pup& p, PayloadBuf& buf) {
+  if (p.unpacking()) {
+    auto n = std::uint64_t{0};
+    p | n;
+    detail::check_unpack_length(p, n, 1);
+    PayloadBuf fresh = PayloadBuf::make();
+    Bytes& bytes = fresh.mutable_bytes();
+    bytes.resize(n);
+    if (n != 0) p.bytes(bytes.data(), n);
+    fresh.seal();
+    buf = std::move(fresh);
+    return p;
+  }
+  auto n = static_cast<std::uint64_t>(buf.size());
+  p | n;
+  if (n != 0) {
+    // Packing never mutates; Pup::bytes takes void* for the unpack side.
+    p.bytes(const_cast<std::byte*>(buf.span().data()), n);
+  }
+  return p;
+}
+
 template <class T, std::size_t N>
 Pup& operator|(Pup& p, std::array<T, N>& a) {
   if constexpr (detail::TriviallyPupable<T>) {
@@ -235,10 +260,14 @@ Pup& operator|(Pup& p, std::unordered_map<K, V, H, E, A>& m) {
 template <class T>
 concept Pupable = requires(Pup& p, T& t) { p | t; };
 
-/// Serialize one object to a fresh byte vector.
+/// Serialize one object to a byte vector drawn from the calling thread's
+/// scratch arena: after warm-up the returned vector reuses recycled
+/// capacity instead of allocating. Give it back (ScratchArena::local()
+/// .give) or adopt it into a PayloadBuf to keep the cycle balanced;
+/// simply destroying it is also fine, just not allocation-free.
 template <Pupable T>
 Bytes pack_object(const T& value) {
-  Bytes out;
+  Bytes out = ScratchArena::local().take();
   Pup p = Pup::packer(out);
   p | const_cast<T&>(value);  // packing never mutates
   return out;
@@ -261,10 +290,11 @@ std::size_t pup_size(const T& value) {
 
 // -- argument-pack marshalling for entry methods ---------------------
 
-/// Pack a heterogeneous argument list into one buffer.
+/// Pack a heterogeneous argument list into one buffer (pooled, like
+/// pack_object).
 template <class... Args>
 Bytes marshal(const Args&... args) {
-  Bytes out;
+  Bytes out = ScratchArena::local().take();
   Pup p = Pup::packer(out);
   (void)std::initializer_list<int>{((p | const_cast<Args&>(args)), 0)...};
   return out;
@@ -275,7 +305,7 @@ Bytes marshal(const Args&... args) {
 /// parameter types so both sides of the wire agree on the layout).
 template <class Tuple>
 Bytes marshal_tuple(Tuple& args) {
-  Bytes out;
+  Bytes out = ScratchArena::local().take();
   Pup p = Pup::packer(out);
   std::apply(
       [&p](auto&... elems) {

@@ -167,7 +167,8 @@ TEST(CoreEdge, EnvelopePupRoundtrip) {
   env.flags = core::Envelope::kFlagFanout;
   env.seq = 12345;
   env.sent_at = sim::milliseconds(2);
-  env.payload = {std::byte{1}, std::byte{2}, std::byte{3}};
+  env.payload =
+      PayloadBuf::adopt(Bytes{std::byte{1}, std::byte{2}, std::byte{3}});
 
   Bytes b = pack_object(env);
   core::Envelope out;

@@ -51,6 +51,63 @@ TEST(JsonTest, PrettyGoldenOutput) {
             "{\n  \"a\": 1,\n  \"nested\": {\n    \"b\": 2\n  }\n}");
 }
 
+TEST(JsonTest, ParseRoundtripsDumpOutput) {
+  Json obj = Json::object();
+  obj.set("name", "micro_runtime");
+  obj.set("neg", -42);
+  obj.set("big", std::uint64_t{18446744073709551615ull});
+  obj.set("ratio", 0.125);
+  obj.set("ok", true);
+  obj.set("nothing", Json{});
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push("two");
+  arr.push(Json::array());
+  obj.set("list", std::move(arr));
+  for (int indent : {-1, 0, 2, 4}) {
+    auto parsed = Json::parse(obj.dump(indent));
+    ASSERT_TRUE(parsed.has_value()) << "indent " << indent;
+    EXPECT_EQ(parsed->dump(), obj.dump()) << "indent " << indent;
+  }
+}
+
+TEST(JsonTest, ParseAccessors) {
+  auto doc = Json::parse(
+      R"({"bench":"x","runs":[{"name":"BM_A","real_ns":12.5},)"
+      R"({"name":"BM_B","real_ns":7}]})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->at("bench").as_string(), "x");
+  const Json& runs = doc->at("runs");
+  ASSERT_TRUE(runs.is_array());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs.at(0).at("name").as_string(), "BM_A");
+  EXPECT_DOUBLE_EQ(runs.at(0).at("real_ns").as_double(), 12.5);
+  EXPECT_DOUBLE_EQ(runs.at(1).at("real_ns").as_double(), 7.0);  // int widens
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParseEscapesAndWhitespace) {
+  auto doc = Json::parse("  { \"s\" : \"a\\n\\\"b\\u0007\" , \"t\":\t[ ] }  ");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("s").as_string(), "a\n\"b\x07");
+  EXPECT_TRUE(doc->at("t").is_array());
+  EXPECT_EQ(doc->at("t").size(), 0u);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("tru").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());       // trailing garbage
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("-").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1}x").has_value());
+}
+
 TEST(JsonTest, PreservesInsertionOrderAndOverwrites) {
   Json obj = Json::object();
   obj.set("z", 1);

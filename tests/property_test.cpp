@@ -6,10 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <csignal>
+#include <cstdlib>
 #include <map>
 #include <memory>
 
+#include <sys/wait.h>
+
 #include "apps/stencil/stencil.hpp"
+#include "core/envelope.hpp"
 #include "grid/scenario.hpp"
 #include "ldb/balancers.hpp"
 #include "net/coalesce.hpp"
@@ -71,6 +76,75 @@ TEST_P(PupFuzz, NestedStructuresRoundtrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PupFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// -- envelope wire-image fuzz --------------------------------------------------
+
+// Unpacking a damaged envelope image must either round-trip (corruption
+// confined to value bytes) or die in an MDO_CHECK / length-guarded
+// allocation failure — never read out of bounds or return a silently
+// short parse. Each candidate runs in a forked child (death-test
+// machinery) whose acceptable outcomes are exit(0) or SIGABRT.
+
+core::Envelope fuzz_reference_envelope() {
+  core::Envelope env;
+  env.kind = core::MsgKind::kMulticast;
+  env.src_pe = 3;
+  env.dst_pe = 7;
+  env.array = 2;
+  env.index = core::Index(4, 5, 6);
+  env.entry = 11;
+  env.priority = -9;
+  env.flags = core::Envelope::kFlagFanout;
+  env.seq = 99991;
+  env.sent_at = sim::milliseconds(3);
+  Bytes payload(32);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::byte>(i * 7 + 1);
+  env.payload = PayloadBuf::adopt(std::move(payload));
+  return env;
+}
+
+/// exit(0) (clean round-trip) and SIGABRT (MDO_CHECK or a length-check
+/// std::terminate) both count as contained; anything else — SIGSEGV,
+/// nonzero exit — is a containment failure.
+bool exited_cleanly_or_aborted(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status) == 0;
+  if (WIFSIGNALED(status)) return WTERMSIG(status) == SIGABRT;
+  return false;
+}
+
+void unpack_and_exit(const Bytes& wire) {
+  core::Envelope out;
+  unpack_object(wire, out);  // may MDO_CHECK-abort; must never overrun
+  // Whatever decoded must re-encode without tripping invariants.
+  Bytes again = pack_object(out);
+  MDO_CHECK(!again.empty());
+  std::exit(0);
+}
+
+TEST(EnvelopeWireFuzzDeathTest, EveryTruncatedPrefixIsContained) {
+  const Bytes wire = pack_object(fuzz_reference_envelope());
+  ASSERT_GT(wire.size(), core::Envelope::kHeaderBytes);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    Bytes prefix(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_EXIT(unpack_and_exit(prefix), exited_cleanly_or_aborted, "")
+        << "prefix length " << len << " of " << wire.size();
+  }
+  // The full image must take the exit(0) branch, not the abort branch.
+  EXPECT_EXIT(unpack_and_exit(wire), ::testing::ExitedWithCode(0), "");
+}
+
+TEST(EnvelopeWireFuzzDeathTest, SingleBitFlipsAreContained) {
+  const Bytes wire = pack_object(fuzz_reference_envelope());
+  // One flip per byte position, rotating through the bits, covers every
+  // field (length prefixes included) without forking 8x per byte.
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    Bytes mutated = wire;
+    mutated[pos] ^= static_cast<std::byte>(1u << (pos % 8));
+    EXPECT_EXIT(unpack_and_exit(mutated), exited_cleanly_or_aborted, "")
+        << "bit " << (pos % 8) << " of byte " << pos;
+  }
+}
 
 // -- stencil discrete maximum principle ----------------------------------------
 

@@ -148,4 +148,111 @@ TEST_P(PupVectorSweep, RandomDoublesRoundtrip) {
 INSTANTIATE_TEST_SUITE_P(Sizes, PupVectorSweep,
                          ::testing::Values(0, 1, 2, 3, 17, 256, 1000, 4096));
 
+// -- byte-cursor edge cases (regression: null/zero-length UB guards) -----------
+
+TEST(ByteCursors, ZeroLengthWriteWithNullPointerIsANoOp) {
+  Bytes out;
+  mdo::ByteWriter w(out);
+  w.write(nullptr, 0);  // empty vector's .data() may be null
+  EXPECT_TRUE(out.empty());
+  w.write_pod(std::uint32_t{7});
+  w.write(nullptr, 0);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(ByteCursors, ZeroLengthReadAtEveryPositionIsANoOp) {
+  Bytes b = pack_object(std::uint32_t{9});
+  mdo::ByteReader r({b.data(), b.size()});
+  r.read(nullptr, 0);  // at position 0
+  EXPECT_EQ(r.position(), 0u);
+  (void)r.read_pod<std::uint32_t>();
+  r.read(nullptr, 0);  // exactly at the end
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteCursors, ReadOnEmptySpanChecksBeforeDereferencing) {
+  mdo::ByteReader r(std::span<const std::byte>{});
+  r.read(nullptr, 0);  // fine
+  EXPECT_DEATH(
+      {
+        std::byte one;
+        r.read(&one, 1);
+      },
+      "overrun");
+}
+
+// -- PayloadBuf semantics ------------------------------------------------------
+
+TEST(PayloadBuf, DefaultIsEmptySealedAndSpanSafe) {
+  mdo::PayloadBuf buf;
+  EXPECT_TRUE(buf.sealed());
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.use_count(), 0u);
+  EXPECT_TRUE(buf.span().empty());
+  buf.seal();  // idempotent, no rep: must not touch a null pointer
+  EXPECT_TRUE(buf.sealed());
+}
+
+TEST(PayloadBuf, ZeroLengthAdoptIsWellDefined) {
+  mdo::PayloadBuf buf = mdo::PayloadBuf::adopt(Bytes{});
+  EXPECT_TRUE(buf.sealed());
+  EXPECT_TRUE(buf.empty());
+  EXPECT_TRUE(buf.span().empty());
+  EXPECT_EQ(buf, mdo::PayloadBuf{});  // empty equals empty, rep or not
+}
+
+TEST(PayloadBuf, CopiesShareBytesViaRefcount) {
+  Bytes raw{std::byte{1}, std::byte{2}, std::byte{3}};
+  mdo::PayloadBuf a = mdo::PayloadBuf::adopt(Bytes(raw));
+  EXPECT_EQ(a.use_count(), 1u);
+  mdo::PayloadBuf b = a;
+  mdo::PayloadBuf c;
+  c = b;
+  EXPECT_EQ(a.use_count(), 3u);
+  EXPECT_EQ(a.span().data(), b.span().data());  // same bytes, no copy
+  EXPECT_EQ(b.span().data(), c.span().data());
+  EXPECT_EQ(a, c);
+  b = mdo::PayloadBuf{};
+  c = mdo::PayloadBuf{};
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(a.size(), raw.size());
+}
+
+TEST(PayloadBuf, MoveTransfersOwnershipWithoutRefcountTraffic) {
+  mdo::PayloadBuf a = mdo::PayloadBuf::adopt(Bytes{std::byte{5}});
+  mdo::PayloadBuf b = std::move(a);
+  EXPECT_EQ(b.use_count(), 1u);
+  EXPECT_EQ(a.use_count(), 0u);  // NOLINT: moved-from is observable-empty
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(PayloadBuf, MutableBytesOnlyBeforeSeal) {
+  mdo::PayloadBuf buf = mdo::PayloadBuf::make();
+  buf.mutable_bytes().push_back(std::byte{42});
+  buf.seal();
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_DEATH(buf.mutable_bytes(), "sealed");
+}
+
+TEST(PayloadBuf, CopyingUnsealedBufferDies) {
+  mdo::PayloadBuf buf = mdo::PayloadBuf::make();
+  buf.mutable_bytes().push_back(std::byte{1});
+  EXPECT_DEATH({ mdo::PayloadBuf copy(buf); }, "unsealed");
+}
+
+TEST(PayloadBuf, WireFormatMatchesByteVector) {
+  // An envelope payload serialized as PayloadBuf must be bit-identical
+  // to the old std::vector<std::byte> encoding: checkpoints written
+  // before the zero-copy change still load.
+  Bytes raw{std::byte{9}, std::byte{8}, std::byte{7}, std::byte{6}};
+  mdo::PayloadBuf buf = mdo::PayloadBuf::adopt(Bytes(raw));
+  EXPECT_EQ(pack_object(buf), pack_object(raw));
+  EXPECT_EQ(pup_size(buf), pup_size(raw));
+  mdo::PayloadBuf out;
+  unpack_object(pack_object(raw), out);
+  EXPECT_EQ(out, buf);
+  EXPECT_TRUE(out.sealed());
+}
+
 }  // namespace
