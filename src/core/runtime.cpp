@@ -129,11 +129,19 @@ void Runtime::broadcast_entry(ArrayId array_id, EntryId entry,
 
 void Runtime::multicast_entry(ArrayId array_id, std::span<const Index> targets,
                               EntryId entry, Priority priority, Bytes args) {
-  // Group destination elements by their current PE; ship one bundle per
-  // PE holding the argument payload once.
+  // Group destination elements by their first-hop PE — same-cluster
+  // elements by their own PE, remote-cluster elements by that cluster's
+  // tree root — and ship one bundle per hop holding the argument payload
+  // once. The relay re-bundles per destination PE in deliver_multicast,
+  // so a multicast crosses the WAN once per destination cluster rather
+  // than once per destination PE. Flat mode addresses every PE directly.
   ArrayBase& arr = *rec(array_id).array;
+  Pe self = current_pe();
   std::map<Pe, std::vector<Index>> by_pe;
-  for (const Index& index : targets) by_pe[arr.location(index)].push_back(index);
+  for (const Index& index : targets) {
+    Pe hop = multicast_relay(tree_, topology(), self, arr.location(index));
+    by_pe[hop].push_back(index);
+  }
   for (auto& [pe, list] : by_pe) {
     Envelope env;
     env.kind = MsgKind::kMulticast;
@@ -251,14 +259,32 @@ void Runtime::deliver_multicast(Envelope& env) {
     MDO_CHECK(p.bytes_remaining() == 0);
   }
   ArrayBase& arr = *rec(env.array).array;
+  std::map<Pe, std::vector<Index>> forward;
   for (const Index& index : targets) {
     MDO_CHECK_MSG(arr.contains(index), "multicast target does not exist");
     if (arr.location(index) == current_pe()) {
       invoke_on(*arr.find(index), env.entry, args);
     } else {
-      // Element migrated: re-route an individual entry message.
-      send_entry(env.array, index, env.entry, env.priority, Bytes(args));
+      // Relay hop (cluster root) or a migrated element: forward, still
+      // bundled per destination PE so the payload ships once per PE.
+      forward[arr.location(index)].push_back(index);
     }
+  }
+  for (auto& [pe, list] : forward) {
+    Envelope fwd;
+    fwd.kind = MsgKind::kMulticast;
+    fwd.dst_pe = pe;
+    fwd.array = env.array;
+    fwd.entry = env.entry;
+    fwd.priority = env.priority;
+    Bytes packed = ScratchArena::local().take();
+    Pup sizer = Pup::sizer();
+    sizer | list | args;
+    packed.reserve(sizer.size());
+    Pup packer = Pup::packer(packed);
+    packer | list | args;
+    fwd.payload = PayloadBuf::adopt(std::move(packed));
+    post(std::move(fwd));
   }
 }
 
@@ -491,7 +517,12 @@ void Runtime::migrate(ArrayId array_id, const Index& index, Pe to) {
 }
 
 void Runtime::rebuild_tree(const std::vector<bool>& alive) {
-  tree_ = ClusterTree(topology(), alive);
+  tree_ = ClusterTree(topology(), alive, tree_.mode());
+  for (auto& r : arrays_) r.subtree_dirty = true;
+}
+
+void Runtime::set_collective_mode(TreeMode mode) {
+  tree_ = ClusterTree(topology(), machine_->alive_pes(), mode);
   for (auto& r : arrays_) r.subtree_dirty = true;
 }
 

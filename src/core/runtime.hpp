@@ -53,6 +53,13 @@ class Runtime {
     return topology().cluster_of(static_cast<net::NodeId>(pe));
   }
   const ClusterTree& tree() const { return tree_; }
+  TreeMode collective_mode() const { return tree_.mode(); }
+
+  /// Switch broadcast/multicast/reduction routing between the
+  /// hierarchical cluster tree and the flat (topology-blind) tree.
+  /// Rebuilds the spanning tree over the currently-alive PEs; call at
+  /// quiescent points only, like rebuild_tree().
+  void set_collective_mode(TreeMode mode);
 
   // -- array creation (setup or quiescent points only) ------------------
   /// Typed creation lives in core/array.hpp (Runtime::create_array<T>).

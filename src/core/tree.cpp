@@ -1,16 +1,79 @@
 #include "core/tree.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <map>
 
 #include "util/assert.hpp"
 
 namespace mdo::core {
+namespace {
 
-ClusterTree::ClusterTree(const net::Topology& topo)
-    : ClusterTree(topo, std::vector<bool>(topo.num_nodes(), true)) {}
+/// Shortest-path tree over the populated clusters, rooted at
+/// `root_cluster`, weighted by the directed WAN link latencies. Pairs
+/// without a table entry get the worst recorded latency (conservative:
+/// never assume an unspecified link is fast), or a uniform weight when
+/// the table is empty — which collapses the SPT to a star around the
+/// root cluster, the classic one-hop-per-cluster shape. Returns the
+/// parent cluster of each populated cluster (-1 for the root and for
+/// unpopulated clusters). O(C^2) selection; cluster counts are tiny.
+std::vector<net::ClusterId> cluster_parents(
+    const net::Topology& topo, const std::vector<bool>& populated,
+    net::ClusterId root_cluster) {
+  const auto c = static_cast<net::ClusterId>(topo.num_clusters());
+  net::LinkParams fallback{1, 1e9};
+  fallback.latency = std::max<sim::TimeNs>(topo.max_wan_latency(fallback), 1);
+
+  constexpr auto kInf = std::numeric_limits<sim::TimeNs>::max();
+  std::vector<sim::TimeNs> dist(static_cast<std::size_t>(c), kInf);
+  std::vector<net::ClusterId> parent(static_cast<std::size_t>(c), -1);
+  std::vector<bool> done(static_cast<std::size_t>(c), false);
+  dist[static_cast<std::size_t>(root_cluster)] = 0;
+  for (;;) {
+    net::ClusterId u = -1;
+    for (net::ClusterId v = 0; v < c; ++v) {
+      if (!populated[static_cast<std::size_t>(v)] ||
+          done[static_cast<std::size_t>(v)] ||
+          dist[static_cast<std::size_t>(v)] == kInf) {
+        continue;
+      }
+      if (u == -1 ||
+          dist[static_cast<std::size_t>(v)] < dist[static_cast<std::size_t>(u)]) {
+        u = v;
+      }
+    }
+    if (u == -1) break;
+    done[static_cast<std::size_t>(u)] = true;
+    for (net::ClusterId v = 0; v < c; ++v) {
+      if (v == u || !populated[static_cast<std::size_t>(v)] ||
+          done[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      sim::TimeNs w = topo.wan_link_or(u, v, fallback).latency;
+      sim::TimeNs via = dist[static_cast<std::size_t>(u)] + w;
+      if (via < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = via;
+        parent[static_cast<std::size_t>(v)] = u;
+      }
+    }
+  }
+  parent[static_cast<std::size_t>(root_cluster)] = -1;
+  return parent;
+}
+
+}  // namespace
+
+ClusterTree::ClusterTree(const net::Topology& topo, TreeMode mode)
+    : ClusterTree(topo, std::vector<bool>(topo.num_nodes(), true), mode) {}
 
 ClusterTree::ClusterTree(const net::Topology& topo,
-                         const std::vector<bool>& alive) {
+                         const std::vector<bool>& alive, TreeMode mode)
+    : mode_(mode) {
+  build(topo, alive);
+}
+
+void ClusterTree::build(const net::Topology& topo,
+                        const std::vector<bool>& alive) {
   const auto n = static_cast<std::size_t>(topo.num_nodes());
   MDO_CHECK(n > 0);
   MDO_CHECK(alive.size() == n);
@@ -19,6 +82,7 @@ ClusterTree::ClusterTree(const net::Topology& topo,
   for (std::size_t pe = 0; pe < n; ++pe) num_alive += alive[pe] ? 1 : 0;
   parent_.assign(n, kInvalidPe);
   children_.assign(n, {});
+  root_ = 0;
 
   // Per-cluster sorted lists of alive PEs; the representative is the
   // first entry.
@@ -30,32 +94,55 @@ ClusterTree::ClusterTree(const net::Topology& topo,
         .push_back(static_cast<Pe>(pe));
   }
   for (auto& list : members) std::sort(list.begin(), list.end());
+  cluster_root_.assign(topo.num_clusters(), kInvalidPe);
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    if (!members[c].empty()) cluster_root_[c] = members[c].front();
+  }
 
-  // Binary tree inside each cluster, rooted at its representative.
-  for (const auto& list : members) {
-    if (list.empty()) continue;
+  if (mode_ == TreeMode::kFlat) {
+    // Topology-blind binary heap over the sorted alive PEs.
+    std::vector<Pe> list;
+    list.reserve(num_alive);
+    for (std::size_t pe = 0; pe < n; ++pe) {
+      if (alive[pe]) list.push_back(static_cast<Pe>(pe));
+    }
     for (std::size_t i = 1; i < list.size(); ++i) {
       Pe par = list[(i - 1) / 2];
       parent_[static_cast<std::size_t>(list[i])] = par;
       children_[static_cast<std::size_t>(par)].push_back(list[i]);
     }
+  } else {
+    // Binary tree inside each cluster, rooted at its representative.
+    for (const auto& list : members) {
+      for (std::size_t i = 1; i < list.size(); ++i) {
+        Pe par = list[(i - 1) / 2];
+        parent_[static_cast<std::size_t>(list[i])] = par;
+        children_[static_cast<std::size_t>(par)].push_back(list[i]);
+      }
+    }
+
+    // Wire the representatives along the shortest-path tree over the
+    // cluster graph, rooted at the cluster that owns PE 0 (whose
+    // representative is PE 0 itself — the lowest alive PE overall).
+    std::vector<bool> populated(topo.num_clusters(), false);
+    for (std::size_t c = 0; c < members.size(); ++c)
+      populated[c] = !members[c].empty();
+    net::ClusterId root_cluster = topo.cluster_of(0);
+    std::vector<net::ClusterId> cparent =
+        cluster_parents(topo, populated, root_cluster);
+    for (std::size_t c = 0; c < members.size(); ++c) {
+      if (members[c].empty() || static_cast<net::ClusterId>(c) == root_cluster)
+        continue;
+      MDO_CHECK(cparent[c] >= 0);
+      Pe rep = members[c].front();
+      Pe up = cluster_root_[static_cast<std::size_t>(cparent[c])];
+      MDO_CHECK(up != kInvalidPe);
+      parent_[static_cast<std::size_t>(rep)] = up;
+      children_[static_cast<std::size_t>(up)].push_back(rep);
+    }
   }
 
-  // Representatives of non-root clusters hang off the global root, which
-  // is the representative of the cluster that owns PE 0.
-  root_ = 0;
-  for (const auto& list : members) {
-    if (list.empty()) continue;
-    Pe rep = list.front();
-    if (rep == root_) continue;
-    parent_[static_cast<std::size_t>(rep)] = root_;
-    children_[static_cast<std::size_t>(root_)].push_back(rep);
-  }
-
-  // Subtree sizes, bottom-up over PE ids (children always differ from
-  // parent, so iterate by decreasing depth via repeated passes is
-  // unnecessary: do a reverse topological accumulation with explicit
-  // stack instead).
+  // Subtree sizes via a reverse preorder accumulation.
   subtree_size_.assign(n, 0);
   std::vector<Pe> order;
   order.reserve(n);
@@ -89,6 +176,49 @@ const std::vector<Pe>& ClusterTree::children(Pe pe) const {
 std::size_t ClusterTree::subtree_size(Pe pe) const {
   MDO_CHECK(pe >= 0 && static_cast<std::size_t>(pe) < subtree_size_.size());
   return subtree_size_[static_cast<std::size_t>(pe)];
+}
+
+Pe ClusterTree::cluster_root(net::ClusterId cluster) const {
+  MDO_CHECK(cluster >= 0 &&
+            static_cast<std::size_t>(cluster) < cluster_root_.size());
+  return cluster_root_[static_cast<std::size_t>(cluster)];
+}
+
+std::size_t count_wan_edges(const ClusterTree& tree,
+                            const net::Topology& topo) {
+  std::size_t crossings = 0;
+  for (std::size_t pe = 0; pe < tree.num_pes(); ++pe) {
+    Pe par = tree.parent(static_cast<Pe>(pe));
+    if (par == kInvalidPe) continue;
+    if (!topo.same_cluster(static_cast<net::NodeId>(pe),
+                           static_cast<net::NodeId>(par))) {
+      ++crossings;
+    }
+  }
+  return crossings;
+}
+
+Pe multicast_relay(const ClusterTree& tree, const net::Topology& topo, Pe src,
+                   Pe dst) {
+  if (tree.mode() == TreeMode::kFlat) return dst;
+  net::ClusterId dc = topo.cluster_of(static_cast<net::NodeId>(dst));
+  if (dc == topo.cluster_of(static_cast<net::NodeId>(src))) return dst;
+  Pe relay = tree.cluster_root(dc);
+  return relay == kInvalidPe ? dst : relay;
+}
+
+std::vector<MulticastHop> multicast_first_hops(const ClusterTree& tree,
+                                               const net::Topology& topo,
+                                               Pe src,
+                                               std::span<const Pe> targets) {
+  std::map<Pe, std::vector<Pe>> by_hop;
+  for (Pe dst : targets) {
+    by_hop[multicast_relay(tree, topo, src, dst)].push_back(dst);
+  }
+  std::vector<MulticastHop> hops;
+  hops.reserve(by_hop.size());
+  for (auto& [via, list] : by_hop) hops.push_back({via, std::move(list)});
+  return hops;
 }
 
 }  // namespace mdo::core

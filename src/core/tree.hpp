@@ -1,10 +1,19 @@
 #pragma once
-// Cluster-aware spanning tree over PEs, used by broadcasts and reductions.
-// Crossing the WAN is expensive, so the tree crosses it exactly once per
-// remote cluster: a designated representative (lowest PE) per cluster
-// hangs off the global root, and PEs inside a cluster form a binary tree
-// under their representative.
+// Cluster-aware spanning tree over PEs, used by broadcasts, multicasts
+// and reductions. Crossing the WAN is expensive, so the hierarchical
+// tree crosses it at most once per destination cluster: a designated
+// representative (lowest alive PE) per cluster receives the single WAN
+// hop, and PEs inside a cluster form a binary tree under their
+// representative. When the Topology carries a per-directed-link WAN
+// table, the representatives are wired along a shortest-path tree over
+// the cluster graph (Dijkstra on link latency), so a hop may relay via
+// an intermediate cluster when that is faster than the direct link;
+// with no table (uniform WAN) this degenerates to every representative
+// hanging directly off the root cluster — the paper's two-cluster
+// shape. A flat mode (topology-blind binary tree over all PEs) exists
+// as the comparison baseline for the N-cluster benches.
 
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -12,15 +21,22 @@
 
 namespace mdo::core {
 
+enum class TreeMode : std::uint8_t {
+  kHierarchical,  ///< cluster-aware (default): ≤1 WAN hop per dest cluster
+  kFlat,          ///< topology-blind binary tree; baseline for benches
+};
+
 class ClusterTree {
  public:
-  explicit ClusterTree(const net::Topology& topo);
+  explicit ClusterTree(const net::Topology& topo,
+                       TreeMode mode = TreeMode::kHierarchical);
 
   /// Tree spanning only the alive PEs (fault-tolerant recovery rebuilds
   /// the tree with this after node deaths). `alive[pe]` must be true for
   /// PE 0, which anchors the global root. Dead PEs get kInvalidPe
   /// parents, no children, and subtree size 0.
-  ClusterTree(const net::Topology& topo, const std::vector<bool>& alive);
+  ClusterTree(const net::Topology& topo, const std::vector<bool>& alive,
+              TreeMode mode = TreeMode::kHierarchical);
 
   Pe root() const { return root_; }
   Pe parent(Pe pe) const;                 ///< kInvalidPe for the root
@@ -30,12 +46,50 @@ class ClusterTree {
   std::size_t subtree_size(Pe pe) const;
 
   std::size_t num_pes() const { return parent_.size(); }
+  TreeMode mode() const { return mode_; }
+
+  /// The cluster's representative — its lowest alive PE, the local
+  /// fan-out root that receives the cluster's single WAN hop.
+  /// kInvalidPe when no PE of the cluster is alive.
+  Pe cluster_root(net::ClusterId cluster) const;
 
  private:
+  void build(const net::Topology& topo, const std::vector<bool>& alive);
+
+  TreeMode mode_ = TreeMode::kHierarchical;
   Pe root_ = 0;
   std::vector<Pe> parent_;
   std::vector<std::vector<Pe>> children_;
   std::vector<std::size_t> subtree_size_;
+  std::vector<Pe> cluster_root_;  ///< per cluster, kInvalidPe if empty
 };
+
+/// Number of tree edges whose endpoints sit in different clusters (the
+/// WAN crossings one broadcast or reduction wave pays).
+std::size_t count_wan_edges(const ClusterTree& tree, const net::Topology& topo);
+
+/// First hop for one multicast destination: where the sender on `src`
+/// addresses the envelope that (eventually) reaches `dst`. Hierarchical
+/// trees relay remote-cluster traffic through the destination cluster's
+/// representative so the WAN is crossed once per cluster, not once per
+/// PE; same-cluster destinations, flat trees, and clusters with no
+/// alive representative are addressed directly.
+Pe multicast_relay(const ClusterTree& tree, const net::Topology& topo, Pe src,
+                   Pe dst);
+
+/// One first-hop envelope of a multicast fan-out: the PE it is
+/// addressed to and the destination PEs it covers.
+struct MulticastHop {
+  Pe via = kInvalidPe;
+  std::vector<Pe> targets;
+};
+
+/// Plan the first-hop envelopes for a multicast from `src` to `targets`
+/// (destination PEs, duplicates allowed): targets sharing a first hop
+/// share one envelope. Deterministic: hops ordered by `via`.
+std::vector<MulticastHop> multicast_first_hops(const ClusterTree& tree,
+                                               const net::Topology& topo,
+                                               Pe src,
+                                               std::span<const Pe> targets);
 
 }  // namespace mdo::core

@@ -1,16 +1,47 @@
 #include "grid/scenario.hpp"
 
+#include <cstdlib>
+
 #include "util/assert.hpp"
 
 namespace mdo::grid {
-namespace {
 
-net::Topology make_topology(const Scenario& s) {
-  if (s.mode == Scenario::Mode::kLocal) {
-    return net::Topology::single_cluster(s.pes);
+net::Topology Scenario::topology() const {
+  if (mode == Mode::kLocal) {
+    return net::Topology::single_cluster(pes);
   }
-  return net::Topology::two_cluster(s.pes);
+  net::Topology topo = clusters == 2 ? net::Topology::two_cluster(pes)
+                                     : net::Topology::n_cluster(pes, clusters);
+  const auto c = static_cast<net::ClusterId>(topo.num_clusters());
+  if (c < 2) return topo;  // pes == 1 collapses to one cluster
+
+  // Synthesized defaults: latency grows with cluster distance (half the
+  // base per extra hop), so an N-site grid is not all-equidistant and
+  // the shortest-path tree has real choices to make. Distance 1 is
+  // exactly `base`, which keeps two-cluster scenarios bit-identical to
+  // the paper's original layout. Bandwidth under kArtificial is the SAN
+  // rate because only latency is injected artificially; the table's
+  // latency column is still the logical geometry the trees and sizing
+  // read.
+  const sim::TimeNs base = effective_one_way();
+  const double bw = mode == Mode::kRealGrid ? kWanBytesPerUs : kSanBytesPerUs;
+  for (net::ClusterId i = 0; i < c; ++i) {
+    for (net::ClusterId j = 0; j < c; ++j) {
+      if (i == j) continue;
+      auto dist = static_cast<sim::TimeNs>(std::abs(i - j));
+      sim::TimeNs latency = base + base * (dist - 1) / 2;
+      topo.set_wan_link(i, j, net::LinkParams{latency, bw});
+    }
+  }
+  for (const WanLink& link : wan_links) {
+    topo.set_wan_link(link.src, link.dst, link.params);
+  }
+  return topo;
 }
+
+sim::TimeNs Scenario::max_one_way() const { return topology().max_wan_latency(); }
+
+namespace {
 
 net::GridLatencyModel::Config link_config(const Scenario& s) {
   net::GridLatencyModel::Config cfg;
@@ -19,13 +50,14 @@ net::GridLatencyModel::Config link_config(const Scenario& s) {
   switch (s.mode) {
     case Scenario::Mode::kArtificial:
       // Physically one cluster: the "inter-cluster" wire is still the
-      // SAN; the delay device supplies the artificial WAN latency.
+      // SAN; the delay device supplies the artificial WAN latencies.
       cfg.inter = {kSanLatency, kSanBytesPerUs};
       break;
     case Scenario::Mode::kRealGrid:
       cfg.inter = {kWanLatency, kWanBytesPerUs};
       cfg.wan_contention = true;
       cfg.wan_jitter_fraction = kWanJitterFraction;
+      cfg.use_topology_links = true;  // per-pair α–β from the link table
       break;
     case Scenario::Mode::kLocal:
       cfg.inter = cfg.intra;
@@ -41,20 +73,32 @@ core::SimMachine::Overheads overheads() {
   return ov;
 }
 
-}  // namespace
-
-namespace {
-
 /// The artificial delay belongs inside the reliability stack (below the
 /// fault device) when faults are on, so acks and retransmissions pay WAN
-/// latency too; otherwise it is the classic bare delay device.
+/// latency too; otherwise it is the classic bare delay device. The
+/// worst-link latency is passed as the device default — every populated
+/// pair is then overridden from the link table, so the default only
+/// guarantees the device gets installed when any link is non-zero.
 sim::TimeNs stack_delay(const Scenario& s) {
-  return s.mode == Scenario::Mode::kArtificial ? s.artificial_one_way : 0;
+  return s.mode == Scenario::Mode::kArtificial ? s.max_one_way() : 0;
 }
 
-}  // namespace
-
-namespace {
+/// Artificial-mode realization of the WAN link table: per-directed-pair
+/// delays on the delay device (real-grid mode realizes the same table in
+/// the latency model instead).
+void apply_artificial_links(net::DelayDevice* delay,
+                            const net::Topology& topo) {
+  if (delay == nullptr) return;
+  const auto c = static_cast<net::ClusterId>(topo.num_clusters());
+  for (net::ClusterId i = 0; i < c; ++i) {
+    for (net::ClusterId j = 0; j < c; ++j) {
+      if (i == j) continue;
+      if (const net::LinkParams* link = topo.wan_link(i, j)) {
+        delay->set_cluster_delay(i, j, link->latency);
+      }
+    }
+  }
+}
 
 /// Wire the machine's scheduler-idle notification to the coalescing
 /// device: a PE that runs out of work flushes its pending bundles
@@ -71,17 +115,19 @@ void wire_idle_flush(M& machine) {
 }  // namespace
 
 std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
-  auto machine = std::make_unique<core::SimMachine>(make_topology(s),
+  auto machine = std::make_unique<core::SimMachine>(s.topology(),
                                                     link_config(s), overheads());
   if (s.faults.any() || s.heartbeat.enabled) {
-    machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s),
-                                   s.heartbeat, s.coalesce);
+    const net::ReliabilityStack& stack = machine->add_reliability_stack(
+        s.reliable, s.faults, stack_delay(s), s.heartbeat, s.coalesce);
+    apply_artificial_links(stack.delay, machine->topology());
   } else {
     // Clean fabric: coalesce (if requested) above the bare delay device,
     // so a bundle pays the artificial WAN latency once.
     if (s.coalesce.enabled) machine->add_coalesce_device(s.coalesce);
-    if (s.mode == Scenario::Mode::kArtificial && s.artificial_one_way > 0) {
-      machine->add_delay_device(s.artificial_one_way);
+    if (s.mode == Scenario::Mode::kArtificial && stack_delay(s) > 0) {
+      net::DelayDevice* delay = machine->add_delay_device(s.artificial_one_way);
+      apply_artificial_links(delay, machine->topology());
     }
   }
   wire_idle_flush(*machine);
@@ -91,15 +137,17 @@ std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
 
 std::unique_ptr<core::ThreadMachine> make_thread_machine(
     const Scenario& s, core::ThreadMachine::Config config) {
-  auto machine = std::make_unique<core::ThreadMachine>(make_topology(s),
+  auto machine = std::make_unique<core::ThreadMachine>(s.topology(),
                                                        link_config(s), config);
   if (s.faults.any() || s.heartbeat.enabled) {
-    machine->add_reliability_stack(s.reliable, s.faults, stack_delay(s),
-                                   s.heartbeat, s.coalesce);
+    const net::ReliabilityStack& stack = machine->add_reliability_stack(
+        s.reliable, s.faults, stack_delay(s), s.heartbeat, s.coalesce);
+    apply_artificial_links(stack.delay, machine->topology());
   } else {
     if (s.coalesce.enabled) machine->add_coalesce_device(s.coalesce);
-    if (s.mode == Scenario::Mode::kArtificial && s.artificial_one_way > 0) {
-      machine->add_delay_device(s.artificial_one_way);
+    if (s.mode == Scenario::Mode::kArtificial && stack_delay(s) > 0) {
+      net::DelayDevice* delay = machine->add_delay_device(s.artificial_one_way);
+      apply_artificial_links(delay, machine->topology());
     }
   }
   wire_idle_flush(*machine);

@@ -22,10 +22,20 @@ namespace mdo::grid {
 struct Scenario {
   enum class Mode { kArtificial, kRealGrid, kLocal };
 
-  std::size_t pes = 2;                  ///< split 50/50 across two clusters
+  std::size_t pes = 2;                  ///< split evenly across `clusters`
   Mode mode = Mode::kArtificial;
+  std::size_t clusters = 2;             ///< WAN sites (ignored under kLocal)
   sim::TimeNs artificial_one_way = 0;   ///< the delay-device knob
   bool tracing = false;
+
+  /// One explicit per-directed-pair WAN link override; pairs without an
+  /// override get the synthesized distance-scaled default (see topology()).
+  struct WanLink {
+    net::ClusterId src = 0;
+    net::ClusterId dst = 0;
+    net::LinkParams params;
+  };
+  std::vector<WanLink> wan_links;
 
   /// Lossy-WAN knobs: when faults.any(), machines install the full
   /// reliability stack (reliable + checksum + fault devices) instead of a
@@ -54,10 +64,11 @@ struct Scenario {
     s.artificial_one_way = one_way;
     return s;
   }
-  static Scenario real_grid(std::size_t pes) {
+  static Scenario real_grid(std::size_t pes, std::size_t n_clusters = 2) {
     Scenario s;
     s.pes = pes;
     s.mode = Mode::kRealGrid;
+    s.clusters = n_clusters;
     return s;
   }
   static Scenario local(std::size_t pes) {
@@ -67,11 +78,25 @@ struct Scenario {
     return s;
   }
 
-  /// One-way WAN latency the scenario actually exhibits: the delay-device
-  /// knob under kArtificial, the calibrated WAN link under kRealGrid.
+  /// Base one-way WAN latency of the nearest cluster pair: the
+  /// delay-device knob under kArtificial, the calibrated WAN link under
+  /// kRealGrid. Farther pairs scale up from this (see topology()).
   sim::TimeNs effective_one_way() const {
     return mode == Mode::kRealGrid ? kWanLatency : artificial_one_way;
   }
+
+  /// The cluster/node layout plus the full per-directed-pair WAN link
+  /// table this scenario runs on. Two clusters reproduce the paper's
+  /// layout exactly; N > 2 clusters get distance-scaled defaults
+  /// (latency grows 50% of base per extra hop of cluster distance, so
+  /// the sites are not all equidistant), with wan_links overrides
+  /// applied last.
+  net::Topology topology() const;
+
+  /// Worst one-way latency over the WAN links this topology can use.
+  /// Failure-detector, retransmission, and coalescing windows size
+  /// against this, never against a single global constant.
+  sim::TimeNs max_one_way() const;
 
   // -- fluent builder ------------------------------------------------------
   // Each with_* returns *this so environments compose left to right:
@@ -106,21 +131,21 @@ struct Scenario {
     reliable.max_retries = 5;
     heartbeat.enabled = true;
     heartbeat.period = sim::milliseconds(5.0);
-    heartbeat.timeout = 2 * effective_one_way() + 4 * heartbeat.period;
+    heartbeat.timeout = 2 * max_one_way() + 4 * heartbeat.period;
     clamp_flush_window();
     return *this;
   }
 
   /// Message coalescing: small cross-cluster packets bundle into fewer
-  /// wire frames. The backstop flush timer is sized from the latency
-  /// model — an eighth of the one-way WAN latency, clamped to
+  /// wire frames. The backstop flush timer is sized from the link table
+  /// — an eighth of the worst one-way WAN latency, clamped to
   /// [100 us, 1 ms] — and, when the failure detector is on, to at most
   /// half a heartbeat period so bundling can never widen the detection
   /// window.
   Scenario& with_coalescing() {
     coalesce.enabled = true;
     coalesce.flush_timeout = std::clamp<sim::TimeNs>(
-        effective_one_way() / 8, sim::microseconds(100.0),
+        max_one_way() / 8, sim::microseconds(100.0),
         sim::milliseconds(1.0));
     clamp_flush_window();
     return *this;
@@ -129,6 +154,25 @@ struct Scenario {
   /// Entry-interval tracing on the built machine (both machine kinds).
   Scenario& with_tracing(bool on = true) {
     tracing = on;
+    return *this;
+  }
+
+  /// Spread the allocation across `n` WAN sites instead of two. Re-derives
+  /// every latency-sized knob already set, so builder order stays free.
+  Scenario& with_clusters(std::size_t n) {
+    clusters = n;
+    rederive();
+    return *this;
+  }
+
+  /// Override the directed WAN link src -> dst (a heterogeneous grid:
+  /// links may differ by 10x and the detector/coalescing windows must
+  /// follow the worst one). Re-derives latency-sized knobs.
+  Scenario& with_wan_link(net::ClusterId src, net::ClusterId dst,
+                          sim::TimeNs latency,
+                          double bytes_per_us = kWanBytesPerUs) {
+    wan_links.push_back({src, dst, net::LinkParams{latency, bytes_per_us}});
+    rederive();
     return *this;
   }
 
@@ -150,11 +194,11 @@ struct Scenario {
   }
 
  private:
-  /// RTO sized to a couple of round trips (used by loss and crash knobs;
-  /// idempotent, so builder order does not matter).
+  /// RTO sized to a couple of round trips on the slowest link (used by
+  /// loss and crash knobs; idempotent, so builder order does not matter).
   void size_rto() {
     reliable.rto_initial = std::max<sim::TimeNs>(
-        2 * effective_one_way() + sim::milliseconds(1.0),
+        2 * max_one_way() + sim::milliseconds(1.0),
         sim::milliseconds(2.0));
   }
   /// Keep the coalescing flush window under half a heartbeat period
@@ -163,6 +207,19 @@ struct Scenario {
     if (coalesce.enabled && heartbeat.enabled) {
       coalesce.flush_timeout =
           std::min(coalesce.flush_timeout, heartbeat.period / 2);
+    }
+  }
+  /// Re-derive every latency-sized knob after the link geometry changed
+  /// (with_clusters / with_wan_link may run after with_crashes etc.).
+  void rederive() {
+    size_rto();
+    if (heartbeat.enabled) {
+      heartbeat.timeout = 2 * max_one_way() + 4 * heartbeat.period;
+    }
+    if (coalesce.enabled) {
+      coalesce.flush_timeout = std::clamp<sim::TimeNs>(
+          max_one_way() / 8, sim::microseconds(100.0), sim::milliseconds(1.0));
+      clamp_flush_window();
     }
   }
 };

@@ -143,9 +143,13 @@ std::vector<Move> GridCommLb::plan(const LbSnapshot& snap) {
 
     // Phase 1: spread WAN-communicating chares round-robin so every PE of
     // the cluster carries its share of wide-area waits (paper §6 #2).
+    // The cluster's lowest PE is its collective-tree representative — it
+    // relays every WAN hop of broadcasts/reductions/multicasts into the
+    // cluster — so the rotation starts just past it and reaches it last
+    // each cycle, still covering every PE of the cluster.
     std::vector<sim::TimeNs> load(nodes.size(), 0);
     std::vector<std::size_t> wan_count(nodes.size(), 0);
-    std::size_t next = 0;
+    std::size_t next = nodes.size() > 1 ? 1 : 0;
     for (std::size_t i : wan_objs) {
       auto slot = next++ % nodes.size();
       emit_if_moved(plan, snap.objects[i], static_cast<core::Pe>(nodes[slot]));
@@ -188,8 +192,28 @@ core::Pe pick_recovery_pe(const net::Topology& topo, core::Pe old_pe,
     consider(static_cast<core::Pe>(node));
   }
   if (best != core::kInvalidPe) return best;
-  for (std::size_t pe = 0; pe < alive.size(); ++pe) {
-    consider(static_cast<core::Pe>(pe));
+
+  // The whole home cluster is gone: walk the surviving clusters nearest
+  // first by WAN latency from home (pairs without a table entry compare
+  // as the worst recorded link), and place on the least-loaded alive PE
+  // of the closest cluster that still has one.
+  net::LinkParams far{0, 1e9};
+  far.latency = topo.max_wan_latency(far);
+  std::vector<net::ClusterId> order;
+  for (std::size_t c = 0; c < topo.num_clusters(); ++c) {
+    if (static_cast<net::ClusterId>(c) != home)
+      order.push_back(static_cast<net::ClusterId>(c));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](net::ClusterId a, net::ClusterId b) {
+                     return topo.wan_link_or(home, a, far).latency <
+                            topo.wan_link_or(home, b, far).latency;
+                   });
+  for (net::ClusterId cluster : order) {
+    for (net::NodeId node : topo.nodes_in(cluster)) {
+      consider(static_cast<core::Pe>(node));
+    }
+    if (best != core::kInvalidPe) return best;
   }
   MDO_CHECK_MSG(best != core::kInvalidPe, "no alive PE to place onto");
   return best;

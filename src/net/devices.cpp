@@ -35,15 +35,27 @@ void DelayDevice::set_pair_delay(NodeId src, NodeId dst, sim::TimeNs delay) {
   pair_delay_[{src, dst}] = delay;
 }
 
+void DelayDevice::set_cluster_delay(ClusterId src, ClusterId dst,
+                                    sim::TimeNs delay) {
+  MDO_CHECK(delay >= 0);
+  MDO_CHECK(src != dst);
+  cluster_delay_[{src, dst}] = delay;
+}
+
 void DelayDevice::on_send(Packet& packet, SendContext& ctx) {
   if (auto it = pair_delay_.find({packet.src, packet.dst});
       it != pair_delay_.end()) {
     ctx.extra_delay += it->second;
     return;
   }
-  if (!topo_->same_cluster(packet.src, packet.dst)) {
-    ctx.extra_delay += default_delay_;
+  ClusterId sc = topo_->cluster_of(packet.src);
+  ClusterId dc = topo_->cluster_of(packet.dst);
+  if (sc == dc) return;
+  if (auto it = cluster_delay_.find({sc, dc}); it != cluster_delay_.end()) {
+    ctx.extra_delay += it->second;
+    return;
   }
+  ctx.extra_delay += default_delay_;
 }
 
 // -- CompressionDevice --------------------------------------------------

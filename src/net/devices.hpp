@@ -25,6 +25,11 @@ class DelayDevice final : public FilterDevice {
   /// Override the artificial delay for one ordered node pair.
   void set_pair_delay(NodeId src, NodeId dst, sim::TimeNs delay);
 
+  /// Override the artificial delay for one directed cluster pair (the
+  /// artificial-mode realization of the Topology's WAN link table).
+  /// Consulted after node-pair overrides and before the default.
+  void set_cluster_delay(ClusterId src, ClusterId dst, sim::TimeNs delay);
+
   sim::TimeNs cross_cluster_delay() const { return default_delay_; }
   const char* name() const override { return "delay"; }
 
@@ -35,6 +40,7 @@ class DelayDevice final : public FilterDevice {
   const Topology* topo_;
   sim::TimeNs default_delay_;
   std::map<std::pair<NodeId, NodeId>, sim::TimeNs> pair_delay_;
+  std::map<std::pair<ClusterId, ClusterId>, sim::TimeNs> cluster_delay_;
 };
 
 /// Byte-level run-length encoding; falls back to a stored (uncompressed)

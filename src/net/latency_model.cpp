@@ -30,7 +30,9 @@ sim::TimeNs GridLatencyModel::delivery_delay(NodeId src, NodeId dst,
     return config_.intra.latency + config_.intra.serialization(bytes);
   }
 
-  const LinkParams& wan = config_.inter;
+  const LinkParams wan = config_.use_topology_links
+                             ? topo_->wan_link_or(sc, dc, config_.inter)
+                             : config_.inter;
   sim::TimeNs serialize = wan.serialization(bytes);
   sim::TimeNs depart = now;
   if (config_.wan_contention) {

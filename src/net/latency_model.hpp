@@ -17,16 +17,7 @@
 
 namespace mdo::net {
 
-/// One link class: arrival = depart + latency + bytes/bandwidth.
-struct LinkParams {
-  sim::TimeNs latency = 0;          ///< α: one-way wire+software latency
-  double bytes_per_us = 1e9;        ///< β: bandwidth in bytes per microsecond
-
-  sim::TimeNs serialization(std::size_t bytes) const {
-    return static_cast<sim::TimeNs>(static_cast<double>(bytes) /
-                                    bytes_per_us * 1e3);
-  }
-};
+// LinkParams lives in net/topology.hpp next to the per-pair link table.
 
 class LatencyModel {
  public:
@@ -66,6 +57,12 @@ class GridLatencyModel final : public LatencyModel {
     bool wan_contention = false;  ///< serialize the WAN link per direction
     double wan_jitter_fraction = 0.0;  ///< uniform extra in [0, f·α_wan]
     std::uint64_t jitter_seed = 0x5eedULL;
+    /// Consult the Topology's per-directed-pair WAN link table for
+    /// inter-cluster hops, falling back to `inter` for pairs without an
+    /// entry. Off by default: the paper's artificial mode keeps physical
+    /// links SAN-class and realizes the table in the DelayDevice instead,
+    /// so the same logical geometry is never charged twice.
+    bool use_topology_links = false;
   };
 
   GridLatencyModel(const Topology* topo, Config config);

@@ -1,5 +1,7 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace mdo::net {
@@ -41,6 +43,36 @@ std::vector<NodeId> Topology::nodes_in(ClusterId cluster) const {
   return out;
 }
 
+void Topology::set_wan_link(ClusterId src, ClusterId dst, LinkParams link) {
+  MDO_CHECK(src >= 0 && static_cast<std::size_t>(src) < cluster_names_.size());
+  MDO_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < cluster_names_.size());
+  MDO_CHECK_MSG(src != dst, "WAN links connect distinct clusters");
+  MDO_CHECK(link.latency >= 0 && link.bytes_per_us > 0.0);
+  links_[{src, dst}] = link;
+}
+
+const LinkParams* Topology::wan_link(ClusterId src, ClusterId dst) const {
+  auto it = links_.find({src, dst});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+sim::TimeNs Topology::max_wan_latency(const LinkParams& fallback) const {
+  std::vector<bool> populated(cluster_names_.size(), false);
+  for (ClusterId c : node_cluster_) populated[static_cast<std::size_t>(c)] = true;
+  sim::TimeNs worst = 0;
+  bool any = false;
+  const auto n = static_cast<ClusterId>(cluster_names_.size());
+  for (ClusterId src = 0; src < n; ++src) {
+    if (!populated[static_cast<std::size_t>(src)]) continue;
+    for (ClusterId dst = 0; dst < n; ++dst) {
+      if (dst == src || !populated[static_cast<std::size_t>(dst)]) continue;
+      any = true;
+      worst = std::max(worst, wan_link_or(src, dst, fallback).latency);
+    }
+  }
+  return any ? worst : 0;
+}
+
 Topology Topology::two_cluster(std::size_t num_nodes) {
   Topology topo;
   ClusterId a = topo.add_cluster("siteA");
@@ -59,6 +91,111 @@ Topology Topology::single_cluster(std::size_t num_nodes) {
   Topology topo;
   ClusterId a = topo.add_cluster("site");
   for (std::size_t i = 0; i < num_nodes; ++i) topo.add_node(a);
+  return topo;
+}
+
+Topology Topology::n_cluster(std::size_t num_nodes, std::size_t num_clusters) {
+  MDO_CHECK(num_clusters > 0);
+  MDO_CHECK_MSG(num_nodes >= num_clusters,
+                "every cluster needs at least one node");
+  Topology topo;
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    // "siteA", ..., "siteZ", then "site26", "site27", ...
+    std::string name = c < 26 ? std::string("site") + static_cast<char>('A' + c)
+                              : "site" + std::to_string(c);
+    topo.add_cluster(std::move(name));
+  }
+  const std::size_t base = num_nodes / num_clusters;
+  const std::size_t extra = num_nodes % num_clusters;
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    const std::size_t size = base + (c < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i)
+      topo.add_node(static_cast<ClusterId>(c));
+  }
+  return topo;
+}
+
+obs::Json Topology::to_json() const {
+  obs::Json doc = obs::Json::object();
+  obs::Json clusters = obs::Json::array();
+  for (std::size_t c = 0; c < cluster_names_.size(); ++c) {
+    obs::Json cluster = obs::Json::object();
+    cluster.set("name", cluster_names_[c]);
+    cluster.set("nodes",
+                static_cast<std::uint64_t>(cluster_size(static_cast<ClusterId>(c))));
+    clusters.push(std::move(cluster));
+  }
+  doc.set("clusters", std::move(clusters));
+  obs::Json nodes = obs::Json::array();
+  for (ClusterId c : node_cluster_) nodes.push(static_cast<std::int64_t>(c));
+  doc.set("node_cluster", std::move(nodes));
+  obs::Json links = obs::Json::array();
+  for (const auto& [pair, params] : links_) {  // map order: deterministic
+    obs::Json link = obs::Json::object();
+    link.set("src", static_cast<std::int64_t>(pair.first));
+    link.set("dst", static_cast<std::int64_t>(pair.second));
+    link.set("latency_ns", static_cast<std::int64_t>(params.latency));
+    link.set("bytes_per_us", params.bytes_per_us);
+    links.push(std::move(link));
+  }
+  doc.set("wan_links", std::move(links));
+  return doc;
+}
+
+std::optional<Topology> Topology::from_json(const obs::Json& doc) {
+  if (!doc.is_object()) return std::nullopt;
+  const obs::Json* clusters = doc.find("clusters");
+  const obs::Json* nodes = doc.find("node_cluster");
+  const obs::Json* links = doc.find("wan_links");
+  if (clusters == nullptr || !clusters->is_array() || nodes == nullptr ||
+      !nodes->is_array() || links == nullptr || !links->is_array()) {
+    return std::nullopt;
+  }
+  Topology topo;
+  for (const obs::Json& cluster : clusters->elements()) {
+    if (!cluster.is_object()) return std::nullopt;
+    const obs::Json* name = cluster.find("name");
+    if (name == nullptr || !name->is_string()) return std::nullopt;
+    topo.add_cluster(name->as_string());
+  }
+  const auto num_clusters = static_cast<std::int64_t>(topo.num_clusters());
+  for (const obs::Json& node : nodes->elements()) {
+    if (!node.is_number()) return std::nullopt;
+    std::int64_t cluster = node.as_int();
+    if (cluster < 0 || cluster >= num_clusters) return std::nullopt;
+    topo.add_node(static_cast<ClusterId>(cluster));
+  }
+  // Cross-check the per-cluster node counts against the node table.
+  for (std::size_t c = 0; c < topo.num_clusters(); ++c) {
+    const obs::Json* count = clusters->at(c).find("nodes");
+    if (count == nullptr || !count->is_number()) return std::nullopt;
+    if (static_cast<std::size_t>(count->as_int()) !=
+        topo.cluster_size(static_cast<ClusterId>(c))) {
+      return std::nullopt;
+    }
+  }
+  for (const obs::Json& link : links->elements()) {
+    if (!link.is_object()) return std::nullopt;
+    const obs::Json* src = link.find("src");
+    const obs::Json* dst = link.find("dst");
+    const obs::Json* latency = link.find("latency_ns");
+    const obs::Json* bw = link.find("bytes_per_us");
+    if (src == nullptr || !src->is_number() || dst == nullptr ||
+        !dst->is_number() || latency == nullptr || !latency->is_number() ||
+        bw == nullptr || !bw->is_number()) {
+      return std::nullopt;
+    }
+    if (src->as_int() < 0 || src->as_int() >= num_clusters ||
+        dst->as_int() < 0 || dst->as_int() >= num_clusters ||
+        src->as_int() == dst->as_int() || latency->as_int() < 0 ||
+        bw->as_double() <= 0.0) {
+      return std::nullopt;
+    }
+    topo.set_wan_link(static_cast<ClusterId>(src->as_int()),
+                      static_cast<ClusterId>(dst->as_int()),
+                      LinkParams{static_cast<sim::TimeNs>(latency->as_int()),
+                                 bw->as_double()});
+  }
   return topo;
 }
 

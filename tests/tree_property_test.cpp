@@ -1,0 +1,331 @@
+// Property suite for the topology-aware collective trees: randomized
+// N-cluster topologies (seeded, deterministic) must always yield
+// spanning trees — connected, acyclic, every alive PE covered exactly
+// once — that cross the WAN at most once per destination cluster, for
+// broadcast/reduction (same tree, walked in opposite directions) and
+// for the multicast first-hop plan. A failing seed is shrunk by
+// regenerating smaller instances from the same seed until the smallest
+// failing topology is found, and the failure message prints that seed,
+// the bounds, and the full topology JSON for replay.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::ClusterTree;
+using core::kInvalidPe;
+using core::MulticastHop;
+using core::Pe;
+using core::TreeMode;
+using net::Topology;
+
+struct Case {
+  Topology topo;
+  std::vector<bool> alive;
+  std::size_t num_alive = 0;
+};
+
+/// Deterministic random instance: 1..max_clusters clusters of
+/// 1..max_nodes nodes each, a link table that is empty, full, or sparse
+/// (latencies spread over two orders of magnitude so the SPT has real
+/// routing choices), and a random alive mask anchored at PE 0.
+Case make_case(std::uint64_t seed, std::size_t max_clusters,
+               std::size_t max_nodes) {
+  SplitMix64 rng(seed);
+  Case c;
+  auto nc = static_cast<std::size_t>(1 + rng.bounded(max_clusters));
+  for (std::size_t i = 0; i < nc; ++i) {
+    c.topo.add_cluster("c" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < nc; ++i) {
+    auto size = static_cast<std::size_t>(1 + rng.bounded(max_nodes));
+    for (std::size_t n = 0; n < size; ++n)
+      c.topo.add_node(static_cast<net::ClusterId>(i));
+  }
+  // 0: uniform WAN (no table), 1: full table, 2: sparse table.
+  std::uint64_t style = rng.bounded(3);
+  if (style != 0) {
+    for (std::size_t i = 0; i < nc; ++i) {
+      for (std::size_t j = 0; j < nc; ++j) {
+        if (i == j) continue;
+        if (style == 2 && rng.bounded(2) == 0) continue;
+        sim::TimeNs latency = sim::microseconds(100.0) * (1 + rng.bounded(100));
+        c.topo.set_wan_link(static_cast<net::ClusterId>(i),
+                            static_cast<net::ClusterId>(j),
+                            net::LinkParams{latency, 35.0});
+      }
+    }
+  }
+  c.alive.assign(c.topo.num_nodes(), true);
+  for (std::size_t pe = 1; pe < c.alive.size(); ++pe) {
+    c.alive[pe] = rng.bounded(4) != 0;  // each PE dead with probability 1/4
+  }
+  for (bool a : c.alive) c.num_alive += a ? 1 : 0;
+  return c;
+}
+
+/// Spanning-tree invariants over the alive PEs. Returns a reason string
+/// on violation, empty on success.
+std::string check_spanning(const ClusterTree& tree, const Case& c) {
+  std::ostringstream why;
+  const std::size_t n = c.topo.num_nodes();
+  if (tree.num_pes() != n) return "tree size != topology size";
+  if (tree.root() != 0) return "root is not PE 0";
+  if (tree.parent(tree.root()) != kInvalidPe) return "root has a parent";
+
+  // Dead PEs must be fully outside the tree.
+  for (std::size_t pe = 0; pe < n; ++pe) {
+    if (c.alive[pe]) continue;
+    if (tree.parent(static_cast<Pe>(pe)) != kInvalidPe)
+      return "dead PE has a parent";
+    if (!tree.children(static_cast<Pe>(pe)).empty())
+      return "dead PE has children";
+    if (tree.subtree_size(static_cast<Pe>(pe)) != 0)
+      return "dead PE has nonzero subtree";
+  }
+
+  // Walk down from the root: every alive PE reached exactly once
+  // (connected + acyclic + covered), parent/children links consistent.
+  std::vector<int> visits(n, 0);
+  std::vector<Pe> stack{tree.root()};
+  std::size_t reached = 0;
+  while (!stack.empty()) {
+    Pe pe = stack.back();
+    stack.pop_back();
+    if (++visits[static_cast<std::size_t>(pe)] > 1) return "cycle: PE visited twice";
+    if (!c.alive[static_cast<std::size_t>(pe)]) return "dead PE inside the tree";
+    ++reached;
+    if (reached > c.num_alive) return "walk exceeds alive count";
+    for (Pe child : tree.children(pe)) {
+      if (tree.parent(child) != pe) {
+        why << "child " << child << " disagrees about its parent";
+        return why.str();
+      }
+      stack.push_back(child);
+    }
+  }
+  if (reached != c.num_alive) {
+    why << "tree covers " << reached << " of " << c.num_alive << " alive PEs";
+    return why.str();
+  }
+  if (tree.subtree_size(tree.root()) != c.num_alive)
+    return "root subtree size != alive count";
+
+  // Reduction direction: every alive PE climbs parents to the root in
+  // bounded steps (the contribution path terminates).
+  for (std::size_t pe = 0; pe < n; ++pe) {
+    if (!c.alive[pe]) continue;
+    Pe cur = static_cast<Pe>(pe);
+    std::size_t steps = 0;
+    while (cur != tree.root()) {
+      cur = tree.parent(cur);
+      if (cur == kInvalidPe) return "alive PE detached from root";
+      if (++steps > n) return "parent chain does not terminate";
+    }
+  }
+  return {};
+}
+
+/// Hierarchical WAN discipline: every cluster receives at most one tree
+/// edge from outside (broadcast pays one WAN hop per destination
+/// cluster), and the total crossing count is exactly
+/// populated_clusters - 1.
+std::string check_wan_crossings(const ClusterTree& tree, const Case& c) {
+  std::vector<std::size_t> incoming(c.topo.num_clusters(), 0);
+  for (std::size_t pe = 0; pe < c.topo.num_nodes(); ++pe) {
+    Pe par = tree.parent(static_cast<Pe>(pe));
+    if (par == kInvalidPe) continue;
+    auto pc = c.topo.cluster_of(static_cast<net::NodeId>(pe));
+    if (pc != c.topo.cluster_of(static_cast<net::NodeId>(par)))
+      ++incoming[static_cast<std::size_t>(pc)];
+  }
+  std::size_t populated = 0;
+  for (std::size_t cl = 0; cl < c.topo.num_clusters(); ++cl) {
+    bool any_alive = false;
+    for (net::NodeId node : c.topo.nodes_in(static_cast<net::ClusterId>(cl)))
+      any_alive |= c.alive[static_cast<std::size_t>(node)];
+    populated += any_alive ? 1 : 0;
+    if (incoming[cl] > 1) return "cluster receives more than one WAN edge";
+  }
+  if (count_wan_edges(tree, c.topo) != populated - 1)
+    return "WAN edge count != populated clusters - 1";
+  return {};
+}
+
+/// Multicast plan invariants from a given source: targets covered
+/// exactly once across hops, at most one envelope crossing the WAN into
+/// any destination cluster, local targets addressed directly.
+std::string check_multicast(const ClusterTree& tree, const Case& c, Pe src,
+                            const std::vector<Pe>& targets) {
+  std::vector<MulticastHop> hops =
+      core::multicast_first_hops(tree, c.topo, src, targets);
+  std::vector<std::size_t> covered(c.topo.num_nodes(), 0);
+  std::vector<std::size_t> wan_envelopes(c.topo.num_clusters(), 0);
+  auto sc = c.topo.cluster_of(static_cast<net::NodeId>(src));
+  for (const MulticastHop& hop : hops) {
+    if (hop.via == kInvalidPe) return "hop addressed to kInvalidPe";
+    if (!c.alive[static_cast<std::size_t>(hop.via)])
+      return "hop addressed to a dead PE";
+    auto vc = c.topo.cluster_of(static_cast<net::NodeId>(hop.via));
+    if (vc != sc) ++wan_envelopes[static_cast<std::size_t>(vc)];
+    for (Pe t : hop.targets) {
+      ++covered[static_cast<std::size_t>(t)];
+      auto tc = c.topo.cluster_of(static_cast<net::NodeId>(t));
+      if (tc != vc) return "hop covers a target outside its cluster";
+      if (tc == sc && hop.via != t)
+        return "same-cluster target not addressed directly";
+    }
+  }
+  std::vector<std::size_t> wanted(c.topo.num_nodes(), 0);
+  for (Pe t : targets) ++wanted[static_cast<std::size_t>(t)];
+  for (std::size_t pe = 0; pe < wanted.size(); ++pe) {
+    if (covered[pe] != wanted[pe]) return "target coverage != request";
+  }
+  for (std::size_t cl = 0; cl < c.topo.num_clusters(); ++cl) {
+    if (wan_envelopes[cl] > 1)
+      return "more than one WAN envelope into one destination cluster";
+  }
+  return {};
+}
+
+/// Run every property for one generated instance.
+std::string check_all(const Case& c) {
+  ClusterTree hier(c.topo, c.alive, TreeMode::kHierarchical);
+  if (std::string why = check_spanning(hier, c); !why.empty())
+    return "hierarchical: " + why;
+  if (std::string why = check_wan_crossings(hier, c); !why.empty())
+    return "hierarchical: " + why;
+
+  // The flat baseline must still be a spanning tree (it only loses the
+  // WAN discipline, never correctness).
+  ClusterTree flat(c.topo, c.alive, TreeMode::kFlat);
+  if (std::string why = check_spanning(flat, c); !why.empty())
+    return "flat: " + why;
+
+  // Multicast from several sources to several random target sets.
+  std::vector<Pe> alive_pes;
+  for (std::size_t pe = 0; pe < c.alive.size(); ++pe) {
+    if (c.alive[pe]) alive_pes.push_back(static_cast<Pe>(pe));
+  }
+  SplitMix64 rng(0xa11ceULL);
+  for (int round = 0; round < 4; ++round) {
+    Pe src = alive_pes[static_cast<std::size_t>(
+        rng.bounded(static_cast<std::uint64_t>(alive_pes.size())))];
+    std::vector<Pe> targets;
+    for (Pe pe : alive_pes) {
+      if (rng.bounded(2) == 0) targets.push_back(pe);
+    }
+    if (std::string why = check_multicast(hier, c, src, targets); !why.empty())
+      return "multicast: " + why;
+  }
+  return {};
+}
+
+/// Shrink on failure: regenerate from the same seed with progressively
+/// smaller bounds while the property still fails, then report the
+/// smallest failing instance with everything needed to replay it.
+::testing::AssertionResult run_seed(std::uint64_t seed) {
+  constexpr std::size_t kMaxClusters = 8;
+  constexpr std::size_t kMaxNodes = 6;
+  Case c = make_case(seed, kMaxClusters, kMaxNodes);
+  std::string why = check_all(c);
+  if (why.empty()) return ::testing::AssertionSuccess();
+
+  std::size_t best_clusters = kMaxClusters, best_nodes = kMaxNodes;
+  for (bool shrunk = true; shrunk;) {
+    shrunk = false;
+    for (auto [dc, dn] : {std::pair<std::size_t, std::size_t>{1, 0}, {0, 1}}) {
+      if (best_clusters - dc < 1 || best_nodes - dn < 1) continue;
+      Case smaller = make_case(seed, best_clusters - dc, best_nodes - dn);
+      std::string smaller_why = check_all(smaller);
+      if (!smaller_why.empty()) {
+        best_clusters -= dc;
+        best_nodes -= dn;
+        c = std::move(smaller);
+        why = std::move(smaller_why);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  std::string mask;
+  for (bool a : c.alive) mask += a ? '1' : '0';
+  return ::testing::AssertionFailure()
+         << why << "\n  seed=" << seed << " max_clusters=" << best_clusters
+         << " max_nodes=" << best_nodes << " alive=" << mask
+         << "\n  topology=" << c.topo.to_json().dump();
+}
+
+/// Each parameterized case covers a block of seeds, so 200+ topologies
+/// per tree type run without registering hundreds of ctest entries.
+class TreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeProperty, RandomTopologies) {
+  const std::uint64_t block = GetParam();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(run_seed(block * 8 + i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeProperty, ::testing::Range<std::uint64_t>(0, 32));
+
+// Directed regressions the random sweep assumes.
+
+TEST(TreePropertyFixed, TwoClusterShapeUnchanged) {
+  Topology topo = Topology::two_cluster(8);
+  ClusterTree tree(topo);
+  EXPECT_EQ(tree.root(), 0);
+  EXPECT_EQ(tree.parent(4), 0);  // remote rep hangs off the root
+  EXPECT_EQ(count_wan_edges(tree, topo), 1u);
+}
+
+TEST(TreePropertyFixed, SptRoutesViaCheaperIntermediate) {
+  // Direct 0->2 is 100 ms; 0->1 and 1->2 are 1 ms each: the SPT must
+  // route cluster 2 under cluster 1 instead of paying the direct link.
+  Topology topo = Topology::n_cluster(6, 3);
+  auto ms = [](double v) { return sim::milliseconds(v); };
+  for (net::ClusterId i = 0; i < 3; ++i)
+    for (net::ClusterId j = 0; j < 3; ++j)
+      if (i != j) topo.set_wan_link(i, j, net::LinkParams{ms(100.0), 35.0});
+  topo.set_wan_link(0, 1, net::LinkParams{ms(1.0), 35.0});
+  topo.set_wan_link(1, 2, net::LinkParams{ms(1.0), 35.0});
+  ClusterTree tree(topo);
+  EXPECT_EQ(tree.cluster_root(1), 2);
+  EXPECT_EQ(tree.parent(tree.cluster_root(2)), tree.cluster_root(1));
+  EXPECT_EQ(count_wan_edges(tree, topo), 2u);
+}
+
+TEST(TreePropertyFixed, FlatTreeCrossesWanPerSubtree) {
+  // 8 clusters x 2 nodes: the flat binary tree ignores clusters and
+  // pays strictly more WAN crossings than the hierarchical minimum.
+  Topology topo = Topology::n_cluster(16, 8);
+  ClusterTree flat(topo, TreeMode::kFlat);
+  ClusterTree hier(topo, TreeMode::kHierarchical);
+  EXPECT_EQ(count_wan_edges(hier, topo), 7u);
+  EXPECT_GT(count_wan_edges(flat, topo), count_wan_edges(hier, topo));
+}
+
+TEST(TreePropertyFixed, MulticastOneEnvelopePerRemoteCluster) {
+  Topology topo = Topology::n_cluster(16, 4);
+  ClusterTree tree(topo);
+  // From PE 0 to every other PE: 3 local directs + 3 remote envelopes.
+  std::vector<Pe> targets;
+  for (Pe pe = 1; pe < 16; ++pe) targets.push_back(pe);
+  auto hops = core::multicast_first_hops(tree, topo, 0, targets);
+  std::size_t wan_hops = 0;
+  for (const auto& hop : hops) {
+    if (!topo.same_cluster(0, static_cast<net::NodeId>(hop.via))) ++wan_hops;
+  }
+  EXPECT_EQ(wan_hops, 3u);
+  EXPECT_EQ(hops.size(), 6u);
+}
+
+}  // namespace
