@@ -15,6 +15,8 @@ FaultTolerance::FaultTolerance(Runtime& rt, const net::ReliabilityStack& stack,
       flagged_at_(static_cast<std::size_t>(rt.num_pes()), 0) {
   MDO_CHECK(config_.checkpoint_bandwidth_bytes_per_us > 0);
   if (stack_->heartbeat != nullptr) {
+    // Fires only on confirmed death (suspect aged past the confirm
+    // window with indirect probes unanswered), never on mere suspicion.
     stack_->heartbeat->set_on_peer_dead(
         [this](net::NodeId node, sim::TimeNs when) {
           flag_dead(static_cast<Pe>(node), when);

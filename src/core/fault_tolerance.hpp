@@ -70,10 +70,14 @@ class FaultTolerance {
   using PlacementFn = std::function<Pe(ArrayId, const Index&, Pe old_pe,
                                        const std::vector<bool>& alive)>;
 
-  /// Wires the detector callbacks (heartbeat death declarations and
-  /// reliable-layer peer-unreachable give-ups) into this manager. The
-  /// stack may lack either device; detection then relies on the other
-  /// signal (or on the machine's own alive_pes ground truth at recover).
+  /// Wires the detector callbacks (heartbeat *confirmed* death
+  /// declarations and reliable-layer peer-unreachable give-ups) into
+  /// this manager. A merely suspected peer never reaches here: while the
+  /// heartbeat corroborates via indirect probes, the reliable layer
+  /// quarantines the peer's flows instead of burning retransmissions,
+  /// and only the suspect→dead confirmation triggers recovery. The stack
+  /// may lack either device; detection then relies on the other signal
+  /// (or on the machine's own alive_pes ground truth at recover).
   FaultTolerance(Runtime& rt, const net::ReliabilityStack& stack,
                  FtConfig config = {});
 
@@ -86,8 +90,11 @@ class FaultTolerance {
   /// Arm the failure detector for the next `horizon` of machine time.
   void watch(sim::TimeNs horizon);
 
-  /// True once any peer has been declared dead (heartbeat) or abandoned
-  /// (reliable give-up) since the last recover(). Thread-safe.
+  /// True once any peer has been confirmed dead (heartbeat, past the
+  /// confirm window with failed indirect probes) or abandoned (reliable
+  /// give-up budget exhausted) since the last recover(). A transient
+  /// partition that heals inside the confirm window never sets this.
+  /// Thread-safe.
   bool failure_detected() const;
 
   /// Peers flagged since the last recover(), ascending. Thread-safe.

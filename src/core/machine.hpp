@@ -111,6 +111,15 @@ class Machine {
   /// destination starves. Default: unsupported, silently ignored.
   virtual void set_on_pe_idle(std::function<void(Pe)>) {}
 
+  /// Backpressure bound: when the reliability stack quarantines a
+  /// suspect peer and its buffer fills, outbound envelopes to that peer
+  /// park inside the machine until the congestion clears. At most
+  /// `limit` envelopes park per destination; beyond it the least-urgent
+  /// parked envelope is shed (counted in msgs_dropped so quiescence
+  /// accounting stays balanced). Default: unbounded parking; machines
+  /// without a reliability stack ignore the knob.
+  virtual void set_park_limit(std::size_t) {}
+
   /// The run's metric registry. Subsystems register sources at install
   /// time (net devices, fabric, scheduler, tracing); consumers snapshot
   /// before/after a phase and diff.

@@ -1,5 +1,7 @@
 #include "core/sim_machine.hpp"
 
+#include <algorithm>
+
 #include "core/runtime.hpp"
 #include "net/metrics.hpp"
 #include "util/assert.hpp"
@@ -45,7 +47,11 @@ SimMachine::SimMachine(net::Topology topo, net::GridLatencyModel::Config link,
     sink.counter("msgs_dropped", dropped);
     sink.counter("busy_ns", static_cast<std::uint64_t>(busy));
     sink.counter("pes_killed", kills_);
+    sink.counter("stall_parked", stall_parked_);
+    sink.counter("stall_resumed", stall_resumed_);
+    sink.counter("stall_shed", stall_shed_);
     sink.gauge("queue_depth", static_cast<double>(queued));
+    sink.gauge("parked_depth", static_cast<double>(parked_envelopes()));
   });
   metrics_.add_source("mem", [](obs::MetricSink& sink) {
     sink.counter("allocs", alloc::allocations());
@@ -77,6 +83,15 @@ const net::ReliabilityStack& SimMachine::add_reliability_stack(
       fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way,
       heartbeat, coalesce);
   net::register_metrics(metrics_, rel_stack_);
+  // Quarantine backpressure: when a suspect peer's buffer clears (heal
+  // or abandonment), re-dispatch its parked envelopes from a fresh
+  // engine event — the clear fires from inside a heartbeat transition.
+  rel_stack_.reliable->set_on_congestion_change(
+      [this](net::NodeId peer, bool congested) {
+        if (congested) return;
+        engine_.schedule_after(
+            0, [this, peer] { flush_parked(static_cast<Pe>(peer)); });
+      });
   return rel_stack_;
 }
 
@@ -131,12 +146,53 @@ sim::TimeNs SimMachine::dispatch(Envelope&& env) {
     enqueue(env.dst_pe, std::move(env));
     return 0;
   }
+  if (rel_stack_.reliable != nullptr &&
+      rel_stack_.reliable->peer_congested(
+          static_cast<net::NodeId>(env.dst_pe))) {
+    park(std::move(env));
+    return 0;
+  }
   net::Packet packet;
   packet.src = static_cast<net::NodeId>(env.src_pe);
   packet.dst = static_cast<net::NodeId>(env.dst_pe);
   packet.priority = env.priority;
   packet.payload = pack_object(env);
   return fabric_->send(std::move(packet));
+}
+
+void SimMachine::park(Envelope&& env) {
+  std::vector<Envelope>& q = parked_[env.dst_pe];
+  q.push_back(std::move(env));
+  ++stall_parked_;
+  if (q.size() > park_limit_) {
+    // Shed the least-urgent parked envelope (largest priority value
+    // loses; among ties the most recent arrival). Charged to the
+    // sender's dropped count so sent == executed + dropped still holds.
+    auto worst = q.begin();
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->priority >= worst->priority) worst = it;
+    }
+    const Pe src = worst->src_pe >= 0 ? worst->src_pe : 0;
+    ++pes_[static_cast<std::size_t>(src)].stats.msgs_dropped;
+    ++stall_shed_;
+    q.erase(worst);
+  }
+}
+
+void SimMachine::flush_parked(Pe dst) {
+  auto it = parked_.find(dst);
+  if (it == parked_.end()) return;
+  std::vector<Envelope> pending = std::move(it->second);
+  parked_.erase(it);
+  // Most-urgent first; stable so FIFO order survives within a priority.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Envelope& a, const Envelope& b) {
+                     return a.priority < b.priority;
+                   });
+  for (Envelope& env : pending) {
+    ++stall_resumed_;
+    dispatch(std::move(env));  // re-parks if congestion re-tripped
+  }
 }
 
 void SimMachine::enqueue(Pe pe, Envelope&& env) {

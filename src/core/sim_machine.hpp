@@ -6,6 +6,8 @@
 // depart when it completes. This is the deterministic substrate behind
 // every benchmark table and figure.
 
+#include <limits>
+#include <map>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -100,9 +102,17 @@ class SimMachine final : public Machine {
   void set_on_pe_idle(std::function<void(Pe)> fn) override {
     on_pe_idle_ = std::move(fn);
   }
+  void set_park_limit(std::size_t limit) override { park_limit_ = limit; }
 
   /// Total messages executed across PEs (test/bench convenience).
   std::uint64_t total_executed() const;
+
+  /// Envelopes currently parked behind quarantine backpressure.
+  std::size_t parked_envelopes() const {
+    std::size_t total = 0;
+    for (const auto& [dst, q] : parked_) total += q.size();
+    return total;
+  }
 
  private:
   struct QueueItem {
@@ -132,9 +142,12 @@ class SimMachine final : public Machine {
   void enqueue(Pe pe, Envelope&& env);
   void execute_next(Pe pe);
   /// Immediately route one envelope (local enqueue or fabric). Returns
-  /// the device-chain CPU cost incurred on the sender.
+  /// the device-chain CPU cost incurred on the sender. Envelopes toward
+  /// a congested (quarantined, buffer-full) peer park instead.
   sim::TimeNs dispatch(Envelope&& env);
   void finish_execution(Pe pe);  ///< drains pes_[pe].pending_outbox
+  void park(Envelope&& env);     ///< backpressure: hold, shed past limit
+  void flush_parked(Pe dst);     ///< congestion cleared: re-dispatch
 
   net::Topology topo_;
   Overheads overheads_;
@@ -149,6 +162,13 @@ class SimMachine final : public Machine {
   std::vector<PeState> pes_;
   std::uint64_t next_queue_seq_ = 0;
   std::uint64_t kills_ = 0;
+
+  /// Envelopes stalled behind quarantine backpressure, per destination.
+  std::map<Pe, std::vector<Envelope>> parked_;
+  std::size_t park_limit_ = std::numeric_limits<std::size_t>::max();
+  std::uint64_t stall_parked_ = 0;
+  std::uint64_t stall_resumed_ = 0;
+  std::uint64_t stall_shed_ = 0;
 
   bool executing_ = false;
   Pe exec_pe_ = 0;

@@ -18,6 +18,7 @@ ThreadMachine::ThreadMachine(net::Topology topo,
     : topo_(std::move(topo)),
       config_(config),
       model_(&topo_, link),
+      congested_(topo_.num_nodes()),
       start_(std::chrono::steady_clock::now()) {
   fabric_ = std::make_unique<net::ThreadFabric>(&topo_, &model_, net::Chain{});
   fabric_->set_node_up_probe([this](net::NodeId node) {
@@ -57,7 +58,16 @@ ThreadMachine::ThreadMachine(net::Topology topo,
     sink.counter("msgs_dropped", dropped);
     sink.counter("busy_ns", static_cast<std::uint64_t>(busy));
     sink.counter("pes_killed", kills_.load(std::memory_order_acquire));
+    std::uint64_t parked_depth = 0;
+    {
+      std::lock_guard<std::mutex> park_lock(park_mutex_);
+      sink.counter("stall_parked", stall_parked_);
+      sink.counter("stall_resumed", stall_resumed_);
+      sink.counter("stall_shed", stall_shed_);
+      for (const auto& [dst, q] : parked_) parked_depth += q.size();
+    }
     sink.gauge("queue_depth", static_cast<double>(queued));
+    sink.gauge("parked_depth", static_cast<double>(parked_depth));
   });
   metrics_.add_source("mem", [](obs::MetricSink& sink) {
     sink.counter("allocs", alloc::allocations());
@@ -109,6 +119,22 @@ const net::ReliabilityStack& ThreadMachine::add_reliability_stack(
       fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way,
       heartbeat, coalesce);
   net::register_metrics(metrics_, rel_stack_);
+  if (rel_stack_.reliable != nullptr) {
+    // Mirror the device's congestion state into machine-owned atomics so
+    // route() never reads device internals from worker threads. The flag
+    // must be stored before the drain is scheduled: a worker that loads
+    // `false` after parking re-flushes itself (see park()), so envelopes
+    // can never strand behind an already-cleared quarantine.
+    rel_stack_.reliable->set_on_congestion_change(
+        [this](net::NodeId peer, bool congested) {
+          congested_[static_cast<std::size_t>(peer)].store(congested);
+          if (!congested) {
+            fabric_->host_schedule(0, [this, peer] {
+              flush_parked(static_cast<Pe>(peer));
+            });
+          }
+        });
+  }
   return rel_stack_;
 }
 
@@ -231,12 +257,72 @@ void ThreadMachine::route(Envelope&& env) {
     enqueue(env.dst_pe, std::move(env));
     return;
   }
+  if (congested_[static_cast<std::size_t>(env.dst_pe)].load()) {
+    park(std::move(env));
+    return;
+  }
   net::Packet packet;
   packet.src = static_cast<net::NodeId>(env.src_pe);
   packet.dst = static_cast<net::NodeId>(env.dst_pe);
   packet.priority = env.priority;
   packet.payload = pack_object(env);
   fabric_->send(std::move(packet));
+}
+
+void ThreadMachine::park(Envelope&& env) {
+  const Pe dst = env.dst_pe;
+  bool shed = false;
+  Envelope worst;
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    auto& q = parked_[dst];
+    q.push_back(std::move(env));
+    ++stall_parked_;
+    if (q.size() > park_limit_) {
+      // Shed the least-urgent envelope (largest priority value; latest
+      // arrival on ties, so older equally-urgent work survives).
+      auto victim = q.begin();
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->priority >= victim->priority) victim = it;
+      }
+      worst = std::move(*victim);
+      q.erase(victim);
+      ++stall_shed_;
+      shed = true;
+    }
+  }
+  if (shed) {
+    PeWorker& worker = *workers_[static_cast<std::size_t>(worst.src_pe)];
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      ++worker.stats.msgs_dropped;
+    }
+    drop_pending();
+  }
+  // Re-check after publishing the parked envelope: the clearing thread
+  // stores congested=false before draining, so if the flag is clear now
+  // the drain either saw our envelope or already ran — self-flush covers
+  // the latter.
+  if (!congested_[static_cast<std::size_t>(dst)].load()) flush_parked(dst);
+}
+
+void ThreadMachine::flush_parked(Pe dst) {
+  std::vector<Envelope> held;
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    auto it = parked_.find(dst);
+    if (it == parked_.end()) return;
+    held = std::move(it->second);
+    parked_.erase(it);
+    stall_resumed_ += held.size();
+  }
+  // Most-urgent first so the freshly healed link carries critical work
+  // ahead of bulk. route() re-parks if the peer trips congestion again.
+  std::stable_sort(held.begin(), held.end(),
+                   [](const Envelope& a, const Envelope& b) {
+                     return a.priority < b.priority;
+                   });
+  for (auto& env : held) route(std::move(env));
 }
 
 void ThreadMachine::enqueue(Pe pe, Envelope&& env) {

@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -91,6 +93,18 @@ class ThreadMachine final : public Machine {
   void set_on_pe_idle(std::function<void(Pe)> fn) override {
     on_pe_idle_ = std::move(fn);
   }
+  void set_park_limit(std::size_t limit) override {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    park_limit_ = limit;
+  }
+
+  /// Envelopes currently parked behind quarantine backpressure.
+  std::size_t parked_envelopes() const {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    std::size_t total = 0;
+    for (const auto& [dst, q] : parked_) total += q.size();
+    return total;
+  }
 
   /// Entry-interval tracing into lock-free per-PE ring buffers: each
   /// worker thread is the sole producer of its own ring, so recording
@@ -128,6 +142,11 @@ class ThreadMachine final : public Machine {
   void route(Envelope&& env);
   /// A message left the pending count without executing (crashed PE).
   void drop_pending();
+  /// Backpressure: hold an envelope for a congested peer; sheds the
+  /// least-urgent parked one past park_limit_. Parked envelopes stay in
+  /// the pending count, so quiescence waits for the heal.
+  void park(Envelope&& env);
+  void flush_parked(Pe dst);  ///< congestion cleared: re-route by priority
 
   net::Topology topo_;
   Config config_;
@@ -142,6 +161,18 @@ class ThreadMachine final : public Machine {
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> kills_{0};
+
+  /// Quarantine backpressure. The per-peer congested flags mirror the
+  /// reliable device's state (updated in its congestion callback) so the
+  /// route() hot path never touches device internals from worker
+  /// threads. Parked envelopes and counters live under park_mutex_.
+  std::vector<std::atomic<bool>> congested_;
+  mutable std::mutex park_mutex_;
+  std::map<Pe, std::vector<Envelope>> parked_;
+  std::size_t park_limit_ = std::numeric_limits<std::size_t>::max();
+  std::uint64_t stall_parked_ = 0;
+  std::uint64_t stall_resumed_ = 0;
+  std::uint64_t stall_shed_ = 0;
 
   // Tracing. One ring per PE (producer: that PE's worker thread) plus a
   // final ring for the host thread's phase markers (producer: the main

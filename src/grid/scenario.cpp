@@ -3,8 +3,33 @@
 #include <cstdlib>
 
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace mdo::grid {
+
+Scenario& Scenario::with_partitions(std::uint64_t seed, std::size_t count,
+                                    sim::TimeNs mean_len,
+                                    sim::TimeNs horizon) {
+  MDO_CHECK(mean_len > 0 && horizon > 0);
+  const auto c = static_cast<net::ClusterId>(topology().num_clusters());
+  if (c < 2) return *this;  // nothing to partition
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    // A random directed cluster pair (src != dst), a start anywhere in
+    // the horizon, and a length in [mean_len/2, 3*mean_len/2).
+    const auto src = static_cast<net::ClusterId>(rng.bounded(
+        static_cast<std::uint64_t>(c)));
+    auto dst = static_cast<net::ClusterId>(rng.bounded(
+        static_cast<std::uint64_t>(c - 1)));
+    if (dst >= src) ++dst;
+    const auto start = static_cast<sim::TimeNs>(
+        rng.bounded(static_cast<std::uint64_t>(horizon)));
+    const auto len = mean_len / 2 + static_cast<sim::TimeNs>(rng.bounded(
+        static_cast<std::uint64_t>(mean_len)));
+    faults.partitions.push_back({src, dst, start, start + len});
+  }
+  return *this;
+}
 
 net::Topology Scenario::topology() const {
   if (mode == Mode::kLocal) {

@@ -122,16 +122,20 @@ struct Scenario {
 
   /// Node-crash tolerance: heartbeat failure detector plus a bounded
   /// retransmission budget, both sized to the WAN latency. The detector
-  /// timeout tolerates a full round trip plus three consecutively lost
-  /// beats, so a 32 ms one-way latency is never misread as a death; the
-  /// retry budget is small enough that flows to a genuinely dead peer
-  /// are abandoned in bounded time.
+  /// timeout (silence -> suspect) tolerates a full round trip plus three
+  /// consecutively lost beats, so a 32 ms one-way latency is never
+  /// misread as a death; the confirm window (suspect -> confirmed dead)
+  /// additionally covers the worst-case four-hop indirect probe round
+  /// trip (monitor -> relay -> suspect -> relay -> monitor) so a mere
+  /// partition can be refuted before recovery fires. The time-based
+  /// give-up budget (see size_rto) keeps flows to a genuinely dead peer
+  /// abandoned in bounded time.
   Scenario& with_crashes() {
     size_rto();
-    reliable.max_retries = 5;
     heartbeat.enabled = true;
     heartbeat.period = sim::milliseconds(5.0);
     heartbeat.timeout = 2 * max_one_way() + 4 * heartbeat.period;
+    heartbeat.confirm_window = 4 * max_one_way() + 4 * heartbeat.period;
     clamp_flush_window();
     return *this;
   }
@@ -176,6 +180,21 @@ struct Scenario {
     return *this;
   }
 
+  /// One scheduled partition: the directed src -> dst cluster link drops
+  /// every frame during [start, start + duration), then heals. Machines
+  /// install the full reliability stack (partitions count as faults).
+  Scenario& with_partition(net::ClusterId src, net::ClusterId dst,
+                           sim::TimeNs start, sim::TimeNs duration) {
+    faults.partitions.push_back({src, dst, start, start + duration});
+    return *this;
+  }
+
+  /// A seeded schedule of `count` random directed-link partitions with
+  /// mean length `mean_len`, start times spread over [0, horizon).
+  /// Deterministic per seed, so chaos runs replay bit-identically.
+  Scenario& with_partitions(std::uint64_t seed, std::size_t count,
+                            sim::TimeNs mean_len, sim::TimeNs horizon);
+
   // -- deprecated factory wrappers -----------------------------------------
   [[deprecated("use artificial(pes, one_way).with_loss(drop, seed)")]]
   static Scenario lossy(std::size_t pes, sim::TimeNs one_way, double drop,
@@ -196,10 +215,15 @@ struct Scenario {
  private:
   /// RTO sized to a couple of round trips on the slowest link (used by
   /// loss and crash knobs; idempotent, so builder order does not matter).
+  /// The give-up budget scales with the RTO — time-based, so LAN and
+  /// 10x-latency WAN links abandon unreachable flows after the *same*
+  /// multiple of their round-trip time (24 RTOs spans roughly five
+  /// backed-off retransmission timeouts at backoff 2.0).
   void size_rto() {
     reliable.rto_initial = std::max<sim::TimeNs>(
         2 * max_one_way() + sim::milliseconds(1.0),
         sim::milliseconds(2.0));
+    reliable.give_up_budget = 24 * reliable.rto_initial;
   }
   /// Keep the coalescing flush window under half a heartbeat period
   /// whenever both knobs are on, regardless of which was set first.
@@ -215,6 +239,7 @@ struct Scenario {
     size_rto();
     if (heartbeat.enabled) {
       heartbeat.timeout = 2 * max_one_way() + 4 * heartbeat.period;
+      heartbeat.confirm_window = 4 * max_one_way() + 4 * heartbeat.period;
     }
     if (coalesce.enabled) {
       coalesce.flush_timeout = std::clamp<sim::TimeNs>(

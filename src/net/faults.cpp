@@ -4,13 +4,41 @@
 
 namespace mdo::net {
 
-FaultDevice::FaultDevice(FaultConfig config)
-    : config_(config), rng_(config.seed) {
+FaultDevice::FaultDevice(FaultConfig config, const Topology* topo)
+    : config_(std::move(config)), topo_(topo), rng_(config_.seed) {
   MDO_CHECK(config_.drop >= 0.0 && config_.drop <= 1.0);
   MDO_CHECK(config_.duplicate >= 0.0 && config_.duplicate <= 1.0);
   MDO_CHECK(config_.corrupt >= 0.0 && config_.corrupt <= 1.0);
   MDO_CHECK(config_.reorder >= 0.0 && config_.reorder <= 1.0);
   MDO_CHECK(config_.reorder_jitter >= 0);
+  for (const PartitionWindow& w : config_.partitions) {
+    MDO_CHECK_MSG(w.end > w.start, "partition window must have positive span");
+  }
+}
+
+void FaultDevice::set_partition_active(ClusterId src, ClusterId dst,
+                                       bool active) {
+  std::lock_guard<std::mutex> lock(manual_mutex_);
+  manual_[{src, dst}] = active;
+  manual_any_.store(true, std::memory_order_release);
+}
+
+bool FaultDevice::partition_active(NodeId src, NodeId dst,
+                                   sim::TimeNs now) const {
+  if (topo_ == nullptr) return false;
+  const ClusterId cs = topo_->cluster_of(src);
+  const ClusterId cd = topo_->cluster_of(dst);
+  for (const PartitionWindow& w : config_.partitions) {
+    if (w.src == cs && w.dst == cd && now >= w.start && now < w.end) {
+      return true;
+    }
+  }
+  if (manual_any_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(manual_mutex_);
+    auto it = manual_.find({cs, cd});
+    if (it != manual_.end() && it->second) return true;
+  }
+  return false;
 }
 
 void FaultDevice::corrupt_one_byte(Packet& packet) {
@@ -37,6 +65,17 @@ void FaultDevice::send_transform(std::vector<Packet>& packets, SendContext&) {
   out.reserve(packets.size());
   for (auto& p : packets) {
     ++counters_.seen;
+    // Partitions first, and without touching the rng: a partitioned
+    // frame vanishes deterministically, and the surviving frames draw
+    // the same fault stream they would in a partition-free run.
+    if (topo_ != nullptr) {
+      const sim::TimeNs now =
+          host_ != nullptr ? host_->host_now() : p.inject_time;
+      if (partition_active(p.src, p.dst, now)) {
+        ++counters_.partition_dropped;
+        continue;
+      }
+    }
     if (config_.drop > 0.0 && rng_.next_double() < config_.drop) {
       ++counters_.dropped;
       continue;

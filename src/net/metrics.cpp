@@ -22,6 +22,13 @@ void register_metrics(obs::MetricRegistry& reg, const ReliableDevice& dev) {
     sink.counter("out_of_order_buffered", c.out_of_order_buffered);
     sink.counter("malformed_dropped", c.malformed_dropped);
     sink.counter("flows_abandoned", c.flows_abandoned);
+    sink.counter("frames_held", c.frames_held);
+    sink.counter("quarantines_started", c.quarantines_started);
+    sink.counter("quarantines_resumed", c.quarantines_resumed);
+    sink.counter("backpressure_events", c.backpressure_events);
+    sink.counter("peers_abandoned", c.peers_abandoned);
+    sink.counter("quarantine_peak_frames", c.quarantine_peak_frames);
+    sink.counter("quarantine_peak_bytes", c.quarantine_peak_bytes);
     sink.histogram("ack_rtt_ns", dev.ack_rtt_ns());
     sink.gauge("unacked_frames", static_cast<double>(dev.unacked_frames()));
     sink.gauge("buffered_packets",
@@ -37,6 +44,7 @@ void register_metrics(obs::MetricRegistry& reg, const FaultDevice& dev) {
     sink.counter("duplicated", c.duplicated);
     sink.counter("corrupted", c.corrupted);
     sink.counter("reordered", c.reordered);
+    sink.counter("partition_dropped", c.partition_dropped);
   });
 }
 
@@ -45,6 +53,11 @@ void register_metrics(obs::MetricRegistry& reg, const HeartbeatDevice& dev) {
     const auto& c = dev.counters();
     sink.counter("beats_sent", c.beats_sent);
     sink.counter("beats_received", c.beats_received);
+    sink.counter("suspects_raised", c.suspects_raised);
+    sink.counter("suspects_cleared", c.suspects_cleared);
+    sink.counter("probes_sent", c.probes_sent);
+    sink.counter("probes_relayed", c.probes_relayed);
+    sink.counter("probe_acks", c.probe_acks);
     sink.counter("peers_declared_dead", c.peers_declared_dead);
   });
 }

@@ -43,7 +43,9 @@ ReliableDevice::ReliableDevice(ReliableConfig config) : config_(config) {
   MDO_CHECK(config_.rto_initial > 0);
   MDO_CHECK(config_.rto_backoff >= 1.0);
   MDO_CHECK(config_.rto_max >= config_.rto_initial);
-  MDO_CHECK(config_.max_retries > 0);
+  MDO_CHECK(config_.give_up_budget > 0);
+  MDO_CHECK(config_.quarantine_max_frames > 0);
+  MDO_CHECK(config_.quarantine_max_bytes > 0);
 }
 
 std::size_t ReliableDevice::unacked_frames() const {
@@ -58,7 +60,40 @@ std::size_t ReliableDevice::buffered_packets() const {
   return total;
 }
 
-void ReliableDevice::on_send(Packet& packet, SendContext&) {
+ReliableDevice::Quarantine* ReliableDevice::quarantined(NodeId peer) {
+  auto it = quarantine_.find(peer);
+  if (it == quarantine_.end() || !it->second.active) return nullptr;
+  return &it->second;
+}
+
+bool ReliableDevice::peer_quarantined(NodeId peer) const {
+  auto it = quarantine_.find(peer);
+  return it != quarantine_.end() && it->second.active;
+}
+
+bool ReliableDevice::peer_congested(NodeId peer) const {
+  auto it = quarantine_.find(peer);
+  return it != quarantine_.end() && it->second.congested;
+}
+
+void ReliableDevice::note_quarantine_peaks(const Quarantine& q) {
+  counters_.quarantine_peak_frames =
+      std::max<std::uint64_t>(counters_.quarantine_peak_frames, q.frames);
+  counters_.quarantine_peak_bytes =
+      std::max<std::uint64_t>(counters_.quarantine_peak_bytes, q.bytes);
+}
+
+void ReliableDevice::maybe_trip_congestion(NodeId peer, Quarantine& q) {
+  if (q.congested) return;
+  if (q.frames >= config_.quarantine_max_frames ||
+      q.bytes >= config_.quarantine_max_bytes) {
+    q.congested = true;
+    ++counters_.backpressure_events;
+    if (on_congestion_change_) on_congestion_change_(peer, true);
+  }
+}
+
+bool ReliableDevice::prepare_send(Packet& packet) {
   MDO_CHECK_MSG(host_ != nullptr,
                 "ReliableDevice needs a fabric host (timers, injection)");
   FlowKey key{packet.src, packet.dst};
@@ -69,9 +104,35 @@ void ReliableDevice::on_send(Packet& packet, SendContext&) {
   Pending pending;
   pending.frame = packet;  // framed copy, pre-checksum/fault/delay
   pending.first_sent = host_->host_now();
+  Quarantine* q = quarantined(packet.dst);
+  if (q != nullptr) {
+    // The peer is suspect: sequence the frame but hold it off the wire.
+    // The unacked map doubles as the bounded quarantine buffer; the
+    // frame replays (in seq order) when the suspect is demoted.
+    pending.on_wire = false;
+    ++counters_.frames_held;
+    q->frames += 1;
+    q->bytes += pending.frame.payload.size();
+    flow.unacked.emplace(seq, std::move(pending));
+    ++counters_.data_sent;
+    note_quarantine_peaks(*q);
+    maybe_trip_congestion(packet.dst, *q);
+    return false;
+  }
   flow.unacked.emplace(seq, std::move(pending));
   ++counters_.data_sent;
   arm_timer(key);
+  return true;
+}
+
+void ReliableDevice::send_transform(std::vector<Packet>& packets,
+                                    SendContext&) {
+  std::vector<Packet> out;
+  out.reserve(packets.size());
+  for (auto& p : packets) {
+    if (prepare_send(p)) out.push_back(std::move(p));
+  }
+  packets = std::move(out);
 }
 
 void ReliableDevice::arm_timer(const FlowKey& key) {
@@ -81,35 +142,52 @@ void ReliableDevice::arm_timer(const FlowKey& key) {
   host_->host_schedule(flow.rto, [this, key] { on_timeout(key); });
 }
 
+void ReliableDevice::clear_flow(const FlowKey& key, SenderFlow& flow) {
+  Quarantine* q = quarantined(key.second);
+  if (q != nullptr) {
+    for (const auto& [seq, pending] : flow.unacked) {
+      if (q->frames > 0) --q->frames;
+      q->bytes -= std::min(q->bytes, pending.frame.payload.size());
+    }
+  }
+  flow.unacked.clear();
+  flow.rto = config_.rto_initial;
+  flow.stall_start = 0;
+}
+
 void ReliableDevice::on_timeout(const FlowKey& key) {
   SenderFlow& flow = senders_[key];
   flow.timer_armed = false;
   if (flow.unacked.empty()) {
     // Everything acked since the timer was set; quiesce this flow.
     flow.rto = config_.rto_initial;
-    flow.timeouts_without_progress = 0;
+    flow.stall_start = 0;
     return;
   }
   if (!host_->host_node_up(key.first)) {
     // The *sender* crashed: its frames are squashed at the fabric, so
     // retransmitting is pointless theater. Drop the flow state quietly —
     // a dead node surfaces no callbacks.
-    flow.unacked.clear();
-    flow.rto = config_.rto_initial;
-    flow.timeouts_without_progress = 0;
+    clear_flow(key, flow);
     return;
   }
-  ++flow.timeouts_without_progress;
-  if (flow.timeouts_without_progress > config_.max_retries) {
-    // Give up: the peer has not acked anything across max_retries backed-
-    // off timeouts. Abandon the in-flight frames (at-most-once from here
-    // on) and surface the unreachable peer — the failure detector's
-    // second, retransmission-based signal.
+  if (peer_quarantined(key.second)) {
+    // The peer is suspect: pause. No retransmission (it would vanish on
+    // the partitioned link anyway), no give-up budget burned toward a
+    // false unreachable verdict. resume_peer re-arms the timer.
+    return;
+  }
+  const sim::TimeNs now = host_->host_now();
+  if (flow.stall_start == 0) {
+    flow.stall_start = now;
+  } else if (now - flow.stall_start > config_.give_up_budget) {
+    // Give up: no ack progress across give_up_budget of fabric time.
+    // Abandon the in-flight frames (at-most-once from here on) and
+    // surface the unreachable peer — the failure detector's second,
+    // retransmission-based signal.
     const NodeId self = key.first;
     const NodeId peer = key.second;
-    flow.unacked.clear();
-    flow.rto = config_.rto_initial;
-    flow.timeouts_without_progress = 0;
+    clear_flow(key, flow);
     ++counters_.flows_abandoned;
     if (on_peer_unreachable_) on_peer_unreachable_(peer, self);
     return;
@@ -125,6 +203,81 @@ void ReliableDevice::on_timeout(const FlowKey& key) {
                                config_.rto_backoff),
       config_.rto_max);
   arm_timer(key);
+}
+
+void ReliableDevice::resume_peer(NodeId peer) {
+  const sim::TimeNs now = host_->host_now();
+  for (auto& [key, flow] : senders_) {
+    if (key.second != peer || flow.unacked.empty()) continue;
+    // Replay everything outstanding in sequence order: frames that were
+    // on the wire before the quarantine go out as retransmissions
+    // (ambiguous for RTT), held frames as clean first transmissions.
+    for (auto& [seq, pending] : flow.unacked) {
+      if (pending.on_wire) {
+        pending.retransmitted = true;
+        ++counters_.retransmits;
+      } else {
+        pending.on_wire = true;
+        pending.first_sent = now;
+      }
+      Packet copy = pending.frame;
+      host_->inject_send(this, std::move(copy));
+    }
+    flow.rto = config_.rto_initial;
+    flow.stall_start = 0;
+    arm_timer(key);
+  }
+}
+
+void ReliableDevice::set_peer_quarantined(NodeId peer, bool on) {
+  Quarantine& q = quarantine_[peer];
+  if (q.active == on) return;
+  if (on) {
+    q.active = true;
+    ++counters_.quarantines_started;
+    // Frames already in flight count against the bound too: they are
+    // memory held on this peer's behalf just like newly parked ones.
+    q.frames = 0;
+    q.bytes = 0;
+    for (const auto& [key, flow] : senders_) {
+      if (key.second != peer) continue;
+      for (const auto& [seq, pending] : flow.unacked) {
+        q.frames += 1;
+        q.bytes += pending.frame.payload.size();
+      }
+    }
+    note_quarantine_peaks(q);
+    maybe_trip_congestion(peer, q);
+  } else {
+    q.active = false;
+    ++counters_.quarantines_resumed;
+    last_resume_at_ = host_ != nullptr ? host_->host_now() : 0;
+    resume_peer(peer);
+    q.frames = 0;
+    q.bytes = 0;
+    if (q.congested) {
+      q.congested = false;
+      if (on_congestion_change_) on_congestion_change_(peer, false);
+    }
+  }
+}
+
+void ReliableDevice::abandon_peer(NodeId peer) {
+  // Confirmed dead: recovery owns the peer now. Flows die quietly — no
+  // unreachable callback, no replay.
+  auto qit = quarantine_.find(peer);
+  const bool was_congested = qit != quarantine_.end() && qit->second.congested;
+  if (qit != quarantine_.end()) quarantine_.erase(qit);
+  for (auto& [key, flow] : senders_) {
+    if (key.second != peer) continue;
+    flow.unacked.clear();
+    flow.rto = config_.rto_initial;
+    flow.stall_start = 0;
+  }
+  ++counters_.peers_abandoned;
+  if (was_congested && on_congestion_change_) {
+    on_congestion_change_(peer, false);
+  }
 }
 
 std::optional<Packet> ReliableDevice::receive_transform(Packet packet) {
@@ -148,6 +301,7 @@ void ReliableDevice::handle_ack(const Packet& packet, std::uint32_t ack_seq) {
   // The ack travels the reverse direction of its data flow.
   FlowKey key{packet.dst, packet.src};
   SenderFlow& flow = senders_[key];
+  Quarantine* q = quarantined(key.second);
   bool progress = false;
   const sim::TimeNs now = host_->host_now();
   for (auto it = flow.unacked.begin();
@@ -155,12 +309,16 @@ void ReliableDevice::handle_ack(const Packet& packet, std::uint32_t ack_seq) {
     if (!it->second.retransmitted) {
       ack_rtt_ns_.add(static_cast<double>(now - it->second.first_sent));
     }
+    if (q != nullptr) {
+      if (q->frames > 0) --q->frames;
+      q->bytes -= std::min(q->bytes, it->second.frame.payload.size());
+    }
     it = flow.unacked.erase(it);
     progress = true;
   }
   if (progress) {
     flow.rto = config_.rto_initial;
-    flow.timeouts_without_progress = 0;
+    flow.stall_start = 0;
   }
 }
 
@@ -230,10 +388,23 @@ ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
       stack.coalesce->set_unbundle_listener(
           [hb](NodeId src) { hb->note_alive(src); });
     }
+    // Detector verdicts drive the flows: suspicion pauses (quarantine),
+    // demotion replays seq-exact, confirmed death drops quietly.
+    ReliableDevice* rel = stack.reliable;
+    stack.heartbeat->set_state_listener(
+        [rel](NodeId node, PeerState from, PeerState to, sim::TimeNs) {
+          if (to == PeerState::kSuspect) {
+            rel->set_peer_quarantined(node, true);
+          } else if (from == PeerState::kSuspect && to == PeerState::kAlive) {
+            rel->set_peer_quarantined(node, false);
+          } else if (to == PeerState::kDead) {
+            rel->abandon_peer(node);
+          }
+        });
   }
   stack.checksum =
       chain.add(std::make_unique<ChecksumDevice>(/*drop_on_mismatch=*/true));
-  stack.faults = chain.add(std::make_unique<FaultDevice>(faults));
+  stack.faults = chain.add(std::make_unique<FaultDevice>(faults, topo));
   if (cross_cluster_delay > 0) {
     stack.delay =
         chain.add(std::make_unique<DelayDevice>(topo, cross_cluster_delay));

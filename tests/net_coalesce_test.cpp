@@ -365,9 +365,11 @@ TEST(CoalesceScenario, DetectionWindowIsNotWidenedByBundling) {
   machine->run();
 
   EXPECT_TRUE(hb->declared_dead(2));
-  EXPECT_GE(hb->detected_at(2),
-            t_kill - s.heartbeat.period + s.heartbeat.timeout);
+  EXPECT_GE(hb->detected_at(2), t_kill - s.heartbeat.period +
+                                    s.heartbeat.timeout +
+                                    s.heartbeat.confirm_window);
   EXPECT_LE(hb->detected_at(2), t_kill + s.heartbeat.timeout +
+                                    s.heartbeat.confirm_window +
                                     2 * s.artificial_one_way +
                                     3 * s.heartbeat.period);
   for (net::NodeId alive : {0, 1, 3}) {

@@ -359,11 +359,16 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BalancerSweep,
 
 // Any stack of payload-transforming devices above the reliability layer
 // must deliver every payload exactly once, in per-flow order, bit-exact,
-// no matter how the wire drops, duplicates, reorders, or corrupts frames.
+// no matter how the wire drops, duplicates, reorders, or corrupts frames
+// — or goes dark entirely for a while: each seed also draws a few
+// directed partition windows (100% loss between a cluster pair) that
+// heal before the give-up budget, so the retransmission machinery must
+// carry every flow across the outage without loss or duplication.
 class LossyStackFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
   SplitMix64 rng(GetParam());
+  net::Topology topo = net::Topology::two_cluster(4);
 
   // A random subset of {compress, crypto, stripe, coalesce}, in random
   // order, above the canonical reliable -> checksum(drop) -> fault tail.
@@ -401,6 +406,9 @@ TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
   }
   net::ReliableConfig rel;
   rel.rto_initial = sim::microseconds(400);
+  // Partitions stall flows outright; size the budget so even the longest
+  // outage plus capped backoff cannot trip an abandon.
+  rel.give_up_budget = sim::seconds(600.0);
   net::FaultConfig faults;
   faults.drop = 0.03;
   faults.duplicate = 0.03;
@@ -408,11 +416,26 @@ TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
   faults.reorder = 0.3;
   faults.reorder_jitter = sim::microseconds(300);
   faults.seed = rng.next_u64();
-  auto stack = net::install_reliability_stack(chain, nullptr, rel, faults,
+  // One to three directed partition windows. All sends happen at t=0 and
+  // random loss is recovered within a few ms, so windows open inside the
+  // first retransmission storm (<= 1 ms) to be sure they swallow frames;
+  // drops inside a window then sustain traffic until it heals.
+  std::size_t windows = 1 + rng.bounded(3);
+  for (std::size_t w = 0; w < windows; ++w) {
+    net::PartitionWindow win;
+    win.src = static_cast<net::ClusterId>(rng.bounded(2));
+    win.dst = 1 - win.src;
+    win.start = static_cast<sim::TimeNs>(rng.bounded(
+        static_cast<std::uint64_t>(sim::milliseconds(1.0))));
+    win.end = win.start + sim::milliseconds(1.0) +
+              static_cast<sim::TimeNs>(rng.bounded(
+                  static_cast<std::uint64_t>(sim::milliseconds(30.0))));
+    faults.partitions.push_back(win);
+  }
+  auto stack = net::install_reliability_stack(chain, &topo, rel, faults,
                                               /*cross_cluster_delay=*/0);
 
   sim::Engine engine;
-  net::Topology topo = net::Topology::two_cluster(4);
   net::FixedLatencyModel model(sim::microseconds(100));
   net::SimFabric fabric(&engine, &topo, &model, std::move(chain));
 
@@ -458,6 +481,9 @@ TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
   EXPECT_EQ(stack.reliable->unacked_frames(), 0u);
   EXPECT_EQ(stack.reliable->buffered_packets(), 0u);
   EXPECT_GT(stack.reliable->counters().retransmits, 0u);
+  EXPECT_GT(stack.faults->counters().partition_dropped, 0u)
+      << "seed " << GetParam() << " drew no frames inside its windows";
+  EXPECT_EQ(stack.reliable->counters().flows_abandoned, 0u);
   if (coalesce != nullptr) {
     EXPECT_EQ(coalesce->pending_packets(), 0u)
         << "coalesce buffers must drain by end of run, seed " << GetParam();
