@@ -1,5 +1,6 @@
 #include "apps/stencil/stencil.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/mapping.hpp"
@@ -190,6 +191,7 @@ void Chunk::apply_real_update() {
 void Chunk::maybe_compute() {
   while (steps_done_ < target_steps_ && arrived_ == expected_ghosts()) {
     compute_round();
+    if (steps_done_ >= target_steps_) finished_at_ = runtime().now();
     arrived_ = 0;
     // Adopt any strips that arrived early for the new round.
     for (std::int32_t dir = 0; dir < 4; ++dir) {
@@ -217,8 +219,8 @@ void Chunk::resume_steps(std::int32_t more_steps) {
 
 void Chunk::pup(Pup& p) {
   Chare::pup(p);
-  p | params_ | cx_ | cy_ | target_steps_ | steps_done_ | round_ | arrived_ |
-      cur_ | strips_ | early_;
+  p | params_ | cx_ | cy_ | finished_at_ | target_steps_ | steps_done_ |
+      round_ | arrived_ | cur_ | strips_ | early_;
 }
 
 // -- StencilApp ------------------------------------------------------------------
@@ -253,6 +255,25 @@ StencilApp::PhaseResult StencilApp::run_steps(std::int32_t steps) {
   result.steps = steps;
   result.elapsed = rt_->now() - t0;
   result.ms_per_step = sim::to_ms(result.elapsed) / steps;
+  // App-level completion: the latest chunk's final-step timestamp. Falls
+  // back to quiescence time if any chunk is unreachable (never with the
+  // in-process machines).
+  sim::TimeNs finished = 0;
+  bool all_local = true;
+  const std::int32_t edge = params_.k();
+  for (std::int32_t cy = 0; cy < edge && all_local; ++cy) {
+    for (std::int32_t cx = 0; cx < edge; ++cx) {
+      const Chunk* chunk = proxy_.local(core::Index(cx, cy));
+      if (chunk == nullptr) {
+        all_local = false;
+        break;
+      }
+      finished = std::max(finished, chunk->finished_at());
+    }
+  }
+  result.app_elapsed = all_local && finished > t0 ? finished - t0
+                                                  : result.elapsed;
+  result.app_ms_per_step = sim::to_ms(result.app_elapsed) / steps;
   result.fabric.packets_sent = after.packets_sent - before.packets_sent;
   result.fabric.bytes_sent = after.bytes_sent - before.bytes_sent;
   result.fabric.packets_delivered =

@@ -60,6 +60,9 @@ class Chunk final : public core::Chare {
   // -- inspection -------------------------------------------------------------
   std::int32_t steps_done() const { return steps_done_; }
   const std::vector<double>& values() const { return cur_; }
+  /// Virtual time at which this chunk finished its current step target
+  /// (0 until the first target is met).
+  sim::TimeNs finished_at() const { return finished_at_; }
 
  private:
   enum Dir : std::int32_t { kNorth = 0, kSouth = 1, kWest = 2, kEast = 3 };
@@ -78,6 +81,7 @@ class Chunk final : public core::Chare {
 
   Params params_{};
   std::int32_t cx_ = 0, cy_ = 0;
+  sim::TimeNs finished_at_ = 0;
   std::int32_t target_steps_ = 0;
   std::int32_t steps_done_ = 0;
   std::int32_t round_ = 0;
@@ -93,8 +97,14 @@ class StencilApp {
  public:
   struct PhaseResult {
     std::int32_t steps = 0;
-    sim::TimeNs elapsed = 0;
+    sim::TimeNs elapsed = 0;      ///< to quiescence (includes any armed
+                                  ///< background timers: heartbeat watch,
+                                  ///< adaptive ticker, scheduled drifts)
     double ms_per_step = 0.0;
+    sim::TimeNs app_elapsed = 0;  ///< to the last chunk's final step —
+                                  ///< the step-time basis when the
+                                  ///< scenario carries background timers
+    double app_ms_per_step = 0.0;
     net::Fabric::Stats fabric{};  ///< deltas for this phase
     obs::Snapshot metrics;        ///< registry deltas for this phase
   };

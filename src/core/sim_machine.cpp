@@ -76,12 +76,14 @@ net::DelayDevice* SimMachine::add_delay_device(sim::TimeNs one_way) {
 const net::ReliabilityStack& SimMachine::add_reliability_stack(
     const net::ReliableConfig& reliable, const net::FaultConfig& faults,
     sim::TimeNs cross_cluster_one_way, const net::HeartbeatConfig& heartbeat,
-    const net::CoalesceConfig& coalesce) {
+    const net::CoalesceConfig& coalesce,
+    const net::CompressionConfig& compression,
+    const net::StripingConfig& striping) {
   MDO_CHECK_MSG(!rel_stack_.installed(),
                 "reliability stack already installed");
   rel_stack_ = net::install_reliability_stack(
       fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way,
-      heartbeat, coalesce);
+      heartbeat, coalesce, compression, striping);
   net::register_metrics(metrics_, rel_stack_);
   // Quarantine backpressure: when a suspect peer's buffer clears (heal
   // or abandonment), re-dispatch its parked envelopes from a fresh
@@ -93,6 +95,18 @@ const net::ReliabilityStack& SimMachine::add_reliability_stack(
             0, [this, peer] { flush_parked(static_cast<Pe>(peer)); });
       });
   return rel_stack_;
+}
+
+net::AdaptiveController* SimMachine::add_adaptive_controller(
+    const net::AdaptiveConfig& config) {
+  MDO_CHECK_MSG(rel_stack_.installed(),
+                "adaptive controller needs a reliability stack (RTT source)");
+  MDO_CHECK_MSG(adaptive_ == nullptr, "adaptive controller already installed");
+  adaptive_ = fabric_->chain().add(
+      std::make_unique<net::AdaptiveController>(&topo_, config));
+  adaptive_->attach(rel_stack_, *fabric_);
+  net::register_metrics(metrics_, *adaptive_);
+  return adaptive_;
 }
 
 net::CoalesceDevice* SimMachine::add_coalesce_device(

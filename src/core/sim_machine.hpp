@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/machine.hpp"
+#include "net/adaptive.hpp"
 #include "net/devices.hpp"
 #include "net/latency_model.hpp"
 #include "net/reliable.hpp"
@@ -52,12 +53,26 @@ class SimMachine final : public Machine {
       const net::ReliableConfig& reliable, const net::FaultConfig& faults,
       sim::TimeNs cross_cluster_one_way = 0,
       const net::HeartbeatConfig& heartbeat = {},
-      const net::CoalesceConfig& coalesce = {});
+      const net::CoalesceConfig& coalesce = {},
+      const net::CompressionConfig& compression = {},
+      const net::StripingConfig& striping = {});
 
   /// Install a standalone coalescing device (clean-fabric scenarios with
   /// no reliability stack). Call before traffic flows and before
   /// add_delay_device so bundles pay the WAN delay once.
   net::CoalesceDevice* add_coalesce_device(const net::CoalesceConfig& config);
+
+  /// Install the adaptive WAN controller over the already-installed
+  /// reliability stack: it joins the chain (for the host binding),
+  /// observes the stack's devices through a private registry, and
+  /// publishes decisions under net.adaptive.* in the machine registry.
+  /// Arm it per phase with adaptive()->start(horizon). Call after
+  /// add_reliability_stack and before traffic flows.
+  net::AdaptiveController* add_adaptive_controller(
+      const net::AdaptiveConfig& config);
+
+  /// The installed adaptive controller (null if none).
+  net::AdaptiveController* adaptive() const { return adaptive_; }
 
   /// The installed reliability stack (devices null if never installed).
   const net::ReliabilityStack& reliability() const { return rel_stack_; }
@@ -156,6 +171,7 @@ class SimMachine final : public Machine {
   std::unique_ptr<net::SimFabric> fabric_;
   net::ReliabilityStack rel_stack_;
   net::CoalesceDevice* coalesce_ = nullptr;  ///< standalone install only
+  net::AdaptiveController* adaptive_ = nullptr;
   std::function<void(Pe)> on_pe_idle_;
   Runtime* rt_ = nullptr;
 

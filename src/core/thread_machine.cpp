@@ -110,14 +110,16 @@ net::DelayDevice* ThreadMachine::add_delay_device(sim::TimeNs one_way) {
 const net::ReliabilityStack& ThreadMachine::add_reliability_stack(
     const net::ReliableConfig& reliable, const net::FaultConfig& faults,
     sim::TimeNs cross_cluster_one_way, const net::HeartbeatConfig& heartbeat,
-    const net::CoalesceConfig& coalesce) {
+    const net::CoalesceConfig& coalesce,
+    const net::CompressionConfig& compression,
+    const net::StripingConfig& striping) {
   MDO_CHECK_MSG(fabric_->stats().packets_sent == 0,
                 "reliability stack must be installed before traffic flows");
   MDO_CHECK_MSG(!rel_stack_.installed(),
                 "reliability stack already installed");
   rel_stack_ = net::install_reliability_stack(
       fabric_->chain(), &topo_, reliable, faults, cross_cluster_one_way,
-      heartbeat, coalesce);
+      heartbeat, coalesce, compression, striping);
   net::register_metrics(metrics_, rel_stack_);
   if (rel_stack_.reliable != nullptr) {
     // Mirror the device's congestion state into machine-owned atomics so
@@ -136,6 +138,20 @@ const net::ReliabilityStack& ThreadMachine::add_reliability_stack(
         });
   }
   return rel_stack_;
+}
+
+net::AdaptiveController* ThreadMachine::add_adaptive_controller(
+    const net::AdaptiveConfig& config) {
+  MDO_CHECK_MSG(fabric_->stats().packets_sent == 0,
+                "adaptive controller must be installed before traffic flows");
+  MDO_CHECK_MSG(rel_stack_.installed(),
+                "adaptive controller needs a reliability stack (RTT source)");
+  MDO_CHECK_MSG(adaptive_ == nullptr, "adaptive controller already installed");
+  adaptive_ = fabric_->chain().add(
+      std::make_unique<net::AdaptiveController>(&topo_, config));
+  adaptive_->attach(rel_stack_, *fabric_);
+  net::register_metrics(metrics_, *adaptive_);
+  return adaptive_;
 }
 
 net::CoalesceDevice* ThreadMachine::add_coalesce_device(

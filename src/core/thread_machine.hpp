@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/machine.hpp"
+#include "net/adaptive.hpp"
 #include "net/devices.hpp"
 #include "net/latency_model.hpp"
 #include "net/reliable.hpp"
@@ -48,11 +49,24 @@ class ThreadMachine final : public Machine {
       const net::ReliableConfig& reliable, const net::FaultConfig& faults,
       sim::TimeNs cross_cluster_one_way = 0,
       const net::HeartbeatConfig& heartbeat = {},
-      const net::CoalesceConfig& coalesce = {});
+      const net::CoalesceConfig& coalesce = {},
+      const net::CompressionConfig& compression = {},
+      const net::StripingConfig& striping = {});
 
   /// Install a standalone coalescing device (clean-fabric scenarios).
   /// Call before traffic flows and before add_delay_device.
   net::CoalesceDevice* add_coalesce_device(const net::CoalesceConfig& config);
+
+  /// Install the adaptive WAN controller over the already-installed
+  /// reliability stack. Its sampling ticker runs on the fabric
+  /// dispatcher thread (which owns the chain mutex), so knob mutations
+  /// are serialized against sends. Arm with adaptive()->start(horizon).
+  /// Call after add_reliability_stack and before traffic flows.
+  net::AdaptiveController* add_adaptive_controller(
+      const net::AdaptiveConfig& config);
+
+  /// The installed adaptive controller (null if none).
+  net::AdaptiveController* adaptive() const { return adaptive_; }
 
   /// The coalescing device, standalone or in-stack (null if none).
   net::CoalesceDevice* coalesce() const {
@@ -154,6 +168,7 @@ class ThreadMachine final : public Machine {
   std::unique_ptr<net::ThreadFabric> fabric_;
   net::ReliabilityStack rel_stack_;
   net::CoalesceDevice* coalesce_ = nullptr;  ///< standalone install only
+  net::AdaptiveController* adaptive_ = nullptr;
   std::function<void(Pe)> on_pe_idle_;
   Runtime* rt_ = nullptr;
 

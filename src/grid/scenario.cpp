@@ -137,24 +137,57 @@ void wire_idle_flush(M& machine) {
   });
 }
 
+/// Whether the full reliability stack (rather than the bare delay
+/// device) must be installed. Adaptation needs the ack RTT estimator;
+/// compression/striping live inside the stack; force_reliability makes
+/// static baselines wire-comparable with adaptive runs.
+bool wants_stack(const Scenario& s) {
+  return s.faults.any() || s.heartbeat.enabled || s.adaptive.enabled ||
+         s.compression.enabled || s.striping.enabled || s.force_reliability;
+}
+
+/// Realize the scheduled link drifts as delay-device retargets at their
+/// fabric times. `schedule` is engine().schedule_at under SimMachine and
+/// fabric host_schedule (relative to the ~0 start) under ThreadMachine.
+template <class ScheduleFn>
+void schedule_link_drifts(const Scenario& s, net::DelayDevice* delay,
+                          ScheduleFn&& schedule) {
+  if (s.link_drifts.empty()) return;
+  MDO_CHECK_MSG(delay != nullptr,
+                "link drifts need the artificial delay device");
+  for (const Scenario::LinkDrift& d : s.link_drifts) {
+    schedule(d.at, [delay, d] {
+      delay->set_cluster_delay(d.src, d.dst, d.latency);
+    });
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
   auto machine = std::make_unique<core::SimMachine>(s.topology(),
                                                     link_config(s), overheads());
-  if (s.faults.any() || s.heartbeat.enabled) {
+  net::DelayDevice* delay = nullptr;
+  if (wants_stack(s)) {
     const net::ReliabilityStack& stack = machine->add_reliability_stack(
-        s.reliable, s.faults, stack_delay(s), s.heartbeat, s.coalesce);
+        s.reliable, s.faults, stack_delay(s), s.heartbeat, s.coalesce,
+        s.compression, s.striping);
     apply_artificial_links(stack.delay, machine->topology());
+    delay = stack.delay;
+    if (s.adaptive.enabled) machine->add_adaptive_controller(s.adaptive);
   } else {
     // Clean fabric: coalesce (if requested) above the bare delay device,
     // so a bundle pays the artificial WAN latency once.
     if (s.coalesce.enabled) machine->add_coalesce_device(s.coalesce);
     if (s.mode == Scenario::Mode::kArtificial && stack_delay(s) > 0) {
-      net::DelayDevice* delay = machine->add_delay_device(s.artificial_one_way);
+      delay = machine->add_delay_device(s.artificial_one_way);
       apply_artificial_links(delay, machine->topology());
     }
   }
+  core::SimMachine* sim = machine.get();
+  schedule_link_drifts(s, delay, [sim](sim::TimeNs at, auto fn) {
+    sim->engine().schedule_at(at, std::move(fn));
+  });
   wire_idle_flush(*machine);
   machine->set_tracing(s.tracing);
   return machine;
@@ -164,17 +197,25 @@ std::unique_ptr<core::ThreadMachine> make_thread_machine(
     const Scenario& s, core::ThreadMachine::Config config) {
   auto machine = std::make_unique<core::ThreadMachine>(s.topology(),
                                                        link_config(s), config);
-  if (s.faults.any() || s.heartbeat.enabled) {
+  net::DelayDevice* delay = nullptr;
+  if (wants_stack(s)) {
     const net::ReliabilityStack& stack = machine->add_reliability_stack(
-        s.reliable, s.faults, stack_delay(s), s.heartbeat, s.coalesce);
+        s.reliable, s.faults, stack_delay(s), s.heartbeat, s.coalesce,
+        s.compression, s.striping);
     apply_artificial_links(stack.delay, machine->topology());
+    delay = stack.delay;
+    if (s.adaptive.enabled) machine->add_adaptive_controller(s.adaptive);
   } else {
     if (s.coalesce.enabled) machine->add_coalesce_device(s.coalesce);
     if (s.mode == Scenario::Mode::kArtificial && stack_delay(s) > 0) {
-      net::DelayDevice* delay = machine->add_delay_device(s.artificial_one_way);
+      delay = machine->add_delay_device(s.artificial_one_way);
       apply_artificial_links(delay, machine->topology());
     }
   }
+  core::ThreadMachine* tm = machine.get();
+  schedule_link_drifts(s, delay, [tm](sim::TimeNs at, auto fn) {
+    tm->fabric().host_schedule(at, std::move(fn));
+  });
   wire_idle_flush(*machine);
   machine->set_tracing(s.tracing);
   return machine;

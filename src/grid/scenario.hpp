@@ -56,6 +56,40 @@ struct Scenario {
   /// the machines' scheduler-idle callback.
   net::CoalesceConfig coalesce;
 
+  /// Payload-transform knobs: when enabled, the reliability stack gains
+  /// a compression / striping device between coalesce and reliable (so
+  /// whole bundles are transformed and each fragment is one reliable
+  /// frame). Enabling either implies the stack installs.
+  net::CompressionConfig compression;
+  net::StripingConfig striping;
+
+  /// Adaptive-transport knob: when adaptive.enabled, machines install an
+  /// AdaptiveController chain device that periodically samples the net
+  /// metrics and retunes the coalesce flush window (globally and per
+  /// directed cluster pair), the striping width, and the compression
+  /// on/off choice. Implies the reliability stack (RTT comes from acks)
+  /// and coalescing (the primary knob). Arm it per phase with
+  /// machine->adaptive()->start(horizon).
+  net::AdaptiveConfig adaptive;
+
+  /// Force the full reliability stack even with zero loss and no
+  /// detector — static baselines comparable frame-for-frame with
+  /// adaptive runs (acks and framing included in both).
+  bool force_reliability = false;
+
+  /// One scheduled mid-run change of a directed WAN link's one-way
+  /// latency (artificial mode: realized as a delay-device retarget at
+  /// virtual/wall time `at`). The *static* link table — and every
+  /// detector/RTO window sized from it — is untouched: drifts are what
+  /// the adaptive controller exists to chase.
+  struct LinkDrift {
+    net::ClusterId src = 0;
+    net::ClusterId dst = 0;
+    sim::TimeNs at = 0;
+    sim::TimeNs latency = 0;
+  };
+  std::vector<LinkDrift> link_drifts;
+
   // -- entry points --------------------------------------------------------
   static Scenario artificial(std::size_t pes, sim::TimeNs one_way) {
     Scenario s;
@@ -152,6 +186,77 @@ struct Scenario {
         max_one_way() / 8, sim::microseconds(100.0),
         sim::milliseconds(1.0));
     clamp_flush_window();
+    return *this;
+  }
+
+  /// Adaptive WAN transport: an online controller retunes the coalesce
+  /// flush window (plus striping width and compression choice when those
+  /// devices are on) from observed RTT, loss, and queue depth. Implies
+  /// coalescing and the reliability stack; composes with loss, crashes,
+  /// and partitions. The controller starts from the statically-derived
+  /// knobs, so on a link that never drifts it observes and holds still.
+  Scenario& with_adaptation() {
+    adaptive.enabled = true;
+    if (!coalesce.enabled) with_coalescing();
+    size_rto();
+    return *this;
+  }
+
+  /// Install the full reliability stack even with zero injected loss —
+  /// the fair static baseline for adaptive comparisons (same acks, same
+  /// framing on the wire).
+  Scenario& with_reliability() {
+    force_reliability = true;
+    size_rto();
+    return *this;
+  }
+
+  /// RLE compression of cross-cluster payloads (whole bundles when
+  /// coalescing is on). Implies the reliability stack.
+  Scenario& with_compression(double cpu_ns_per_byte = 0.35) {
+    compression.enabled = true;
+    compression.cpu_ns_per_byte = cpu_ns_per_byte;
+    size_rto();
+    return *this;
+  }
+
+  /// Stripe large payloads into `rails` independently-traveling
+  /// fragments. Implies the reliability stack (each fragment is one
+  /// reliable frame).
+  Scenario& with_striping(std::size_t rails = 4,
+                          std::size_t min_bytes = 8192) {
+    striping.enabled = true;
+    striping.rails = rails;
+    striping.min_bytes = min_bytes;
+    size_rto();
+    return *this;
+  }
+
+  /// Schedule a mid-run one-way-latency change on the directed link
+  /// src -> dst at fabric time `at` (artificial mode only: retargets the
+  /// delay device). Static sizing (detector, RTO, initial flush window)
+  /// deliberately does NOT see drifts.
+  Scenario& with_link_drift(net::ClusterId src, net::ClusterId dst,
+                            sim::TimeNs at, sim::TimeNs latency) {
+    link_drifts.push_back({src, dst, at, latency});
+    return *this;
+  }
+
+  /// Diurnal (square-wave) latency on the symmetric cluster pair a<->b:
+  /// starting from the static latency, the link flips to `high` at
+  /// half_period, back to `low` at 2*half_period, and so on until
+  /// `horizon` — the bursty/changing-latency environment where a static
+  /// flush window must lose to an adaptive one at one end of the wave.
+  Scenario& with_diurnal_link(net::ClusterId a, net::ClusterId b,
+                              sim::TimeNs low, sim::TimeNs high,
+                              sim::TimeNs half_period, sim::TimeNs horizon) {
+    bool high_phase = true;
+    for (sim::TimeNs at = half_period; at < horizon; at += half_period) {
+      const sim::TimeNs latency = high_phase ? high : low;
+      link_drifts.push_back({a, b, at, latency});
+      link_drifts.push_back({b, a, at, latency});
+      high_phase = !high_phase;
+    }
     return *this;
   }
 

@@ -147,13 +147,39 @@ void CoalesceDevice::send_transform(std::vector<Packet>& packets,
   packets.swap(out);
 }
 
+void CoalesceDevice::retune_flush_timeout(sim::TimeNs timeout) {
+  MDO_CHECK(timeout > 0);
+  config_.flush_timeout = timeout;
+}
+
+void CoalesceDevice::retune_pair_flush_timeout(ClusterId src, ClusterId dst,
+                                               sim::TimeNs timeout) {
+  MDO_CHECK(timeout > 0);
+  pair_flush_[{src, dst}] = timeout;
+}
+
+void CoalesceDevice::retune_bundle_bytes(std::size_t max_bundle_bytes) {
+  MDO_CHECK(max_bundle_bytes > 0);
+  config_.max_bundle_bytes = max_bundle_bytes;
+}
+
+sim::TimeNs CoalesceDevice::flush_timeout_for(NodeId src, NodeId dst) const {
+  if (topo_ != nullptr && !pair_flush_.empty()) {
+    const auto it =
+        pair_flush_.find({topo_->cluster_of(src), topo_->cluster_of(dst)});
+    if (it != pair_flush_.end()) return it->second;
+  }
+  return config_.flush_timeout;
+}
+
 void CoalesceDevice::arm_timer(const PairKey& key) {
   MDO_CHECK_MSG(host_ != nullptr,
                 "CoalesceDevice needs a fabric host (timers, injection)");
   Buffer& buf = buffers_[key];
   if (buf.timer_armed) return;
   buf.timer_armed = true;
-  host_->host_schedule(config_.flush_timeout, [this, key] { on_timer(key); });
+  host_->host_schedule(flush_timeout_for(key.first, key.second),
+                       [this, key] { on_timer(key); });
 }
 
 void CoalesceDevice::on_timer(const PairKey& key) {

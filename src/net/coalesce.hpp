@@ -70,6 +70,26 @@ class CoalesceDevice final : public FilterDevice {
   /// the flush itself hops into fabric context via host_schedule.
   void flush_source(NodeId src);
 
+  // -- live retune hooks (fabric context; the adaptive controller) ----------
+  // Already-armed timers keep the timeout they were armed with; the new
+  // value applies from the next window on, so a retune can never fire a
+  // pending timer early or strand one forever.
+
+  /// Replace the global backstop flush window.
+  void retune_flush_timeout(sim::TimeNs timeout);
+  /// Override the flush window for one directed cluster pair (consulted
+  /// before the global value; requires a topology to map nodes). A
+  /// heterogeneous grid wants per-link windows: an eighth of *that*
+  /// link's one-way latency, not the worst link's.
+  void retune_pair_flush_timeout(ClusterId src, ClusterId dst,
+                                 sim::TimeNs timeout);
+  /// Replace the byte threshold that force-flushes a bundle.
+  void retune_bundle_bytes(std::size_t max_bundle_bytes);
+
+  /// The flush window a fresh bundle from src -> dst would get right now
+  /// (pair override when present, else the global window).
+  sim::TimeNs flush_timeout_for(NodeId src, NodeId dst) const;
+
   /// Liveness hook for the failure detector: fired once per unbundled
   /// bundle with the bundle's source, so a heartbeat device below this
   /// one can credit the coalesced frames as proof of life.
@@ -128,6 +148,8 @@ class CoalesceDevice final : public FilterDevice {
 
   const Topology* topo_;  ///< may be null: coalesce all non-local pairs
   CoalesceConfig config_;
+  /// Per-directed-cluster-pair flush-window overrides (retune hook).
+  std::map<std::pair<ClusterId, ClusterId>, sim::TimeNs> pair_flush_;
   /// Reused across send_transform calls (swapped with the chain's packet
   /// list) so the framing/bundling path allocates nothing in steady state.
   std::vector<Packet> send_scratch_;

@@ -110,9 +110,20 @@ std::optional<Bytes> CompressionDevice::rle_decode(
 }
 
 void CompressionDevice::on_send(Packet& packet, SendContext& ctx) {
+  ScratchArena& arena = ScratchArena::local();
+  if (!encode_enabled_) {
+    // Pass-through framing: stored block, no encode attempt, no CPU
+    // charge — the adaptive controller's "compression off" state.
+    Bytes framed = arena.take();
+    framed.reserve(packet.payload.size() + 1);
+    framed.push_back(kStored);
+    framed.insert(framed.end(), packet.payload.begin(), packet.payload.end());
+    arena.give(std::move(packet.payload));
+    packet.payload = std::move(framed);
+    return;
+  }
   ctx.cpu_cost += static_cast<sim::TimeNs>(
       cpu_ns_per_byte_ * static_cast<double>(packet.payload.size()));
-  ScratchArena& arena = ScratchArena::local();
   Bytes encoded = arena.take();
   rle_encode_into(packet.payload, encoded);
   Bytes framed = arena.take();

@@ -43,6 +43,12 @@ class DelayDevice final : public FilterDevice {
   std::map<std::pair<ClusterId, ClusterId>, sim::TimeNs> cluster_delay_;
 };
 
+/// Scenario-level knob bundle for the compression device.
+struct CompressionConfig {
+  bool enabled = false;  ///< gates installation in the reliability stack
+  double cpu_ns_per_byte = 0.35;
+};
+
 /// Byte-level run-length encoding; falls back to a stored (uncompressed)
 /// block when RLE would grow the payload. One flag byte leads the wire
 /// format. Charges cpu_ns_per_byte to the send context. Malformed or
@@ -52,6 +58,13 @@ class CompressionDevice final : public FilterDevice {
  public:
   explicit CompressionDevice(double cpu_ns_per_byte = 0.35);
   const char* name() const override { return "compress"; }
+
+  /// Live retune (fabric context): while disabled, every payload is
+  /// framed as a stored block (no encode attempt, no CPU charge). The
+  /// wire format keeps its leading flag byte either way, so frames sent
+  /// before a toggle decode fine after it.
+  void retune_enabled(bool on) { encode_enabled_ = on; }
+  bool encode_enabled() const { return encode_enabled_; }
 
   static Bytes rle_encode(const Bytes& in);
   /// nullopt for malformed input (odd length, zero-length run).
@@ -73,6 +86,7 @@ class CompressionDevice final : public FilterDevice {
 
  private:
   double cpu_ns_per_byte_;
+  bool encode_enabled_ = true;
   std::uint64_t bytes_saved_ = 0;
   std::uint64_t decode_failures_ = 0;
 };

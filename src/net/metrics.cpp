@@ -1,5 +1,6 @@
 #include "net/metrics.hpp"
 
+#include "net/adaptive.hpp"
 #include "net/coalesce.hpp"
 #include "net/devices.hpp"
 #include "net/fabric.hpp"
@@ -30,6 +31,7 @@ void register_metrics(obs::MetricRegistry& reg, const ReliableDevice& dev) {
     sink.counter("quarantine_peak_frames", c.quarantine_peak_frames);
     sink.counter("quarantine_peak_bytes", c.quarantine_peak_bytes);
     sink.histogram("ack_rtt_ns", dev.ack_rtt_ns());
+    sink.histogram("wan_ack_rtt_ns", dev.wan_ack_rtt_ns());
     sink.gauge("unacked_frames", static_cast<double>(dev.unacked_frames()));
     sink.gauge("buffered_packets",
                static_cast<double>(dev.buffered_packets()));
@@ -108,8 +110,33 @@ void register_metrics(obs::MetricRegistry& reg, const StripingDevice& dev) {
   });
 }
 
+void register_metrics(obs::MetricRegistry& reg, const AdaptiveController& dev) {
+  reg.add_source("net.adaptive", [&dev](obs::MetricSink& sink) {
+    const auto& c = dev.counters();
+    sink.counter("samples", c.samples);
+    sink.counter("retunes_total", c.retunes_total);
+    sink.counter("window_widened", c.window_widened);
+    sink.counter("window_narrowed", c.window_narrowed);
+    sink.counter("window_clamped_detector", c.window_clamped_detector);
+    sink.counter("stripe_widened", c.stripe_widened);
+    sink.counter("stripe_narrowed", c.stripe_narrowed);
+    sink.counter("compress_disabled", c.compress_disabled);
+    sink.counter("compress_enabled", c.compress_enabled);
+    sink.counter("queue_relief", c.queue_relief);
+    sink.counter("hysteresis_holds", c.hysteresis_holds);
+    sink.counter("cooldown_holds", c.cooldown_holds);
+    sink.gauge("rtt_ewma_ns", dev.rtt_ewma_ns());
+    sink.gauge("drift", dev.drift());
+    sink.gauge("flush_window_ns", static_cast<double>(dev.flush_window()));
+    sink.gauge("rails", static_cast<double>(dev.rails()));
+    sink.gauge("compress_on", dev.compress_on() ? 1.0 : 0.0);
+  });
+}
+
 void register_metrics(obs::MetricRegistry& reg, const ReliabilityStack& stack) {
   if (stack.coalesce != nullptr) register_metrics(reg, *stack.coalesce);
+  if (stack.compress != nullptr) register_metrics(reg, *stack.compress);
+  if (stack.stripe != nullptr) register_metrics(reg, *stack.stripe);
   if (stack.reliable != nullptr) register_metrics(reg, *stack.reliable);
   if (stack.heartbeat != nullptr) register_metrics(reg, *stack.heartbeat);
   if (stack.checksum != nullptr) register_metrics(reg, *stack.checksum);

@@ -18,6 +18,7 @@
 
 namespace mdo::net {
 
+class AdaptiveController;
 class Fabric;
 class ReliableDevice;
 class FaultDevice;
@@ -35,6 +36,9 @@ void register_metrics(obs::MetricRegistry& reg, const CoalesceDevice& dev);
 void register_metrics(obs::MetricRegistry& reg, const ChecksumDevice& dev);
 void register_metrics(obs::MetricRegistry& reg, const CompressionDevice& dev);
 void register_metrics(obs::MetricRegistry& reg, const StripingDevice& dev);
+/// Controller decisions under `net.adaptive.*`: every retune (and every
+/// hold) is visible in snapshot diffs.
+void register_metrics(obs::MetricRegistry& reg, const AdaptiveController& dev);
 
 /// Register every installed device of `stack` (null members are skipped).
 void register_metrics(obs::MetricRegistry& reg, const ReliabilityStack& stack);

@@ -39,7 +39,8 @@ bool deframe(Packet& packet, WireHeader& hdr) {
 
 }  // namespace
 
-ReliableDevice::ReliableDevice(ReliableConfig config) : config_(config) {
+ReliableDevice::ReliableDevice(ReliableConfig config, const Topology* topo)
+    : config_(config), topo_(topo) {
   MDO_CHECK(config_.rto_initial > 0);
   MDO_CHECK(config_.rto_backoff >= 1.0);
   MDO_CHECK(config_.rto_max >= config_.rto_initial);
@@ -304,11 +305,25 @@ void ReliableDevice::handle_ack(const Packet& packet, std::uint32_t ack_seq) {
   Quarantine* q = quarantined(key.second);
   bool progress = false;
   const sim::TimeNs now = host_->host_now();
+  const bool wan = topo_ != nullptr &&
+                   topo_->cluster_of(key.first) != topo_->cluster_of(key.second);
   for (auto it = flow.unacked.begin();
        it != flow.unacked.end() && it->first < ack_seq;) {
-    if (!it->second.retransmitted) {
-      ack_rtt_ns_.add(static_cast<double>(now - it->second.first_sent));
-    }
+    const auto rtt = static_cast<double>(now - it->second.first_sent);
+    // Karn's rule: retransmitted frames are ambiguous (the ack may be
+    // for either copy), so the general RTT stat skips them. The WAN stat
+    // deliberately keeps them, measured from the FIRST transmission:
+    // when the link degrades past the RTO every in-flight frame gets
+    // retransmitted, and a Karn-strict estimator goes blind at exactly
+    // the moment the adaptive controller needs to see the new RTT. The
+    // first ack to clear a seq belongs to the earliest surviving copy,
+    // so first_sent is exact on a slow-but-clean link and only
+    // overestimates (by the backoff) when the original was truly lost —
+    // an error in the safe (window-widening) direction, absorbed by the
+    // controller's EWMA and hysteresis. No RTO feedback risk either
+    // way: flow RTOs here are config-driven, not derived from this stat.
+    if (!it->second.retransmitted) ack_rtt_ns_.add(rtt);
+    if (wan) wan_ack_rtt_ns_.add(rtt);
     if (q != nullptr) {
       if (q->frames > 0) --q->frames;
       q->bytes -= std::min(q->bytes, it->second.frame.payload.size());
@@ -365,18 +380,25 @@ void ReliableDevice::send_ack(NodeId data_src, NodeId data_dst,
   host_->inject_send(this, std::move(ack));
 }
 
-ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
-                                           const ReliableConfig& reliable,
-                                           const FaultConfig& faults,
-                                           sim::TimeNs cross_cluster_delay,
-                                           const HeartbeatConfig& heartbeat,
-                                           const CoalesceConfig& coalesce) {
+ReliabilityStack install_reliability_stack(
+    Chain& chain, const Topology* topo, const ReliableConfig& reliable,
+    const FaultConfig& faults, sim::TimeNs cross_cluster_delay,
+    const HeartbeatConfig& heartbeat, const CoalesceConfig& coalesce,
+    const CompressionConfig& compression, const StripingConfig& striping) {
   ReliabilityStack stack;
   if (coalesce.enabled) {
     stack.coalesce =
         chain.add(std::make_unique<CoalesceDevice>(topo, coalesce));
   }
-  stack.reliable = chain.add(std::make_unique<ReliableDevice>(reliable));
+  if (compression.enabled) {
+    stack.compress = chain.add(
+        std::make_unique<CompressionDevice>(compression.cpu_ns_per_byte));
+  }
+  if (striping.enabled) {
+    stack.stripe = chain.add(
+        std::make_unique<StripingDevice>(striping.rails, striping.min_bytes));
+  }
+  stack.reliable = chain.add(std::make_unique<ReliableDevice>(reliable, topo));
   if (heartbeat.enabled) {
     stack.heartbeat =
         chain.add(std::make_unique<HeartbeatDevice>(topo, heartbeat));

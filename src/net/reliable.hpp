@@ -50,6 +50,7 @@
 #include "net/devices.hpp"
 #include "net/faults.hpp"
 #include "net/heartbeat.hpp"
+#include "net/striping.hpp"
 #include "net/topology.hpp"
 #include "util/stats.hpp"
 
@@ -73,7 +74,12 @@ struct ReliableConfig {
 
 class ReliableDevice final : public FilterDevice {
  public:
-  explicit ReliableDevice(ReliableConfig config = {});
+  /// `topo` (may be null) splits the RTT estimate: cross-cluster acks
+  /// additionally feed wan_ack_rtt_ns(), the estimator the adaptive
+  /// controller reads — SAN acks arriving in microseconds would
+  /// otherwise drag the WAN one-way estimate toward zero.
+  explicit ReliableDevice(ReliableConfig config = {},
+                          const Topology* topo = nullptr);
 
   const char* name() const override { return "reliable"; }
 
@@ -140,6 +146,12 @@ class ReliableDevice final : public FilterDevice {
 
   /// RTT samples from unambiguous (never-retransmitted) frames.
   const RunningStats& ack_rtt_ns() const { return ack_rtt_ns_; }
+  /// Cross-cluster RTT samples (empty without a topology). Unlike
+  /// ack_rtt_ns, this includes retransmitted frames measured from their
+  /// first transmission, so the adaptive controller still observes a
+  /// link that degrades past the RTO (see handle_ack for why that's
+  /// sound here).
+  const RunningStats& wan_ack_rtt_ns() const { return wan_ack_rtt_ns_; }
 
   /// Frames awaiting an ack across all flows (0 once traffic quiesces).
   std::size_t unacked_frames() const;
@@ -192,11 +204,13 @@ class ReliableDevice final : public FilterDevice {
   void maybe_trip_congestion(NodeId peer, Quarantine& q);
 
   ReliableConfig config_;
+  const Topology* topo_;
   std::map<FlowKey, SenderFlow> senders_;
   std::map<FlowKey, ReceiverFlow> receivers_;
   std::map<NodeId, Quarantine> quarantine_;
   Counters counters_;
   RunningStats ack_rtt_ns_;
+  RunningStats wan_ack_rtt_ns_;
   sim::TimeNs last_resume_at_ = 0;
   PeerUnreachableFn on_peer_unreachable_;
   CongestionFn on_congestion_change_;
@@ -208,6 +222,8 @@ class ReliableDevice final : public FilterDevice {
 /// see net/metrics.hpp register_metrics(reg, stack).
 struct ReliabilityStack {
   CoalesceDevice* coalesce = nullptr;    ///< null unless config enabled it
+  CompressionDevice* compress = nullptr; ///< null unless config enabled it
+  StripingDevice* stripe = nullptr;      ///< null unless config enabled it
   ReliableDevice* reliable = nullptr;
   HeartbeatDevice* heartbeat = nullptr;  ///< null unless config enabled it
   ChecksumDevice* checksum = nullptr;
@@ -218,8 +234,8 @@ struct ReliabilityStack {
 };
 
 /// Append the canonical lossy-WAN stack to `chain`:
-///   [coalesce] -> reliable -> [heartbeat] -> checksum(drop_on_mismatch)
-///   -> fault -> [delay]
+///   [coalesce] -> [compress] -> [stripe] -> reliable -> [heartbeat]
+///   -> checksum(drop_on_mismatch) -> fault -> [delay]
 /// The delay device is appended only when cross_cluster_delay > 0, below
 /// the fault device so retransmissions and acks pay full WAN latency.
 /// The heartbeat failure detector is appended only when enabled: below
@@ -234,11 +250,17 @@ struct ReliabilityStack {
 /// device: suspect => quarantine, suspect->alive => resume, confirmed
 /// dead => abandon. The fault device receives the topology so partition
 /// windows can sever directed cluster pairs.
-ReliabilityStack install_reliability_stack(Chain& chain, const Topology* topo,
-                                           const ReliableConfig& reliable,
-                                           const FaultConfig& faults,
-                                           sim::TimeNs cross_cluster_delay,
-                                           const HeartbeatConfig& heartbeat = {},
-                                           const CoalesceConfig& coalesce = {});
+///
+/// The optional compression and striping devices sit between coalesce
+/// and reliable: they transform whole bundles (best RLE ratio, fewest
+/// stripe decisions), and each fragment below them is one reliable frame
+/// so a lost rail is retransmitted alone. Both are the adaptive
+/// controller's retune targets (net/adaptive.hpp).
+ReliabilityStack install_reliability_stack(
+    Chain& chain, const Topology* topo, const ReliableConfig& reliable,
+    const FaultConfig& faults, sim::TimeNs cross_cluster_delay,
+    const HeartbeatConfig& heartbeat = {}, const CoalesceConfig& coalesce = {},
+    const CompressionConfig& compression = {},
+    const StripingConfig& striping = {});
 
 }  // namespace mdo::net

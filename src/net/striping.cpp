@@ -18,6 +18,11 @@ StripingDevice::StripingDevice(std::size_t rails, std::size_t min_bytes)
   MDO_CHECK(rails_ >= 2);
 }
 
+void StripingDevice::retune_rails(std::size_t rails) {
+  MDO_CHECK(rails >= 2);
+  rails_ = rails;
+}
+
 void StripingDevice::send_transform(std::vector<Packet>& packets,
                                     SendContext&) {
   ScratchArena& arena = ScratchArena::local();

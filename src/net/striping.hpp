@@ -14,6 +14,13 @@
 
 namespace mdo::net {
 
+/// Scenario-level knob bundle for the striping device.
+struct StripingConfig {
+  bool enabled = false;    ///< gates installation in the reliability stack
+  std::size_t rails = 4;   ///< fragments per striped payload
+  std::size_t min_bytes = 8192;  ///< only payloads at least this large stripe
+};
+
 class StripingDevice final : public FilterDevice {
  public:
   /// Payloads of at least `min_bytes` are split into `rails` fragments.
@@ -26,6 +33,13 @@ class StripingDevice final : public FilterDevice {
 
   std::uint64_t packets_striped() const { return striped_; }
   std::size_t pending_reassemblies() const { return partial_.size(); }
+
+  /// Live retune (fabric context): future payloads split into `rails`
+  /// fragments. Safe mid-run — every fragment carries its own
+  /// (index, count) header, so in-flight reassemblies keep the width
+  /// they were sent with.
+  void retune_rails(std::size_t rails);
+  std::size_t rails() const { return rails_; }
 
   /// Dead-source squash: discard every partial reassembly from `src` and
   /// drop (instead of aborting on) its late-arriving fragments, so a

@@ -208,6 +208,67 @@ TEST(SnapshotTest, DiffClampsOnCounterResetAndPassesNewNames) {
   EXPECT_EQ(delta.counter("a.fresh"), 9u);  // passes through
 }
 
+TEST(SnapshotTest, DiffUnderSourceAddAndRemove) {
+  // Sources come and go between snapshots — a device installed mid-run
+  // (the adaptive controller registers at attach time) or a registry
+  // rebuilt after recovery. Diff semantics must stay well-defined at
+  // both edges: names only in the later snapshot pass through whole;
+  // names only in the earlier snapshot are dropped (there is no current
+  // observation to report an interval *of*).
+  std::uint64_t c1 = 100;
+  MetricRegistry before_reg;
+  before_reg.add_source("net.old", [&c1](MetricSink& sink) {
+    sink.counter("x", c1);
+    sink.gauge("level", 3.0);
+  });
+  Snapshot earlier = before_reg.snapshot();
+
+  std::uint64_t c2 = 40;
+  MetricRegistry after_reg;  // "net.old" removed, "net.adaptive" added
+  after_reg.add_source("net.adaptive", [&c2](MetricSink& sink) {
+    sink.counter("retunes_total", c2);
+    sink.gauge("flush_window_ns", 500000.0);
+  });
+  Snapshot now = after_reg.snapshot();
+
+  Snapshot delta = now.diff(earlier);
+  EXPECT_EQ(delta.counter("net.adaptive.retunes_total"), 40u);
+  EXPECT_DOUBLE_EQ(delta.gauge("net.adaptive.flush_window_ns"), 500000.0);
+  EXPECT_EQ(delta.find("net.old.x"), nullptr);
+  EXPECT_EQ(delta.find("net.old.level"), nullptr);
+  EXPECT_EQ(delta.values.size(), 2u);
+}
+
+TEST(SnapshotTest, DiffHistogramKeepsLaterObservationAcrossSourceChurn) {
+  // Histograms diff like gauges (the later summary wins), including
+  // when the histogram's source appeared only after the earlier
+  // snapshot was taken.
+  Snapshot earlier;
+  MetricValue g;
+  g.kind = MetricValue::Kind::kGauge;
+  g.value = 1.0;
+  earlier.values["net.a.level"] = g;
+
+  RunningStats stats;
+  stats.add(10.0);
+  stats.add(30.0);
+  MetricRegistry reg;
+  reg.add_source("net.b", [&stats](MetricSink& sink) {
+    sink.histogram("rtt", stats);
+  });
+  Snapshot now = reg.snapshot();
+
+  Snapshot delta = now.diff(earlier);
+  const MetricValue* h = delta.find("net.b.rtt");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, MetricValue::Kind::kHistogram);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->value, 20.0);
+  EXPECT_DOUBLE_EQ(h->min, 10.0);
+  EXPECT_DOUBLE_EQ(h->max, 30.0);
+  EXPECT_EQ(delta.find("net.a.level"), nullptr);  // source went away
+}
+
 TEST(SnapshotTest, EqualityIsValueBased) {
   std::uint64_t c = 3;
   double g = 0.5;

@@ -17,6 +17,7 @@
 #include "core/envelope.hpp"
 #include "grid/scenario.hpp"
 #include "ldb/balancers.hpp"
+#include "net/adaptive.hpp"
 #include "net/coalesce.hpp"
 #include "net/faults.hpp"
 #include "net/latency_model.hpp"
@@ -495,6 +496,144 @@ TEST_P(LossyStackFuzz, RandomStacksDeliverExactlyOnceInOrder) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LossyStackFuzz,
                          ::testing::Values(101u, 202u, 303u, 404u));
+
+// -- adaptive controller under randomized link schedules -----------------------
+
+// The feedback controller must be safe under ANY link behavior, not
+// just the engineered drifts of the adaptive tier: random latency
+// walks, loss rates, and traffic mixes may confuse its estimators but
+// can never push a knob out of bounds, widen the failure-detection
+// window (flush window <= half the heartbeat period, globally and per
+// pair), or cause a flow to be abandoned. 256 seeds, sharded so ctest
+// can spread them across cores.
+class AdaptiveFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdaptiveFuzz, RandomLinkSchedulesNeverBreakInvariants) {
+  constexpr std::uint64_t kSeedsPerShard = 32;
+  for (std::uint64_t n = 0; n < kSeedsPerShard; ++n) {
+    const std::uint64_t seed = GetParam() * kSeedsPerShard + n;
+    SplitMix64 rng(seed);
+    net::Topology topo = net::Topology::two_cluster(4);
+    const sim::TimeNs horizon = sim::milliseconds(200.0);
+
+    net::Chain chain;
+    net::HeartbeatConfig hb;
+    hb.enabled = true;
+    hb.period = sim::milliseconds(4.0);
+    // Tolerate the worst latency the schedule below can draw (16 ms):
+    // detector sizing is not what this fuzz is probing.
+    hb.timeout = sim::milliseconds(80.0);
+    hb.confirm_window = sim::milliseconds(160.0);
+    net::CoalesceConfig cc;
+    cc.enabled = true;
+    cc.flush_timeout = sim::microseconds(500.0);
+    net::CompressionConfig comp;
+    comp.enabled = rng.bounded(2) == 1;
+    net::StripingConfig stripe;
+    stripe.enabled = rng.bounded(2) == 1;
+    stripe.rails = 2 + rng.bounded(3);
+    stripe.min_bytes = 256;
+    net::ReliableConfig rel;
+    rel.rto_initial = sim::milliseconds(80.0);
+    rel.give_up_budget = sim::seconds(600.0);
+    net::FaultConfig faults;
+    faults.drop = rng.uniform(0.0, 0.05);
+    faults.seed = rng.next_u64();
+    auto stack = net::install_reliability_stack(
+        chain, &topo, rel, faults, /*cross_cluster_delay=*/
+        sim::milliseconds(2.0), hb, cc, comp, stripe);
+
+    sim::Engine engine;
+    net::FixedLatencyModel model(sim::microseconds(100));
+    net::SimFabric fabric(&engine, &topo, &model, std::move(chain));
+    for (net::NodeId node = 0; node < 4; ++node) {
+      fabric.set_delivery_handler(node, [](net::Packet&&) {});
+    }
+
+    net::AdaptiveConfig acfg;
+    acfg.enabled = true;
+    acfg.sample_period = sim::milliseconds(1.0);
+    // Raise the configured ceiling past the detector's (2 ms), so the
+    // detector clamp is what actually has to hold the line.
+    acfg.max_flush_window = sim::milliseconds(4.0);
+    net::AdaptiveController* ctl = fabric.chain().add(
+        std::make_unique<net::AdaptiveController>(&topo, acfg));
+    ctl->attach(stack, fabric);
+
+    // Random link schedule: 2-6 retargets of both directions, latencies
+    // drawn from [1 ms, 16 ms], times spread over the horizon.
+    net::DelayDevice* delay = stack.delay;
+    const std::uint64_t drifts = 2 + rng.bounded(5);
+    for (std::uint64_t d = 0; d < drifts; ++d) {
+      const auto at = static_cast<sim::TimeNs>(
+          rng.bounded(static_cast<std::uint64_t>(horizon * 3 / 4)));
+      const auto latency = sim::milliseconds(1.0) +
+                           static_cast<sim::TimeNs>(rng.bounded(
+                               static_cast<std::uint64_t>(
+                                   sim::milliseconds(15.0))));
+      engine.schedule_at(at, [delay, latency] {
+        delay->set_cluster_delay(0, 1, latency);
+        delay->set_cluster_delay(1, 0, latency);
+      });
+    }
+
+    // Cross-cluster traffic in bursts across the horizon, random sizes
+    // (some compressible, some not; some past the striping threshold).
+    const std::uint64_t bursts = 40 + rng.bounded(40);
+    for (std::uint64_t b = 0; b < bursts; ++b) {
+      const auto at = static_cast<sim::TimeNs>(
+          rng.bounded(static_cast<std::uint64_t>(horizon)));
+      const std::size_t count = 1 + rng.bounded(6);
+      const std::size_t size = 16 + rng.bounded(2048);
+      const bool runs = rng.bounded(2) == 1;
+      const auto fill = static_cast<std::byte>(rng.bounded(256));
+      engine.schedule_at(at, [&fabric, &rng, count, size, runs, fill] {
+        for (std::size_t i = 0; i < count; ++i) {
+          net::Packet p;
+          p.src = static_cast<net::NodeId>(rng.bounded(2));
+          p.dst = static_cast<net::NodeId>(2 + rng.bounded(2));
+          p.payload.assign(size, fill);
+          if (!runs) {
+            for (auto& byte : p.payload) {
+              byte = static_cast<std::byte>(rng.bounded(256));
+            }
+          }
+          fabric.send(std::move(p));
+        }
+      });
+    }
+
+    stack.heartbeat->watch(horizon);
+    ctl->start(horizon);
+    engine.run();
+
+    // Invariants, regardless of what the schedule did to the estimators.
+    const sim::TimeNs detector_bound = hb.period / 2;
+    EXPECT_GT(ctl->counters().samples, 0u) << "seed " << seed;
+    EXPECT_GE(ctl->flush_window(), acfg.min_flush_window) << "seed " << seed;
+    EXPECT_LE(ctl->flush_window(), acfg.max_flush_window) << "seed " << seed;
+    EXPECT_LE(ctl->flush_window(), detector_bound) << "seed " << seed;
+    for (net::NodeId src : {0, 1}) {
+      for (net::NodeId dst : {2, 3}) {
+        EXPECT_LE(stack.coalesce->flush_timeout_for(src, dst), detector_bound)
+            << "seed " << seed << " pair " << src << "->" << dst;
+        EXPECT_LE(stack.coalesce->flush_timeout_for(dst, src), detector_bound)
+            << "seed " << seed << " pair " << dst << "->" << src;
+      }
+    }
+    if (stack.stripe != nullptr) {
+      EXPECT_GE(stack.stripe->rails(), acfg.min_rails) << "seed " << seed;
+      EXPECT_LE(stack.stripe->rails(), acfg.max_rails) << "seed " << seed;
+    }
+    EXPECT_EQ(stack.reliable->counters().flows_abandoned, 0u)
+        << "seed " << seed;
+    EXPECT_EQ(stack.reliable->unacked_frames(), 0u) << "seed " << seed;
+    EXPECT_EQ(stack.coalesce->pending_packets(), 0u) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, AdaptiveFuzz,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u));
 
 // -- determinism of the full simulation stack ---------------------------------------
 
