@@ -25,7 +25,7 @@ struct Outcome {
 
 Outcome run_with(ldb::Balancer* balancer, std::int64_t pes,
                  std::int64_t latency_ms, std::int64_t steps) {
-  core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  core::Runtime rt(grid::make_machine(grid::Scenario::artificial(
       static_cast<std::size_t>(pes),
       sim::milliseconds(static_cast<double>(latency_ms)))));
   apps::stencil::Params params;

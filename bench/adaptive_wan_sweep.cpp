@@ -56,8 +56,8 @@ struct SweepRun {
 SweepRun run_once(const grid::Scenario& s, std::int32_t mesh,
                   std::int32_t objects, std::int32_t steps,
                   sim::TimeNs horizon) {
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
+  auto machine = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(machine.get());
   core::Runtime rt(std::move(machine));
   apps::stencil::Params p;
   p.mesh = mesh;

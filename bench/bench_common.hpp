@@ -27,7 +27,7 @@ inline StencilRun run_stencil(const grid::Scenario& scenario,
                               apps::stencil::Params params,
                               std::int32_t warmup_steps,
                               std::int32_t measure_steps) {
-  core::Runtime rt(grid::make_sim_machine(scenario));
+  core::Runtime rt(grid::make_machine(scenario));
   apps::stencil::StencilApp app(rt, params);
   if (warmup_steps > 0) app.run_steps(warmup_steps);
   auto phase = app.run_steps(measure_steps);
@@ -44,7 +44,7 @@ inline LeanMdRun run_leanmd(const grid::Scenario& scenario,
                             apps::leanmd::Params params,
                             std::int32_t warmup_steps,
                             std::int32_t measure_steps) {
-  core::Runtime rt(grid::make_sim_machine(scenario));
+  core::Runtime rt(grid::make_machine(scenario));
   apps::leanmd::LeanMdApp app(rt, params);
   if (warmup_steps > 0) app.run_steps(warmup_steps);
   auto phase = app.run_steps(measure_steps);

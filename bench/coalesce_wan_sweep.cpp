@@ -29,8 +29,8 @@ struct CoalesceRun {
 CoalesceRun run_stencil(const grid::Scenario& scenario,
                         apps::stencil::Params params, std::int32_t warmup,
                         std::int32_t steps) {
-  auto machine = grid::make_sim_machine(scenario);
-  core::SimMachine* raw = machine.get();
+  auto machine = grid::make_machine(scenario);
+  auto* raw = static_cast<core::SimMachine*>(machine.get());
   core::Runtime rt(std::move(machine));
   apps::stencil::StencilApp app(rt, params);
   if (warmup > 0) app.run_steps(warmup);
@@ -47,8 +47,8 @@ CoalesceRun run_stencil(const grid::Scenario& scenario,
 CoalesceRun run_leanmd(const grid::Scenario& scenario,
                        apps::leanmd::Params params, std::int32_t warmup,
                        std::int32_t steps) {
-  auto machine = grid::make_sim_machine(scenario);
-  core::SimMachine* raw = machine.get();
+  auto machine = grid::make_machine(scenario);
+  auto* raw = static_cast<core::SimMachine*>(machine.get());
   core::Runtime rt(std::move(machine));
   apps::leanmd::LeanMdApp app(rt, params);
   if (warmup > 0) app.run_steps(warmup);

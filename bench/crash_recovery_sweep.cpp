@@ -60,7 +60,7 @@ grid::Scenario make_scenario(const Config& cfg) {
 
 /// Run A: plain work on the same stack, no checkpoints, no detector.
 std::vector<double> run_baseline(const Config& cfg, double* ms_per_step) {
-  core::Runtime rt(grid::make_sim_machine(make_scenario(cfg)));
+  core::Runtime rt(grid::make_machine(make_scenario(cfg)));
   apps::stencil::StencilApp app(rt, cfg.params);
   auto phase = app.run_steps(cfg.total_steps);
   *ms_per_step = phase.ms_per_step;
@@ -69,8 +69,8 @@ std::vector<double> run_baseline(const Config& cfg, double* ms_per_step) {
 
 /// Run B: checkpoint every cfg.period steps, never crash.
 std::vector<double> run_checkpointed(const Config& cfg, SweepRow* row) {
-  auto machine = grid::make_sim_machine(make_scenario(cfg));
-  core::SimMachine* sim = machine.get();
+  auto machine = grid::make_machine(make_scenario(cfg));
+  auto* sim = static_cast<core::SimMachine*>(machine.get());
   core::Runtime rt(std::move(machine));
   core::FaultTolerance ft(rt, sim->reliability());
   apps::stencil::StencilApp app(rt, cfg.params);
@@ -90,8 +90,8 @@ std::vector<double> run_checkpointed(const Config& cfg, SweepRow* row) {
 /// Run C: kill one cluster-B PE mid-phase, detect, recover, redo.
 std::vector<double> run_crashed(const Config& cfg, double base_phase_ms,
                                 SweepRow* row) {
-  auto machine = grid::make_sim_machine(make_scenario(cfg));
-  core::SimMachine* sim = machine.get();
+  auto machine = grid::make_machine(make_scenario(cfg));
+  auto* sim = static_cast<core::SimMachine*>(machine.get());
   core::Runtime rt(std::move(machine));
   core::FaultTolerance ft(rt, sim->reliability());
   ft.set_placement(ldb::recovery_placer(rt));

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       grid::Scenario::artificial(
           4, sim::milliseconds(static_cast<double>(latency_ms)))
           .with_tracing();
-  core::Runtime rt(grid::make_sim_machine(scenario));
+  core::Runtime rt(grid::make_machine(scenario));
 
   apps::stencil::Params params;
   params.mesh = 1024;

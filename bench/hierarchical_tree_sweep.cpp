@@ -27,7 +27,7 @@ struct ModeRun {
 ModeRun run_stencil(const grid::Scenario& scenario, core::TreeMode mode,
                     apps::stencil::Params params, std::int32_t warmup,
                     std::int32_t steps) {
-  core::Runtime rt(grid::make_sim_machine(scenario));
+  core::Runtime rt(grid::make_machine(scenario));
   rt.set_collective_mode(mode);
   apps::stencil::StencilApp app(rt, params);
   if (warmup > 0) app.run_steps(warmup);
@@ -38,7 +38,7 @@ ModeRun run_stencil(const grid::Scenario& scenario, core::TreeMode mode,
 ModeRun run_leanmd(const grid::Scenario& scenario, core::TreeMode mode,
                    apps::leanmd::Params params, std::int32_t warmup,
                    std::int32_t steps) {
-  core::Runtime rt(grid::make_sim_machine(scenario));
+  core::Runtime rt(grid::make_machine(scenario));
   rt.set_collective_mode(mode);
   apps::leanmd::LeanMdApp app(rt, params);
   if (warmup > 0) app.run_steps(warmup);

@@ -24,8 +24,8 @@ struct LossyRun {
 LossyRun run_lossy_stencil(const grid::Scenario& scenario,
                            apps::stencil::Params params, std::int32_t warmup,
                            std::int32_t steps) {
-  auto machine = grid::make_sim_machine(scenario);
-  core::SimMachine* raw = machine.get();
+  auto machine = grid::make_machine(scenario);
+  auto* raw = static_cast<core::SimMachine*>(machine.get());
   core::Runtime rt(std::move(machine));
   apps::stencil::StencilApp app(rt, params);
   if (warmup > 0) app.run_steps(warmup);

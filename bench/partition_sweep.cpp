@@ -61,8 +61,8 @@ SweepRun run_once(double latency_ms, sim::TimeNs start, sim::TimeNs length,
     s.with_partition(2, other, start, length);
     s.with_partition(other, 2, start, length);
   }
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
+  auto machine = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(machine.get());
   core::Runtime rt(std::move(machine));
   auto proxy = rt.create_array<Poke>(
       "pokes", core::indices_1d(5), core::round_robin_map(5),

@@ -49,7 +49,7 @@ void ring_program(ampi::Comm& comm, int steps, std::int64_t work_ns_per_rank) {
 }
 
 double run(std::int64_t pes, std::int64_t latency_ms, int ranks, int steps) {
-  core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  core::Runtime rt(grid::make_machine(grid::Scenario::artificial(
       static_cast<std::size_t>(pes),
       sim::milliseconds(static_cast<double>(latency_ms)))));
   // Fixed total work per step, split across however many ranks exist.

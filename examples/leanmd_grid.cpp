@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   {
     std::printf("-- real physics: 3x3x3 cells, 16 atoms/cell, LJ + velocity "
                 "Verlet --\n");
-    core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+    core::Runtime rt(grid::make_machine(grid::Scenario::artificial(
         static_cast<std::size_t>(pes),
         sim::milliseconds(static_cast<double>(latency_ms)))));
     apps::leanmd::Params p;
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(pes));
     apps::leanmd::Params p;  // defaults = the benchmark
     auto run_at = [&](double lat_ms) {
-      core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+      core::Runtime rt(grid::make_machine(grid::Scenario::artificial(
           static_cast<std::size_t>(pes), sim::milliseconds(lat_ms))));
       apps::leanmd::LeanMdApp app(rt, p);
       app.run_steps(1);

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   if (!opts.parse(argc, argv)) return opts.error() ? 1 : 0;
 
   // 1. A machine: two clusters with a delay device between them.
-  core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  core::Runtime rt(grid::make_machine(grid::Scenario::artificial(
       static_cast<std::size_t>(pes),
       sim::milliseconds(static_cast<double>(latency_ms)))));
 

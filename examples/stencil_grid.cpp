@@ -19,7 +19,7 @@ namespace {
 
 double sim_run(std::int64_t pes, std::int64_t latency_ms, std::int32_t objects,
                std::int32_t steps) {
-  core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  core::Runtime rt(grid::make_machine(grid::Scenario::artificial(
       static_cast<std::size_t>(pes),
       sim::milliseconds(static_cast<double>(latency_ms)))));
   apps::stencil::Params p;
@@ -69,12 +69,12 @@ int main(int argc, char** argv) {
   if (threads) {
     std::printf("\n-- real-thread replay (wall-clock, %lld PEs as OS threads) --\n",
                 static_cast<long long>(pes));
-    core::ThreadMachine::Config cfg;
+    core::MachineOptions cfg;
     cfg.emulate_charge = true;  // modeled compute becomes real sleeps
-    core::Runtime rt(grid::make_thread_machine(
+    core::Runtime rt(grid::make_machine(
         grid::Scenario::artificial(static_cast<std::size_t>(pes),
                                    sim::milliseconds(static_cast<double>(latency_ms))),
-        cfg));
+        grid::Backend::kThread, cfg));
     apps::stencil::Params p;
     p.mesh = 512;  // smaller mesh so the demo finishes in seconds
     p.objects = 64;

@@ -3,11 +3,14 @@
 // location directory, and per-PE element counts. The typed facade
 // (ChareArray<T> / ArrayProxy<T>) lives in core/array.hpp.
 //
-// Honesty note (DESIGN.md): both machine backends share one address
-// space, so the location directory is a single authoritative map rather
-// than Charm++'s distributed home-PE protocol. Migrations in this
-// reproduction happen at quiescence, so no in-flight message can observe
-// a stale location.
+// Honesty note (DESIGN.md): the sim and thread backends share one
+// address space, so for them the location directory is a single
+// authoritative map rather than Charm++'s distributed home-PE protocol.
+// ProcessMachine forks one process per PE: each process holds its own
+// replica of the directory, kept consistent because migrations in this
+// reproduction happen at quiescence (the host rebroadcasts placement
+// before the next phase), so no in-flight message can observe a stale
+// location in any backend.
 
 #include <algorithm>
 #include <memory>

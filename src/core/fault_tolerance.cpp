@@ -53,6 +53,10 @@ std::vector<Pe> FaultTolerance::detected_dead() const {
 }
 
 void FaultTolerance::watch(sim::TimeNs horizon) {
+  // Multi-process backends arm the detector in every child first (each
+  // process beats only for itself; an unarmed child never beats and
+  // would be misread as dead). On Sim/Thread this is a no-op.
+  rt_->machine().watch_detector(horizon);
   if (stack_->heartbeat != nullptr) stack_->heartbeat->watch(horizon);
 }
 
@@ -84,6 +88,10 @@ Pe FaultTolerance::default_placement(Pe old_pe,
 }
 
 void FaultTolerance::checkpoint() {
+  // The walk below reads element state in-place, which is only current
+  // for process-local elements: pull remote PEs' state home first on
+  // multi-process backends (no-op on Sim/Thread).
+  rt_->machine().sync_remote_elements();
   const std::vector<bool> alive = rt_->machine().alive_pes();
   store_.clear();
   stored_bytes_ = 0;

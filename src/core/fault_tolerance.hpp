@@ -18,9 +18,12 @@
 // cluster, falling back to the next alive PE globally when the owner is
 // its cluster's sole survivor. A crash loses every copy held on the dead
 // PE; recovery is only impossible (and fatally reported) when owner and
-// buddy died together. Because both machine backends share one address
-// space, the two copies are modeled by recording both holder PEs against
-// one stored blob; the bandwidth charge still pays for both transfers.
+// buddy died together. On the one-address-space backends (sim, thread)
+// the two copies are modeled by recording both holder PEs against one
+// stored blob; the bandwidth charge still pays for both transfers. On
+// ProcessMachine the checkpoint blobs are pulled into the host process
+// over the socket fabric at the quiescent point, so a SIGKILLed PE's
+// state genuinely survives its address space.
 //
 // Recovery performs a full rollback: dead PEs' elements are restored onto
 // placement-chosen survivors (grid-aware: home cluster first), and the

@@ -1,0 +1,19 @@
+#include "core/machine.hpp"
+
+#include "net/reliable.hpp"
+#include "util/assert.hpp"
+
+namespace mdo::core {
+
+void Machine::kill_pe(Pe) {
+  MDO_CHECK_MSG(false, "this machine does not support crash injection");
+}
+
+const net::ReliabilityStack& Machine::reliability() const {
+  // Machines without an installed stack share one empty instance so
+  // callers can probe `.installed()` without null checks.
+  static const net::ReliabilityStack empty{};
+  return empty;
+}
+
+}  // namespace mdo::core

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,9 +19,30 @@
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
+namespace mdo::net {
+class AdaptiveController;
+class CoalesceDevice;
+struct ReliabilityStack;
+}  // namespace mdo::net
+
 namespace mdo::core {
 
 class Runtime;
+
+/// Backend-independent machine tuning, shared by every real-time backend
+/// (ThreadMachine and ProcessMachine; SimMachine charges virtual time and
+/// ignores it). Scenario carries one of these and grid::make_machine
+/// forwards it.
+struct MachineOptions {
+  /// Sleep for each entry's charged CPU time so wall-clock traces carry
+  /// the modeled compute cost. Off for pure functional tests.
+  bool emulate_charge = true;
+
+  /// ProcessMachine only: abort a run() that makes no progress for this
+  /// much wall-clock time (a hung child or wedged socket must never hang
+  /// the harness). 0 disables the watchdog.
+  sim::TimeNs process_run_watchdog = 120'000'000'000;  // 120 s
+};
 
 struct PeStats {
   sim::TimeNs busy_ns = 0;          ///< time spent executing entries
@@ -119,6 +141,49 @@ class Machine {
   /// accounting stays balanced). Default: unbounded parking; machines
   /// without a reliability stack ignore the knob.
   virtual void set_park_limit(std::size_t) {}
+
+  /// Crash injection: stop `pe` scheduling (fail-stop). SimMachine kills
+  /// in virtual time, ThreadMachine aborts the worker, ProcessMachine
+  /// SIGKILLs the child process. Default reports lack of support.
+  virtual void kill_pe(Pe pe);
+  virtual std::uint64_t pes_killed() const { return 0; }
+
+  /// Installed chain controllers/devices, when the backend's scenario
+  /// wiring installed them; null/empty otherwise. Exposed on the base so
+  /// scenario plumbing and tests can stay backend-agnostic.
+  virtual net::AdaptiveController* adaptive() const { return nullptr; }
+  virtual net::CoalesceDevice* coalesce() const { return nullptr; }
+  virtual const net::ReliabilityStack& reliability() const;
+
+  /// Envelopes currently parked by quarantine backpressure.
+  virtual std::size_t parked_envelopes() const { return 0; }
+
+  /// Whether every PE shares one address space (Sim/Thread). Pointer
+  /// passing, in-place migration, and restore_array assume it; the
+  /// Runtime guards those paths with this.
+  virtual bool shared_address_space() const { return true; }
+
+  // -- multi-process coordination hooks ------------------------------------
+  // No-ops on shared-address-space machines; ProcessMachine overrides
+  // them to mirror control-plane decisions into its child processes.
+
+  /// Pull remote PEs' element state into this process before a
+  /// checkpoint walks the arrays (the checkpointer reads elements
+  /// in-place, which is only current for local ones).
+  virtual void sync_remote_elements() {}
+
+  /// An element moved (recovery placement): replicate the move into
+  /// every process so location maps stay consistent.
+  virtual void on_element_replaced(ArrayId, const Index&, Pe,
+                                   std::span<const std::byte>) {}
+
+  /// The collective tree was rebuilt over `alive`: replicate.
+  virtual void on_tree_rebuilt(const std::vector<bool>&) {}
+
+  /// The failure detector was armed for `horizon`: arm it in every
+  /// process (each process beats only for itself, so an unarmed child
+  /// is indistinguishable from a dead one).
+  virtual void watch_detector(sim::TimeNs) {}
 
   /// The run's metric registry. Subsystems register sources at install
   /// time (net devices, fabric, scheduler, tracing); consumers snapshot

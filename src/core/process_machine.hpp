@@ -1,0 +1,345 @@
+#pragma once
+// ProcessMachine: each PE is a real forked OS process; envelopes cross PE
+// boundaries over Unix-domain sockets through a per-process
+// net::SocketFabric. The parent process is PE 0 and the host: setup code
+// (array creation, device installs, scenario wiring) runs pre-fork so
+// every child inherits an identically configured runtime by
+// copy-on-write; the first run() forks the mesh. kill_pe is a genuine
+// SIGKILL, so the heartbeat/FT stack is exercised against real process
+// death rather than a flag.
+//
+// Coordination runs on a small blocking control plane (one socketpair
+// per child, strict request/reply served by a dedicated thread in the
+// child): quiescence waves, stats/metrics/trace collection, element
+// sync for checkpoints, placement replication after recovery, detector
+// arming, and exit. Array-touching control ops (pack/replace/rebuild)
+// are only ever issued from host code at quiescent points, when child
+// main threads are idle-parked — that protocol discipline is what makes
+// the control thread's runtime access safe.
+//
+// Quiescence is a distributed double wave over monotone per-pair
+// counters: sent_to[i][j] at send, acct_from[j][i] after the handler
+// (and its sends) finish, undeliv_to[i][j] for squashes toward dead
+// peers and backpressure sheds. The mesh is quiescent when the parent
+// queue is empty, every child is idle-parked, every alive pair
+// balances, and two consecutive waves are identical (monotone counters
+// make identical balanced waves sound).
+//
+// Limitations vs the shared-address-space backends (documented in
+// DESIGN.md): in-place Runtime::migrate/restore_array are rejected
+// (migrate_async works), stop()/set_park_limit/manual partition toggles
+// act on the posting process only, adaptive()->start() after the fork
+// arms only the parent's controller (pre-fork arming reaches everyone
+// via the staged timer replay), and run() must be driven by the parent.
+
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "core/machine.hpp"
+#include "net/adaptive.hpp"
+#include "net/devices.hpp"
+#include "net/latency_model.hpp"
+#include "net/reliable.hpp"
+#include "net/socket_fabric.hpp"
+#include "obs/ring_buffer.hpp"
+
+namespace mdo::core {
+
+class ProcessMachine final : public Machine {
+ public:
+  ProcessMachine(net::Topology topo, net::GridLatencyModel::Config link)
+      : ProcessMachine(std::move(topo), link, MachineOptions{}) {}
+  ProcessMachine(net::Topology topo, net::GridLatencyModel::Config link,
+                 MachineOptions options);
+  ~ProcessMachine() override;
+
+  // -- pre-fork configuration (call before the first run()) ----------------
+
+  /// Install the artificial-latency delay device.
+  net::DelayDevice* add_delay_device(sim::TimeNs cross_cluster_one_way);
+
+  /// Install the reliability stack (same composition as the other
+  /// backends); devices are built pre-fork and inherited by every child.
+  const net::ReliabilityStack& add_reliability_stack(
+      const net::ReliableConfig& reliable, const net::FaultConfig& faults,
+      sim::TimeNs cross_cluster_one_way = 0,
+      const net::HeartbeatConfig& heartbeat = {},
+      const net::CoalesceConfig& coalesce = {},
+      const net::CompressionConfig& compression = {},
+      const net::StripingConfig& striping = {});
+
+  /// Install a standalone coalescing device (clean-fabric scenarios).
+  net::CoalesceDevice* add_coalesce_device(const net::CoalesceConfig& config);
+
+  /// Install the adaptive WAN controller. Attachment to the fabric is
+  /// deferred to the fork: every process attaches its own inherited
+  /// controller copy to its own socket fabric.
+  net::AdaptiveController* add_adaptive_controller(
+      const net::AdaptiveConfig& config);
+
+  /// Run `fn` after `dt` of machine time in *every* process: pre-fork
+  /// calls are staged and replayed into each process's fabric at the
+  /// fork (scenario link-drift schedules); post-fork calls reach the
+  /// posting process only.
+  void schedule_at(sim::TimeNs dt, std::function<void()> fn);
+
+  net::AdaptiveController* adaptive() const override { return adaptive_; }
+  const net::ReliabilityStack& reliability() const override {
+    return rel_stack_;
+  }
+  net::CoalesceDevice* coalesce() const override {
+    return coalesce_ != nullptr ? coalesce_ : rel_stack_.coalesce;
+  }
+
+  /// Crash-inject: SIGKILL the child hosting `pe` and reap it. The other
+  /// processes learn of the death twice, deliberately: immediately via a
+  /// control broadcast (routing squash, like the other backends), and
+  /// organically via heartbeat silence (what the FT stack reacts to).
+  void kill_pe(Pe pe) override;
+  std::uint64_t pes_killed() const override {
+    return kills_.load(std::memory_order_acquire);
+  }
+
+  /// Transport counters of this process's socket fabric (tests).
+  net::SocketFabric::SocketStats socket_stats() const;
+
+  /// Whether the mesh has forked yet (tests).
+  bool forked() const { return forked_; }
+
+  // -- Machine interface ---------------------------------------------------
+  void bind(Runtime* runtime) override { rt_ = runtime; }
+  int num_pes() const override { return static_cast<int>(topo_.num_nodes()); }
+  const net::Topology& topology() const override { return topo_; }
+  Pe current_pe() const override { return self_pe_; }
+  sim::TimeNs now() const override;
+  void send(Envelope&& env) override;
+  void run() override;
+  void stop() override;
+  PeStats pe_stats(Pe pe) const override;
+  bool pe_alive(Pe pe) const override;
+  net::Fabric::Stats fabric_stats() const override;
+  void call_after(sim::TimeNs dt, std::function<void()> fn) override {
+    schedule_at(dt, std::move(fn));
+  }
+  void set_tracing(bool on) override;
+  std::vector<TraceEvent> trace() const override;
+  void trace_phase(std::int32_t phase) override;
+  void set_on_pe_idle(std::function<void(Pe)> fn) override {
+    on_pe_idle_ = std::move(fn);
+  }
+  void set_park_limit(std::size_t limit) override {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    park_limit_ = limit;
+  }
+  std::size_t parked_envelopes() const override {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    std::size_t total = 0;
+    for (const auto& [dst, q] : parked_) total += q.size();
+    return total;
+  }
+  bool shared_address_space() const override { return false; }
+  void sync_remote_elements() override;
+  void on_element_replaced(ArrayId array, const Index& index, Pe to,
+                           std::span<const std::byte> state) override;
+  void on_tree_rebuilt(const std::vector<bool>& alive) override;
+  void watch_detector(sim::TimeNs horizon) override;
+
+ private:
+  enum class Role { kParent, kChild };
+
+  struct QueueItem {
+    Priority priority;
+    std::uint64_t seq;
+    Pe from;  ///< transmitting *process* (quiescence accounting key; the
+              ///< envelope's src_pe can differ when a message was forwarded)
+    Envelope env;
+  };
+  struct Later {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Buffers DeviceHost timers issued before the fork (heartbeat watch,
+  /// adaptive start, scenario drift schedules) for replay into every
+  /// process's real fabric. Pre-fork there is no traffic, so the
+  /// injection paths are unreachable.
+  class StagingHost final : public net::DeviceHost {
+   public:
+    sim::TimeNs host_now() const override { return 0; }
+    void host_schedule(sim::TimeNs dt, std::function<void()> fn) override {
+      staged_.emplace_back(dt, std::move(fn));
+    }
+    void inject_send(const net::FilterDevice*, net::Packet&&) override;
+    void inject_receive(const net::FilterDevice*, net::Packet&&) override;
+    std::vector<std::pair<sim::TimeNs, std::function<void()>>> take() {
+      return std::move(staged_);
+    }
+
+   private:
+    std::vector<std::pair<sim::TimeNs, std::function<void()>>> staged_;
+  };
+
+  // Control-plane ops (u32 on the wire).
+  enum CtlOp : std::uint32_t {
+    kCtlHello = 1,
+    kCtlStatus,
+    kCtlMetrics,
+    kCtlTrace,
+    kCtlWatch,
+    kCtlPack,
+    kCtlReplace,
+    kCtlRebuild,
+    kCtlPeDead,
+    kCtlExit,
+  };
+
+  /// One wave row per process: quiescence counters plus liveness/stats.
+  struct CtlStatus {
+    std::vector<std::uint64_t> sent_to, acct_from, undeliv_to;
+    PeStats stats;
+    net::Fabric::Stats fstats;
+    std::uint64_t reg_count = 0, reg_hash = 0;
+    std::uint8_t idle = 0;
+    void pup(Pup& p) {
+      p | sent_to | acct_from | undeliv_to | stats | fstats | reg_count |
+          reg_hash | idle;
+    }
+  };
+  struct CtlBlob {
+    ArrayId array = 0;
+    Index index;
+    Pe to = 0;
+    Bytes state;
+    void pup(Pup& p) { p | array | index | to | state; }
+  };
+
+  void boot();
+  void setup_process(std::vector<int> peer_fds);
+  [[noreturn]] void child_main();
+  void control_loop(int fd);
+  void handle_control(std::uint32_t op, Bytes&& payload, int fd);
+
+  void flush_setup();
+  void route(Envelope&& env);
+  void dispatch(Envelope&& env);  ///< route minus the sent_to count
+  /// Wire image of one envelope, prefixed with this process's post-boot
+  /// registry tail — entry ids are assigned lazily at first *use*, so an
+  /// entry first used after the fork (a host-driven broadcast, say)
+  /// exists only in the using process until its frames gossip it.
+  Bytes pack_frame(Envelope& env) const;
+  /// Install the frame's registry delta, then unpack the envelope.
+  void unpack_frame(std::span<const std::byte> data, Envelope& env);
+  void enqueue(Pe from, Envelope&& env);
+  bool execute_one();
+  void park(Envelope&& env);
+  void flush_parked(Pe dst);
+
+  CtlStatus local_status();
+  /// One wave: fetch every alive child's status (caching it), flatten
+  /// all counters into `wave`, and report whether the mesh looks settled
+  /// (children idle + every alive pair balanced).
+  bool collect_wave(std::vector<std::uint64_t>& wave);
+  void reap_children();
+  void handle_child_death(Pe pe);
+  void broadcast(std::uint32_t op, const Bytes& payload);
+  /// Parent-side request/reply; nullopt when the child is (now) dead.
+  std::optional<Bytes> request(Pe child, std::uint32_t op,
+                               const Bytes& payload);
+  void check_fingerprint(Pe child, std::uint64_t count, std::uint64_t hash);
+
+  net::Topology topo_;
+  MachineOptions options_;
+  net::GridLatencyModel model_;
+  StagingHost staging_;
+  net::Chain chain_;  ///< built pre-fork; moved into the fabric at fork
+  std::unique_ptr<net::SocketFabric> fabric_;
+  net::ReliabilityStack rel_stack_;
+  net::CoalesceDevice* coalesce_ = nullptr;
+  net::AdaptiveController* adaptive_ = nullptr;
+  std::function<void(Pe)> on_pe_idle_;
+  Runtime* rt_ = nullptr;
+
+  /// Device/fabric/scheduler sources register here in every process; the
+  /// parent's Machine-level registry carries one aggregator source that
+  /// merges this registry with the children's (fetched over control).
+  obs::MetricRegistry local_metrics_;
+
+  Role role_ = Role::kParent;
+  Pe self_pe_ = 0;
+  bool forked_ = false;
+  /// Registry::size() at fork time: entries below this are inherited by
+  /// every child; entries at or above travel as per-frame gossip.
+  std::size_t boot_registry_count_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::vector<pid_t> pids_;           // parent: child pids (index = pe)
+  std::vector<int> ctl_fds_;          // parent: control sockets (index = pe)
+  int child_ctl_fd_ = -1;             // child: its end of the control pair
+  std::thread control_thread_;        // child only
+  // Parent: serializes control requests. Recursive because discovering a
+  // death mid-request (EOF) broadcasts kPeDead to the others in place.
+  mutable std::recursive_mutex ctl_mutex_;
+
+  std::vector<std::atomic<bool>> dead_;
+  std::atomic<std::uint64_t> kills_{0};
+  std::atomic<bool> stopping_{false};
+
+  // Buffered sends between construction and the fork: routed (and
+  // counted) by the parent right after forking, exactly like SimMachine
+  // buffers setup sends until run().
+  std::vector<Envelope> setup_queue_;
+
+  // This process's mailbox (the child main thread / parent wave loop
+  // executes from it).
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<bool> idle_{false};  // child: main thread parked, queue empty
+
+  mutable std::mutex stats_mutex_;
+  PeStats stats_;  // this process's PE
+
+  // Quiescence counters (monotone; read by the control thread).
+  std::vector<std::atomic<std::uint64_t>> sent_to_, acct_from_, undeliv_to_;
+
+  // Backpressure parking, as in ThreadMachine.
+  std::vector<std::atomic<bool>> congested_;
+  mutable std::mutex park_mutex_;
+  std::map<Pe, std::vector<Envelope>> parked_;
+  std::size_t park_limit_ = std::numeric_limits<std::size_t>::max();
+  std::uint64_t stall_parked_ = 0;
+  std::uint64_t stall_resumed_ = 0;
+  std::uint64_t stall_shed_ = 0;
+
+  // Tracing: ring per PE (producer: that PE's process main thread; only
+  // ring self_pe_ is live in each process) + host-marker ring at
+  // index num_pes (producer: the parent main thread).
+  std::atomic<bool> tracing_{false};
+  std::vector<std::unique_ptr<obs::SpscRing<TraceEvent>>> trace_rings_;
+  mutable std::mutex trace_mutex_;
+  mutable std::vector<TraceEvent> collected_trace_;
+
+  // Parent-side caches of child state, refreshed on every successful
+  // control fetch and served as-is for dead children (a SIGKILLed PE's
+  // counters freeze at the last wave before its death).
+  std::vector<CtlStatus> cached_status_;
+  std::vector<std::map<std::string, obs::MetricValue>> cached_metrics_;
+
+  bool in_sync_ = false;  // applying pulled blobs: suppress re-broadcast
+};
+
+}  // namespace mdo::core

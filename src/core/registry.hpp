@@ -3,9 +3,16 @@
 // translator; we achieve the same thing with templates: entry_id<&T::m>()
 // registers (once per process) a type-erased invoker that unmarshals the
 // method's parameter pack from a byte span and calls the member. Ids are
-// process-wide and stable because both machine backends run in one
-// address space.
+// assigned by first-use order, so they agree across Sim/Thread backends
+// trivially (one address space) and across ProcessMachine's fork family
+// by construction: every child inherits the pre-fork registrations,
+// entries first used after the fork are gossiped with each wire frame
+// (install()), and the machine cross-checks per-process fingerprints on
+// its control plane to catch first-use-order divergence.
 
+#include <cstdint>
+#include <deque>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -31,10 +38,31 @@ class Registry {
 
   EntryId add(EntryInfo info);
   const EntryInfo& entry(EntryId id) const;
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const;
+
+  /// Install an entry gossiped by a peer process at a specific id.
+  /// Ids are assigned by first-use order, so an entry first used in one
+  /// process (e.g. a host-driven broadcast registered only in the
+  /// parent) may reach a sibling inside a message before that sibling's
+  /// own code path registers it; ProcessMachine ships the post-boot
+  /// registry tail (name + invoker address, identical across a fork
+  /// family) with every frame and installs it here before dispatch.
+  /// An id already present must agree on the invoker — a mismatch is
+  /// SPMD divergence and aborts.
+  void install(std::size_t id, EntryInfo info);
+
+  /// Order-sensitive FNV-1a hash over the names of the first `count`
+  /// entries. ProcessMachine compares fingerprints across its fork
+  /// family to catch entry-id divergence (ids are assigned by first-use
+  /// order, which SPMD execution must keep identical in every process).
+  std::uint64_t fingerprint(std::size_t count) const;
 
  private:
-  std::vector<EntryInfo> entries_;
+  // deque: growth never relocates entries, so the reference entry()
+  // hands out stays valid while other threads register (worker threads
+  // and the ProcessMachine control thread read concurrently).
+  mutable std::mutex mutex_;
+  std::deque<EntryInfo> entries_;
 };
 
 namespace detail {

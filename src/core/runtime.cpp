@@ -486,6 +486,9 @@ void Runtime::migrate_async(ArrayId array_id, const Index& index, Pe to) {
 
 void Runtime::migrate(ArrayId array_id, const Index& index, Pe to) {
   MDO_CHECK(to >= 0 && to < num_pes());
+  MDO_CHECK_MSG(machine_->shared_address_space(),
+                "in-place migrate requires a shared-address-space backend "
+                "(use migrate_async on ProcessMachine)");
   ArrayRec& r = rec(array_id);
   ArrayBase& arr = *r.array;
   MDO_CHECK_MSG(arr.contains(index), "migrate of nonexistent element");
@@ -519,6 +522,9 @@ void Runtime::migrate(ArrayId array_id, const Index& index, Pe to) {
 void Runtime::rebuild_tree(const std::vector<bool>& alive) {
   tree_ = ClusterTree(topology(), alive, tree_.mode());
   for (auto& r : arrays_) r.subtree_dirty = true;
+  // Multi-process backends mirror the rebuild into every child process
+  // so collective routing stays consistent mesh-wide.
+  machine_->on_tree_rebuilt(alive);
 }
 
 void Runtime::set_collective_mode(TreeMode mode) {
@@ -543,6 +549,9 @@ void Runtime::replace_element(ArrayId array_id, const Index& index, Pe to,
   arr.extract(index);  // destroys the stale instance
   arr.insert(index, to, std::move(fresh));
   r.subtree_dirty = true;
+  // Multi-process backends replicate the placement (and state) into
+  // every child process so location maps never diverge.
+  machine_->on_element_replaced(array_id, index, to, state);
 }
 
 Bytes Runtime::checkpoint_array(ArrayId array_id) {

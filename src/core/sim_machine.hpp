@@ -72,13 +72,15 @@ class SimMachine final : public Machine {
       const net::AdaptiveConfig& config);
 
   /// The installed adaptive controller (null if none).
-  net::AdaptiveController* adaptive() const { return adaptive_; }
+  net::AdaptiveController* adaptive() const override { return adaptive_; }
 
   /// The installed reliability stack (devices null if never installed).
-  const net::ReliabilityStack& reliability() const { return rel_stack_; }
+  const net::ReliabilityStack& reliability() const override {
+    return rel_stack_;
+  }
 
   /// The coalescing device, standalone or in-stack (null if none).
-  net::CoalesceDevice* coalesce() const {
+  net::CoalesceDevice* coalesce() const override {
     return coalesce_ != nullptr ? coalesce_ : rel_stack_.coalesce;
   }
 
@@ -88,9 +90,11 @@ class SimMachine final : public Machine {
   /// mainchare and cannot be killed. Fail-stop: a killed PE never comes
   /// back (recovery restores its elements elsewhere).
   void kill_pe(Pe pe, sim::TimeNs at);
+  /// Machine override: kill at the current virtual time.
+  void kill_pe(Pe pe) override { kill_pe(pe, engine_.now()); }
 
   /// PEs killed so far (test/bench convenience).
-  std::uint64_t pes_killed() const { return kills_; }
+  std::uint64_t pes_killed() const override { return kills_; }
 
   // -- Machine interface ---------------------------------------------------
   void bind(Runtime* runtime) override { rt_ = runtime; }
@@ -123,7 +127,7 @@ class SimMachine final : public Machine {
   std::uint64_t total_executed() const;
 
   /// Envelopes currently parked behind quarantine backpressure.
-  std::size_t parked_envelopes() const {
+  std::size_t parked_envelopes() const override {
     std::size_t total = 0;
     for (const auto& [dst, q] : parked_) total += q.size();
     return total;

@@ -14,9 +14,9 @@ thread_local Pe t_current_pe = kInvalidPe;
 }  // namespace
 
 ThreadMachine::ThreadMachine(net::Topology topo,
-                             net::GridLatencyModel::Config link, Config config)
+                             net::GridLatencyModel::Config link, MachineOptions options)
     : topo_(std::move(topo)),
-      config_(config),
+      options_(options),
       model_(&topo_, link),
       congested_(topo_.num_nodes()),
       start_(std::chrono::steady_clock::now()) {
@@ -388,7 +388,7 @@ void ThreadMachine::worker_loop(Pe pe) {
 
     auto t0 = std::chrono::steady_clock::now();
     sim::TimeNs charged = rt_->deliver(std::move(item.env));
-    if (config_.emulate_charge && charged > 0) {
+    if (options_.emulate_charge && charged > 0) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(charged));
     }
     auto t1 = std::chrono::steady_clock::now();

@@ -26,17 +26,13 @@ namespace mdo::core {
 
 class ThreadMachine final : public Machine {
  public:
-  struct Config {
-    /// When true, Runtime::charge(ns) is honored by sleeping, so modeled
-    /// workloads exhibit real elapsed time (used to demonstrate latency
-    /// masking live).
-    bool emulate_charge = true;
-  };
-
+  /// Tuning is the shared core::MachineOptions (emulate_charge honors
+  /// Runtime::charge(ns) by sleeping so modeled workloads exhibit real
+  /// elapsed time; the process watchdog field is ignored here).
   ThreadMachine(net::Topology topo, net::GridLatencyModel::Config link)
-      : ThreadMachine(std::move(topo), link, Config{}) {}
+      : ThreadMachine(std::move(topo), link, MachineOptions{}) {}
   ThreadMachine(net::Topology topo, net::GridLatencyModel::Config link,
-                Config config);
+                MachineOptions options);
   ~ThreadMachine() override;
 
   /// Install the artificial-latency delay device (call before traffic).
@@ -66,10 +62,10 @@ class ThreadMachine final : public Machine {
       const net::AdaptiveConfig& config);
 
   /// The installed adaptive controller (null if none).
-  net::AdaptiveController* adaptive() const { return adaptive_; }
+  net::AdaptiveController* adaptive() const override { return adaptive_; }
 
   /// The coalescing device, standalone or in-stack (null if none).
-  net::CoalesceDevice* coalesce() const {
+  net::CoalesceDevice* coalesce() const override {
     return coalesce_ != nullptr ? coalesce_ : rel_stack_.coalesce;
   }
 
@@ -79,15 +75,17 @@ class ThreadMachine final : public Machine {
   /// squashes frames it would still emit. PE 0 hosts the mainchare and
   /// cannot be killed. Only sound without injected frame loss: an
   /// abandoned retransmission flow would strand quiescence accounting.
-  void kill_pe(Pe pe);
+  void kill_pe(Pe pe) override;
 
   /// PEs killed so far (test convenience).
-  std::uint64_t pes_killed() const {
+  std::uint64_t pes_killed() const override {
     return kills_.load(std::memory_order_acquire);
   }
 
   /// The installed reliability stack (devices null if never installed).
-  const net::ReliabilityStack& reliability() const { return rel_stack_; }
+  const net::ReliabilityStack& reliability() const override {
+    return rel_stack_;
+  }
 
   net::ThreadFabric& fabric() { return *fabric_; }
 
@@ -113,7 +111,7 @@ class ThreadMachine final : public Machine {
   }
 
   /// Envelopes currently parked behind quarantine backpressure.
-  std::size_t parked_envelopes() const {
+  std::size_t parked_envelopes() const override {
     std::lock_guard<std::mutex> lock(park_mutex_);
     std::size_t total = 0;
     for (const auto& [dst, q] : parked_) total += q.size();
@@ -163,7 +161,7 @@ class ThreadMachine final : public Machine {
   void flush_parked(Pe dst);  ///< congestion cleared: re-route by priority
 
   net::Topology topo_;
-  Config config_;
+  MachineOptions options_;
   net::GridLatencyModel model_;
   std::unique_ptr<net::ThreadFabric> fabric_;
   net::ReliabilityStack rel_stack_;

@@ -162,28 +162,37 @@ void schedule_link_drifts(const Scenario& s, net::DelayDevice* delay,
   }
 }
 
-}  // namespace
-
-std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
-  auto machine = std::make_unique<core::SimMachine>(s.topology(),
-                                                    link_config(s), overheads());
+/// Shared chain-building for every backend: reliability stack or bare
+/// delay device, optional standalone coalescing, optional adaptive
+/// controller. All three machine classes expose the identical installer
+/// surface, so one template keeps the backends composition-identical by
+/// construction. Returns the delay device (drift target), if any.
+template <class M>
+net::DelayDevice* install_chain(M& machine, const Scenario& s) {
   net::DelayDevice* delay = nullptr;
   if (wants_stack(s)) {
-    const net::ReliabilityStack& stack = machine->add_reliability_stack(
+    const net::ReliabilityStack& stack = machine.add_reliability_stack(
         s.reliable, s.faults, stack_delay(s), s.heartbeat, s.coalesce,
         s.compression, s.striping);
-    apply_artificial_links(stack.delay, machine->topology());
+    apply_artificial_links(stack.delay, machine.topology());
     delay = stack.delay;
-    if (s.adaptive.enabled) machine->add_adaptive_controller(s.adaptive);
+    if (s.adaptive.enabled) machine.add_adaptive_controller(s.adaptive);
   } else {
     // Clean fabric: coalesce (if requested) above the bare delay device,
     // so a bundle pays the artificial WAN latency once.
-    if (s.coalesce.enabled) machine->add_coalesce_device(s.coalesce);
+    if (s.coalesce.enabled) machine.add_coalesce_device(s.coalesce);
     if (s.mode == Scenario::Mode::kArtificial && stack_delay(s) > 0) {
-      delay = machine->add_delay_device(s.artificial_one_way);
-      apply_artificial_links(delay, machine->topology());
+      delay = machine.add_delay_device(s.artificial_one_way);
+      apply_artificial_links(delay, machine.topology());
     }
   }
+  return delay;
+}
+
+std::unique_ptr<core::SimMachine> build_sim(const Scenario& s) {
+  auto machine = std::make_unique<core::SimMachine>(s.topology(),
+                                                    link_config(s), overheads());
+  net::DelayDevice* delay = install_chain(*machine, s);
   core::SimMachine* sim = machine.get();
   schedule_link_drifts(s, delay, [sim](sim::TimeNs at, auto fn) {
     sim->engine().schedule_at(at, std::move(fn));
@@ -193,25 +202,11 @@ std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
   return machine;
 }
 
-std::unique_ptr<core::ThreadMachine> make_thread_machine(
-    const Scenario& s, core::ThreadMachine::Config config) {
+std::unique_ptr<core::ThreadMachine> build_thread(const Scenario& s,
+                                                  core::MachineOptions options) {
   auto machine = std::make_unique<core::ThreadMachine>(s.topology(),
-                                                       link_config(s), config);
-  net::DelayDevice* delay = nullptr;
-  if (wants_stack(s)) {
-    const net::ReliabilityStack& stack = machine->add_reliability_stack(
-        s.reliable, s.faults, stack_delay(s), s.heartbeat, s.coalesce,
-        s.compression, s.striping);
-    apply_artificial_links(stack.delay, machine->topology());
-    delay = stack.delay;
-    if (s.adaptive.enabled) machine->add_adaptive_controller(s.adaptive);
-  } else {
-    if (s.coalesce.enabled) machine->add_coalesce_device(s.coalesce);
-    if (s.mode == Scenario::Mode::kArtificial && stack_delay(s) > 0) {
-      delay = machine->add_delay_device(s.artificial_one_way);
-      apply_artificial_links(delay, machine->topology());
-    }
-  }
+                                                       link_config(s), options);
+  net::DelayDevice* delay = install_chain(*machine, s);
   core::ThreadMachine* tm = machine.get();
   schedule_link_drifts(s, delay, [tm](sim::TimeNs at, auto fn) {
     tm->fabric().host_schedule(at, std::move(fn));
@@ -219,6 +214,48 @@ std::unique_ptr<core::ThreadMachine> make_thread_machine(
   wire_idle_flush(*machine);
   machine->set_tracing(s.tracing);
   return machine;
+}
+
+std::unique_ptr<core::ProcessMachine> build_process(
+    const Scenario& s, core::MachineOptions options) {
+  auto machine = std::make_unique<core::ProcessMachine>(s.topology(),
+                                                        link_config(s), options);
+  net::DelayDevice* delay = install_chain(*machine, s);
+  core::ProcessMachine* pm = machine.get();
+  // Pre-fork schedule_at stages the retargets for replay in *every*
+  // process: each one's inherited delay-device copy drifts in step.
+  schedule_link_drifts(s, delay, [pm](sim::TimeNs at, auto fn) {
+    pm->schedule_at(at, std::move(fn));
+  });
+  wire_idle_flush(*machine);
+  machine->set_tracing(s.tracing);
+  return machine;
+}
+
+}  // namespace
+
+std::unique_ptr<core::Machine> make_machine(const Scenario& scenario,
+                                            Backend backend,
+                                            core::MachineOptions options) {
+  switch (backend) {
+    case Backend::kSim:
+      return build_sim(scenario);
+    case Backend::kThread:
+      return build_thread(scenario, options);
+    case Backend::kProcess:
+      return build_process(scenario, options);
+  }
+  MDO_CHECK_MSG(false, "unknown backend");
+  return nullptr;
+}
+
+std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& s) {
+  return build_sim(s);
+}
+
+std::unique_ptr<core::ThreadMachine> make_thread_machine(
+    const Scenario& s, core::MachineOptions options) {
+  return build_thread(s, options);
 }
 
 }  // namespace mdo::grid

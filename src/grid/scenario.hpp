@@ -13,17 +13,28 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/process_machine.hpp"
 #include "core/sim_machine.hpp"
 #include "core/thread_machine.hpp"
 #include "grid/calibration.hpp"
 
 namespace mdo::grid {
 
+/// Execution backend a Scenario is realized on. All three run the same
+/// runtime, device chain, trace schema, and metric sources; they differ
+/// in what a PE physically is and what clock drives it.
+enum class Backend {
+  kSim,      ///< virtual-time discrete-event simulation (deterministic)
+  kThread,   ///< one OS thread per PE, shared address space, wall clock
+  kProcess,  ///< one forked OS process per PE over Unix-domain sockets
+};
+
 struct Scenario {
   enum class Mode { kArtificial, kRealGrid, kLocal };
 
   std::size_t pes = 2;                  ///< split evenly across `clusters`
   Mode mode = Mode::kArtificial;
+  Backend backend = Backend::kSim;      ///< default for make_machine(s)
   std::size_t clusters = 2;             ///< WAN sites (ignored under kLocal)
   sim::TimeNs artificial_one_way = 0;   ///< the delay-device knob
   bool tracing = false;
@@ -300,21 +311,11 @@ struct Scenario {
   Scenario& with_partitions(std::uint64_t seed, std::size_t count,
                             sim::TimeNs mean_len, sim::TimeNs horizon);
 
-  // -- deprecated factory wrappers -----------------------------------------
-  [[deprecated("use artificial(pes, one_way).with_loss(drop, seed)")]]
-  static Scenario lossy(std::size_t pes, sim::TimeNs one_way, double drop,
-                        std::uint64_t seed = 1) {
-    return artificial(pes, one_way).with_loss(drop, seed);
-  }
-  [[deprecated(
-      "use artificial(pes, one_way).with_loss(drop, seed).with_crashes()")]]
-  static Scenario crashy(std::size_t pes, sim::TimeNs one_way,
-                         double drop = 0.0, std::uint64_t seed = 1) {
-    return artificial(pes, one_way).with_loss(drop, seed).with_crashes();
-  }
-  [[deprecated("use artificial(pes, one_way).with_coalescing()")]]
-  static Scenario coalesced(std::size_t pes, sim::TimeNs one_way) {
-    return artificial(pes, one_way).with_coalescing();
+  /// Pick the execution backend make_machine(scenario) builds. Purely a
+  /// default — make_machine's explicit backend argument overrides it.
+  Scenario& with_backend(Backend b) {
+    backend = b;
+    return *this;
   }
 
  private:
@@ -354,12 +355,31 @@ struct Scenario {
   }
 };
 
-/// Build the deterministic virtual-time machine for a scenario.
+/// Build the machine realizing `scenario` on `backend`. Every backend
+/// gets the identical device chain (delay / reliability stack /
+/// coalescing / adaptation per the scenario knobs), link-drift
+/// schedules, idle-flush wiring, and tracing setup; `options` tunes the
+/// wall-clock backends (ignored under kSim, which has its own virtual
+/// clock and calibrated overhead charging).
+std::unique_ptr<core::Machine> make_machine(const Scenario& scenario,
+                                            Backend backend,
+                                            core::MachineOptions options = {});
+
+/// Backend taken from scenario.backend (see Scenario::with_backend).
+inline std::unique_ptr<core::Machine> make_machine(
+    const Scenario& scenario, core::MachineOptions options = {}) {
+  return make_machine(scenario, scenario.backend, options);
+}
+
+// -- deprecated factory shims ----------------------------------------------
+// The concrete-type factories predate the Backend enum; they survive as
+// thin wrappers for out-of-tree callers. In-tree code uses make_machine.
+
+[[deprecated("use make_machine(scenario, Backend::kSim)")]]
 std::unique_ptr<core::SimMachine> make_sim_machine(const Scenario& scenario);
 
-/// Build the real-threads machine (examples / integration tests). The
-/// delay device and link model are identical; time is wall-clock.
+[[deprecated("use make_machine(scenario, Backend::kThread, options)")]]
 std::unique_ptr<core::ThreadMachine> make_thread_machine(
-    const Scenario& scenario, core::ThreadMachine::Config config = {});
+    const Scenario& scenario, core::MachineOptions options = {});
 
 }  // namespace mdo::grid

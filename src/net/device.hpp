@@ -56,6 +56,14 @@ class DeviceHost {
   /// to quietly abandon their protocol state (retransmission flows whose
   /// sender died). Fabrics without crash support report everything up.
   virtual bool host_node_up(NodeId) const { return true; }
+
+  /// The single node this host acts for, if the fabric spans only one.
+  /// Shared-address-space fabrics (SimFabric, ThreadFabric) host every
+  /// node behind one chain and return nullopt; a SocketFabric hosts
+  /// exactly one process-local node, and devices that act *on behalf of*
+  /// nodes (the heartbeat emitter/monitor loops) must restrict themselves
+  /// to it instead of impersonating remote peers.
+  virtual std::optional<NodeId> host_local_node() const { return std::nullopt; }
 };
 
 class FilterDevice {

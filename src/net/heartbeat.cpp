@@ -21,6 +21,12 @@ constexpr std::uint8_t kProbeReq = 0;    ///< monitor -> relay: "probe target"
 constexpr std::uint8_t kProbe = 1;       ///< relay -> target: "are you there?"
 constexpr std::uint8_t kProbeAck = 2;    ///< target -> relay: "I am"
 constexpr std::uint8_t kProbeAckRelay = 3;  ///< relay -> monitor: "it answered"
+constexpr std::uint8_t kDeathNotice = 4;  ///< monitor -> everyone: "confirmed
+                                          ///< dead" — on single-node hosts
+                                          ///< only the ring monitor hears the
+                                          ///< silence, so the verdict must be
+                                          ///< disseminated to reach the other
+                                          ///< processes' detectors
 constexpr std::size_t kProbeBytes =
     sizeof(kProbeMagic) + 1 + 2 * sizeof(NodeId);
 
@@ -119,7 +125,12 @@ NodeId HeartbeatDevice::ring_successor(NodeId node) const {
 
 void HeartbeatDevice::emit_beats() {
   const auto n = static_cast<NodeId>(topo_->num_nodes());
+  const std::optional<NodeId> local = host_->host_local_node();
   for (NodeId j = 0; j < n; ++j) {
+    // On a single-node host (SocketFabric) this process may only beat
+    // for itself; beating on behalf of remote peers would keep their
+    // monitors fed even after the real process died.
+    if (local && *local != j) continue;
     if (!host_->host_node_up(j)) continue;  // the dead emit nothing
     NodeId monitor = ring_successor(j);
     if (monitor == j) continue;
@@ -168,7 +179,15 @@ void HeartbeatDevice::check_timeouts() {
   // now would misread the idle gap before it as peer silence.
   if (grace_.load(std::memory_order_acquire)) return;
   const sim::TimeNs now = host_->host_now();
+  const std::optional<NodeId> local = host_->host_local_node();
   for (std::size_t j = 0; j < last_heard_.size(); ++j) {
+    const auto peer = static_cast<NodeId>(j);
+    // Beats travel only to the ring successor, so on a single-node host
+    // this process may judge peer j only when it *is* j's monitor;
+    // anyone else hears silence by design and would raise false alarms.
+    if (local && (peer == *local || ring_successor(peer) != *local)) {
+      continue;
+    }
     switch (states_[j]) {
       case PeerState::kDead:
         break;
@@ -181,6 +200,7 @@ void HeartbeatDevice::check_timeouts() {
       case PeerState::kSuspect:
         if (now - suspected_at_[j] > config_.confirm_window) {
           transition(j, PeerState::kDead, now);
+          disseminate_death(static_cast<NodeId>(j));
         } else if (config_.indirect_probes) {
           // Keep probing while the verdict is open: earlier probes may
           // have been lost on the same flaky links that caused this.
@@ -259,6 +279,23 @@ void HeartbeatDevice::emit_probes(NodeId suspect) {
   }
 }
 
+void HeartbeatDevice::disseminate_death(NodeId target) {
+  // On a shared-fabric host (Sim/Thread) there is one detector and its
+  // verdict is already global. On a single-node host (SocketFabric) only
+  // the monitor heard the silence: every other process must be told, or
+  // their detectors — including the host process the application polls —
+  // would stay ignorant forever (they are not the monitor and judge
+  // nothing about this peer by design). One-shot, best-effort: the
+  // crash scenarios that exercise this path do not drop frames.
+  const std::optional<NodeId> local = host_->host_local_node();
+  if (!local) return;
+  const auto n = static_cast<NodeId>(topo_->num_nodes());
+  for (NodeId j = 0; j < n; ++j) {
+    if (j == *local || j == target || !host_->host_node_up(j)) continue;
+    send_probe(kDeathNotice, *local, j, *local, target);
+  }
+}
+
 void HeartbeatDevice::handle_probe(const Packet& packet) {
   std::uint8_t kind = 0;
   NodeId origin = 0;
@@ -291,6 +328,15 @@ void HeartbeatDevice::handle_probe(const Packet& packet) {
       // answered a probe just now — that refutes "crashed" even though
       // no frame from the target reached us directly.
       refresh(target);
+      break;
+    case kDeathNotice:
+      // The target's ring monitor confirmed it dead; adopt the verdict
+      // (terminal, idempotent) so this process's listeners — recovery,
+      // quarantine abandon — fire exactly as if we had judged it
+      // ourselves. Fork-family trust: a forged notice is a local bug,
+      // not input.
+      transition(static_cast<std::size_t>(target), PeerState::kDead,
+                 host_->host_now());
       break;
     default:
       break;

@@ -150,6 +150,9 @@ class HeartbeatDevice final : public FilterDevice {
   void check_timeouts();
   void emit_probes(NodeId suspect);
   void handle_probe(const Packet& packet);
+  /// Single-node hosts: gossip a confirmed death to every other process
+  /// (only the ring monitor hears the silence; the rest must be told).
+  void disseminate_death(NodeId target);
   void send_probe(std::uint8_t kind, NodeId src, NodeId dst, NodeId origin,
                   NodeId target);
   /// Fresh evidence that `node` transmitted something just now: refresh

@@ -4,18 +4,25 @@
 
 namespace mdo::obs {
 
+std::string MetricSink::full_name(const std::string& name) const {
+  // An empty prefix publishes `name` verbatim — the hook the
+  // ProcessMachine aggregator uses to merge children's already-prefixed
+  // snapshots into one registry without double-dotting the keys.
+  return prefix_.empty() ? name : prefix_ + "." + name;
+}
+
 void MetricSink::counter(const std::string& name, std::uint64_t v) {
   MetricValue m;
   m.kind = MetricValue::Kind::kCounter;
   m.count = v;
-  (*out_)[prefix_ + "." + name] = m;
+  (*out_)[full_name(name)] = m;
 }
 
 void MetricSink::gauge(const std::string& name, double v) {
   MetricValue m;
   m.kind = MetricValue::Kind::kGauge;
   m.value = v;
-  (*out_)[prefix_ + "." + name] = m;
+  (*out_)[full_name(name)] = m;
 }
 
 void MetricSink::histogram(const std::string& name, const RunningStats& s) {
@@ -25,7 +32,7 @@ void MetricSink::histogram(const std::string& name, const RunningStats& s) {
   m.value = s.mean();
   m.min = s.min();
   m.max = s.max();
-  (*out_)[prefix_ + "." + name] = m;
+  (*out_)[full_name(name)] = m;
 }
 
 Snapshot Snapshot::diff(const Snapshot& earlier) const {

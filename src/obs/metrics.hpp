@@ -57,7 +57,16 @@ class MetricSink {
   /// Histogram summary from streaming stats (count/mean/min/max).
   void histogram(const std::string& name, const RunningStats& s);
 
+  /// Publish a pre-built value under an already-full name (aggregators
+  /// merging foreign snapshots). Still namespaced by the source prefix
+  /// when one is set.
+  void raw(const std::string& name, const MetricValue& value) {
+    (*out_)[full_name(name)] = value;
+  }
+
  private:
+  std::string full_name(const std::string& name) const;
+
   std::string prefix_;
   std::map<std::string, MetricValue>* out_;
 };

@@ -49,8 +49,8 @@ struct StencilRun {
 
 StencilRun run_adaptive_stencil(const grid::Scenario& s, int steps,
                                 sim::TimeNs horizon) {
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
+  auto machine = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(machine.get());
   Runtime rt(std::move(machine));
   apps::stencil::Params p;
   p.mesh = 16;
@@ -146,8 +146,8 @@ TEST(AdaptiveSim, RetuneNeverWidensDetectionWindow) {
   s.reliable.rto_initial = sim::milliseconds(120.0);
   s.reliable.give_up_budget = 24 * s.reliable.rto_initial;
 
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
+  auto machine = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(machine.get());
   Runtime rt(std::move(machine));
   apps::stencil::Params p;
   p.mesh = 16;
@@ -294,10 +294,10 @@ TEST(AdaptiveParity, SimAndThreadControllersDecideIdentically) {
                          .with_adaptation()
                          .with_compression()
                          .with_striping(4, 8192);
-  auto sim_machine = grid::make_sim_machine(s);
-  core::ThreadMachine::Config cfg;
+  auto sim_machine = grid::make_machine(s);
+  core::MachineOptions cfg;
   cfg.emulate_charge = false;
-  auto thread_machine = grid::make_thread_machine(s, cfg);
+  auto thread_machine = grid::make_machine(s, grid::Backend::kThread, cfg);
   net::AdaptiveController* a = sim_machine->adaptive();
   net::AdaptiveController* b = thread_machine->adaptive();
   ASSERT_NE(a, nullptr);
@@ -350,10 +350,10 @@ TEST(AdaptiveThread, ControllerSamplesLiveTrafficAndHoldsKnobsInBounds) {
   // abandoned. No convergence assertion — wall-clock RTTs are noisy.
   grid::Scenario s =
       grid::Scenario::artificial(4, sim::milliseconds(1.0)).with_adaptation();
-  core::ThreadMachine::Config cfg;
+  core::MachineOptions cfg;
   cfg.emulate_charge = false;
-  auto machine = grid::make_thread_machine(s, cfg);
-  core::ThreadMachine* tm = machine.get();
+  auto machine = grid::make_machine(s, grid::Backend::kThread, cfg);
+  auto* tm = static_cast<core::ThreadMachine*>(machine.get());
   Runtime rt(std::move(machine));
   auto proxy = rt.create_array<Poke>(
       "pokes", core::indices_1d(4), core::round_robin_map(4),

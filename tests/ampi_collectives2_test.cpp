@@ -166,7 +166,7 @@ TEST(AmpiComposition, PipelineOfCollectives) {
 std::vector<double> collective_signature(const grid::Scenario& scenario,
                                          int ranks) {
   auto results = std::make_shared<std::vector<double>>();
-  Runtime rt(grid::make_sim_machine(scenario));
+  Runtime rt(grid::make_machine(scenario));
   ampi::World world(rt, ranks, [ranks, results](ampi::Comm& comm) {
     int n = comm.size();
     std::vector<double> v{1.5 * comm.rank() + 0.25};

@@ -1,0 +1,157 @@
+// Backend parity: one Scenario realized through grid::make_machine must
+// behave observably the same on all three backends — the virtual-time
+// simulator, the thread-per-PE machine, and the process-per-PE machine
+// over Unix-domain sockets. Parity here means the *message-layer*
+// observables agree (reduction results, WAN wire-frame counts, executed
+// message totals, the trace schema, and the metric key space); wall
+// clocks and event interleavings are free to differ.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/mapping.hpp"
+#include "core/runtime.hpp"
+#include "grid/scenario.hpp"
+
+namespace {
+
+using namespace mdo;
+using core::Index;
+using core::Runtime;
+
+constexpr grid::Backend kBackends[] = {
+    grid::Backend::kSim, grid::Backend::kThread, grid::Backend::kProcess};
+
+const char* backend_name(grid::Backend b) {
+  switch (b) {
+    case grid::Backend::kSim: return "sim";
+    case grid::Backend::kThread: return "thread";
+    case grid::Backend::kProcess: return "process";
+  }
+  return "?";
+}
+
+/// Sum-reduction fixture. Contributions are small integers (exact in
+/// binary), so the reduced value is independent of combining order and
+/// comparable bitwise across backends.
+struct Summer : core::Chare {
+  core::ReductionClientId client = -1;
+  void go() {
+    runtime().contribute(*this, {double(index().x + 1)},
+                         core::ReduceOp::kSum, client);
+  }
+  void pup(Pup& p) override { Chare::pup(p); }
+};
+
+struct ParityRun {
+  double sum = 0.0;
+  std::uint64_t wan_wire_frames = 0;
+  std::uint64_t msgs_executed = 0;
+  std::set<std::string> metric_keys;  ///< rt./mem./trace.-prefixed names
+  std::vector<core::TraceEvent> trace;
+  int num_pes = 0;
+};
+
+/// `rounds` broadcast+reduction round trips over 4 PEs / 2 clusters on
+/// the given backend, collecting every parity observable at the end.
+ParityRun run_reduction(grid::Backend backend, int rounds) {
+  const std::size_t pes = 4;
+  grid::Scenario s =
+      grid::Scenario::artificial(pes, sim::milliseconds(2.0)).with_tracing();
+  core::MachineOptions opts;
+  opts.emulate_charge = false;  // wall-clock backends: no modeled sleeps
+  Runtime rt(grid::make_machine(s, backend, opts));
+  auto proxy = rt.create_array<Summer>(
+      "sum", core::indices_1d(pes), core::block_map_1d(pes, pes),
+      [](const Index&) { return std::make_unique<Summer>(); });
+  double sum = 0.0;
+  auto client = proxy.reduction_client(
+      [&](const std::vector<double>& d) { sum = d.at(0); });
+  for (std::size_t i = 0; i < pes; ++i)
+    proxy.local(Index(static_cast<std::int32_t>(i)))->client = client;
+
+  for (int r = 0; r < rounds; ++r) {
+    proxy.broadcast<&Summer::go>();
+    rt.run();
+  }
+
+  ParityRun out;
+  out.sum = sum;
+  out.num_pes = rt.machine().num_pes();
+  out.wan_wire_frames = rt.machine().fabric_stats().wan_wire_frames;
+  auto snap = rt.machine().metrics().snapshot();
+  out.msgs_executed = snap.counter("rt.sched.msgs_executed");
+  for (const auto& [name, value] : snap.values) {
+    if (name.rfind("rt.", 0) == 0 || name.rfind("mem.", 0) == 0 ||
+        name.rfind("trace.", 0) == 0) {
+      out.metric_keys.insert(name);
+    }
+  }
+  out.trace = rt.machine().trace();
+  return out;
+}
+
+TEST(BackendParity, ReductionValueAgreesEverywhere) {
+  for (grid::Backend b : kBackends) {
+    ParityRun r = run_reduction(b, 3);
+    EXPECT_DOUBLE_EQ(r.sum, 1.0 + 2.0 + 3.0 + 4.0) << backend_name(b);
+  }
+}
+
+TEST(BackendParity, WanWireFramesAndExecutedCountsAgree) {
+  // With no loss, no coalescing, and no reliability stack, every
+  // cross-cluster envelope is exactly one WAN wire frame on every
+  // backend, and the total executed-message count is a property of the
+  // application, not the clock driving it.
+  ParityRun ref = run_reduction(grid::Backend::kSim, 4);
+  ASSERT_GT(ref.wan_wire_frames, 0u);
+  ASSERT_GT(ref.msgs_executed, 0u);
+  for (grid::Backend b : {grid::Backend::kThread, grid::Backend::kProcess}) {
+    ParityRun r = run_reduction(b, 4);
+    EXPECT_EQ(r.wan_wire_frames, ref.wan_wire_frames) << backend_name(b);
+    EXPECT_EQ(r.msgs_executed, ref.msgs_executed) << backend_name(b);
+  }
+}
+
+TEST(BackendParity, TraceSchemaAgrees) {
+  // Same TraceEvent schema from every backend: events for every PE,
+  // monotone [begin, end] intervals, and real entry ids on kEntry
+  // events. Absolute times are backend-local (virtual vs wall) and are
+  // not compared.
+  for (grid::Backend b : kBackends) {
+    ParityRun r = run_reduction(b, 3);
+    ASSERT_FALSE(r.trace.empty()) << backend_name(b);
+    std::set<core::Pe> pes_seen;
+    for (const auto& ev : r.trace) {
+      EXPECT_GE(ev.pe, 0) << backend_name(b);
+      EXPECT_LT(ev.pe, r.num_pes) << backend_name(b);
+      EXPECT_LE(ev.begin, ev.end) << backend_name(b);
+      if (ev.kind == core::MsgKind::kEntry) {
+        EXPECT_NE(ev.entry, core::kInvalidEntry) << backend_name(b);
+      }
+      pes_seen.insert(ev.pe);
+    }
+    EXPECT_EQ(pes_seen.size(), static_cast<std::size_t>(r.num_pes))
+        << backend_name(b) << ": every PE must appear in the trace";
+  }
+}
+
+TEST(BackendParity, MetricRegistrySourcesPublishTheSameKeys) {
+  // The observability contract: rt.sched/rt/mem/trace metric names are
+  // identical across backends, so dashboards and the perf gates need no
+  // backend-specific key lists. (Process adds fabric.socket.* transport
+  // counters on top; the shared prefixes must still match exactly.)
+  ParityRun ref = run_reduction(grid::Backend::kSim, 2);
+  ASSERT_FALSE(ref.metric_keys.empty());
+  for (grid::Backend b : {grid::Backend::kThread, grid::Backend::kProcess}) {
+    ParityRun r = run_reduction(b, 2);
+    EXPECT_EQ(r.metric_keys, ref.metric_keys) << backend_name(b);
+  }
+}
+
+}  // namespace

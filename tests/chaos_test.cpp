@@ -57,7 +57,7 @@ TEST(ChaosSim, PartitionShorterThanConfirmWindowIsNeverFatal) {
   // lands ~106 ms (last pre-partition beat + timeout), so the heal at
   // 110 ms beats the ~174 ms confirm deadline by a wide margin.
   isolate_cluster(s, 2, 3, sim::milliseconds(50.0), sim::milliseconds(60.0));
-  auto machine = grid::make_sim_machine(s);
+  auto machine = grid::make_machine(s);
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);
 
@@ -84,7 +84,7 @@ TEST(ChaosSim, IndirectProbesRefuteDirectedPartitionPastConfirmWindow) {
                          .with_crashes();
   s.with_partition(2, 0, sim::milliseconds(30.0), sim::milliseconds(300.0));
   s.with_partition(0, 2, sim::milliseconds(30.0), sim::milliseconds(300.0));
-  auto machine = grid::make_sim_machine(s);
+  auto machine = grid::make_machine(s);
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);
 
@@ -107,7 +107,8 @@ TEST(ChaosSim, TrueCrashIsStillConfirmedInBoundedTime) {
   grid::Scenario s = grid::Scenario::artificial(5, sim::milliseconds(8.0))
                          .with_clusters(3)
                          .with_crashes();
-  auto machine = grid::make_sim_machine(s);
+  auto owned = grid::make_machine(s);
+  auto* machine = static_cast<core::SimMachine*>(owned.get());
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);
 
@@ -148,8 +149,8 @@ TEST(ChaosSim, QuarantineBoundsMemoryAndBackpressuresSenders) {
   // Stretch the confirm window so the 140 ms outage stays a suspicion.
   s.heartbeat.confirm_window = sim::milliseconds(200.0);
   isolate_cluster(s, 2, 3, sim::milliseconds(20.0), sim::milliseconds(140.0));
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
+  auto machine = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(machine.get());
   Runtime rt(std::move(machine));
   auto proxy = rt.create_array<Poke>(
       "pokes", core::indices_1d(5), core::round_robin_map(5),
@@ -200,8 +201,8 @@ std::vector<double> run_stencil_chaos(bool with_partitions,
                       /*mean_len=*/sim::milliseconds(10.0),
                       /*horizon=*/sim::milliseconds(200.0));
   }
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
+  auto machine = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(machine.get());
   Runtime rt(std::move(machine));
   apps::stencil::Params p;
   p.mesh = 16;
@@ -247,10 +248,10 @@ TEST(ChaosThread, ManualPartitionHealsExactlyOnce) {
   s.heartbeat.timeout = sim::milliseconds(150.0);
   s.heartbeat.confirm_window = sim::seconds(10.0);  // never confirms here
   s.reliable.give_up_budget = sim::seconds(30.0);
-  core::ThreadMachine::Config cfg;
+  core::MachineOptions cfg;
   cfg.emulate_charge = false;
-  auto machine = grid::make_thread_machine(s, cfg);
-  core::ThreadMachine* tm = machine.get();
+  auto machine = grid::make_machine(s, grid::Backend::kThread, cfg);
+  auto* tm = static_cast<core::ThreadMachine*>(machine.get());
   Runtime rt(std::move(machine));
   auto proxy = rt.create_array<Poke>(
       "pokes", core::indices_1d(5), core::round_robin_map(5),

@@ -40,8 +40,8 @@ struct Cell : core::Chare {
 
 struct FtHarness {
   explicit FtHarness(grid::Scenario s)
-      : machine_(grid::make_sim_machine(s)),
-        sim(machine_.get()),
+      : machine_(grid::make_machine(s)),
+        sim(static_cast<core::SimMachine*>(machine_.get())),
         rt(std::move(machine_)),
         ft(rt, sim->reliability()) {
     cells = rt.create_array<Cell>(
@@ -53,7 +53,7 @@ struct FtHarness {
         });
   }
 
-  std::unique_ptr<core::SimMachine> machine_;
+  std::unique_ptr<core::Machine> machine_;
   core::SimMachine* sim;
   Runtime rt;
   FaultTolerance ft;
@@ -138,8 +138,8 @@ std::vector<double> run_stencil_with_ft(const Params& p, bool crash,
                                         int phases, int steps_per_phase,
                                         core::RecoveryReport* out_report) {
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_crashes();
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
+  auto machine = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(machine.get());
   Runtime rt(std::move(machine));
   FaultTolerance ft(rt, sim->reliability());
   ft.set_placement(ldb::recovery_placer(rt));
@@ -205,10 +205,10 @@ TEST(FaultToleranceThread, StencilSurvivesKilledPe) {
   // never misreads a live (but descheduled) worker as dead.
   s.heartbeat.period = sim::milliseconds(20.0);
   s.heartbeat.timeout = sim::milliseconds(250.0);
-  core::ThreadMachine::Config cfg;
+  core::MachineOptions cfg;
   cfg.emulate_charge = false;
-  auto machine = grid::make_thread_machine(s, cfg);
-  core::ThreadMachine* tm = machine.get();
+  auto machine = grid::make_machine(s, grid::Backend::kThread, cfg);
+  auto* tm = static_cast<core::ThreadMachine*>(machine.get());
   Runtime rt(std::move(machine));
   core::FtConfig ft_cfg;
   ft_cfg.charge_checkpoint_time = false;
@@ -265,7 +265,7 @@ TEST(CheckpointUnderLoss, SimRoundTripAcrossMigrationIsExact) {
   p.real_compute = true;
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(4.0)).with_loss(0.02, 7);
 
-  Runtime rt(grid::make_sim_machine(s));
+  Runtime rt(grid::make_machine(s));
   StencilApp app(rt, p);
   app.run_steps(3);
   std::string path = temp_path("lossy_roundtrip");
@@ -301,10 +301,10 @@ TEST(CheckpointUnderLoss, ThreadRoundTripMatchesReference) {
   p.real_compute = true;
   p.modeled_charge = false;
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(1.0)).with_loss(0.02, 9);
-  core::ThreadMachine::Config cfg;
+  core::MachineOptions cfg;
   cfg.emulate_charge = false;
 
-  Runtime rt(grid::make_thread_machine(s, cfg));
+  Runtime rt(grid::make_machine(s, grid::Backend::kThread, cfg));
   StencilApp app(rt, p);
   app.run_steps(2);
   std::string path = temp_path("lossy_thread_roundtrip");

@@ -226,7 +226,7 @@ TEST(MigrationAsync, SurvivesLossyCoalescedChainDeterministically) {
   // runs must agree bit for bit (virtual time, element state, element
   // placement), and no migration or message may be lost or duplicated.
   auto run_once = [] {
-    core::Runtime rt(grid::make_sim_machine(
+    core::Runtime rt(grid::make_machine(
         grid::Scenario::artificial(8, sim::milliseconds(2.0))
             .with_loss(0.08, /*seed=*/42)
             .with_coalescing()));

@@ -29,7 +29,7 @@ std::unique_ptr<ThreadMachine> make_machine(std::size_t pes,
   cfg.intra = {sim::microseconds(20), 250.0};
   cfg.inter = {wan_ms > 0 ? sim::milliseconds(wan_ms) : sim::microseconds(20),
                250.0};
-  ThreadMachine::Config mc;
+  core::MachineOptions mc;
   mc.emulate_charge = emulate_charge;
   return std::make_unique<ThreadMachine>(net::Topology::two_cluster(pes), cfg,
                                          mc);
@@ -166,7 +166,7 @@ TEST(ThreadMachineTest, TracingMatchesSimMachineOverlapReport) {
   thread_machine->set_tracing(true);
   auto thread_trace = traced_pingpong(std::move(thread_machine));
 
-  auto sim_trace = traced_pingpong(grid::make_sim_machine(
+  auto sim_trace = traced_pingpong(grid::make_machine(
       grid::Scenario::artificial(2, sim::milliseconds(1.0)).with_tracing()));
 
   auto thread_report = core::summarize_trace(thread_trace, topo);

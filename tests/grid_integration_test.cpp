@@ -23,8 +23,9 @@ using apps::stencil::StencilApp;
 using core::Runtime;
 
 TEST(Scenario, ArtificialUsesDelayDeviceOverSanLinks) {
-  auto machine = grid::make_sim_machine(
+  auto owned = grid::make_machine(
       grid::Scenario::artificial(4, sim::milliseconds(16.0)));
+  auto* machine = static_cast<core::SimMachine*>(owned.get());
   // Direct probe of the model: inter-cluster base must be SAN-class.
   EXPECT_EQ(machine->model().config().inter.latency, grid::kSanLatency);
   EXPECT_FALSE(machine->model().config().wan_contention);
@@ -32,7 +33,8 @@ TEST(Scenario, ArtificialUsesDelayDeviceOverSanLinks) {
 }
 
 TEST(Scenario, RealGridUsesWanModelWithoutDelayDevice) {
-  auto machine = grid::make_sim_machine(grid::Scenario::real_grid(4));
+  auto owned = grid::make_machine(grid::Scenario::real_grid(4));
+  auto* machine = static_cast<core::SimMachine*>(owned.get());
   EXPECT_EQ(machine->model().config().inter.latency, grid::kWanLatency);
   EXPECT_TRUE(machine->model().config().wan_contention);
   EXPECT_GT(machine->model().config().wan_jitter_fraction, 0.0);
@@ -40,7 +42,7 @@ TEST(Scenario, RealGridUsesWanModelWithoutDelayDevice) {
 }
 
 TEST(Scenario, LocalHasSingleCluster) {
-  auto machine = grid::make_sim_machine(grid::Scenario::local(4));
+  auto machine = grid::make_machine(grid::Scenario::local(4));
   EXPECT_EQ(machine->topology().num_clusters(), 1u);
 }
 
@@ -48,7 +50,7 @@ TEST(Scenario, ArtificialLatencyPredictsRealGrid) {
   // The validation logic of Tables 1 and 2: running under the delay
   // device at the matching latency approximates the real-WAN model.
   auto run = [](grid::Scenario scenario) {
-    Runtime rt(grid::make_sim_machine(scenario));
+    Runtime rt(grid::make_machine(scenario));
     Params p;
     p.mesh = 2048;
     p.objects = 64;
@@ -68,7 +70,7 @@ TEST(Timeline, TraceShowsOverlapOfComputeWithWanWait) {
   // sending PE keeps executing other objects' entries.
   grid::Scenario scenario =
       grid::Scenario::artificial(2, sim::milliseconds(10.0)).with_tracing();
-  Runtime rt(grid::make_sim_machine(scenario));
+  Runtime rt(grid::make_machine(scenario));
   Params p;
   p.mesh = 1024;
   p.objects = 64;  // 32 objects per PE
@@ -100,7 +102,7 @@ TEST(Priorities, WanPriorityHelpsUnderLoad) {
   // Ablation A sanity: prioritizing cross-cluster ghosts must never be
   // slower than FIFO on a WAN-bound configuration (often slightly faster).
   auto run = [](core::Priority wan_priority) {
-    Runtime rt(grid::make_sim_machine(
+    Runtime rt(grid::make_machine(
         grid::Scenario::artificial(8, sim::milliseconds(8.0))));
     Params p;
     p.mesh = 2048;
@@ -118,7 +120,7 @@ TEST(Priorities, WanPriorityHelpsUnderLoad) {
 TEST(GridLb, RebalanceAfterSkewImprovesStepTime) {
   // Create imbalance by piling one PE's chunks onto another inside
   // cluster A, then let GridCommLB repair it.
-  Runtime rt(grid::make_sim_machine(
+  Runtime rt(grid::make_machine(
       grid::Scenario::artificial(4, sim::milliseconds(2.0))));
   Params p;
   p.mesh = 1024;
@@ -163,7 +165,7 @@ std::uint64_t collective_wan_frames(std::size_t pes, std::size_t n_clusters,
                                     double* sum_out = nullptr) {
   grid::Scenario s = grid::Scenario::artificial(pes, sim::milliseconds(2.0))
                          .with_clusters(n_clusters);
-  Runtime rt(grid::make_sim_machine(s));
+  Runtime rt(grid::make_machine(s));
   rt.set_collective_mode(mode);
   auto proxy = rt.create_array<Summer>(
       "sum", core::indices_1d(pes), core::block_map_1d(pes, pes),
@@ -216,8 +218,8 @@ TEST(NCluster, EightClusterLossyCrashyCoalescedReplayIsBitIdentical) {
                            .with_loss(/*drop=*/0.02, /*seed=*/7)
                            .with_crashes()
                            .with_coalescing();
-    auto machine = grid::make_sim_machine(s);
-    core::SimMachine* raw = machine.get();
+    auto machine = grid::make_machine(s);
+    auto* raw = static_cast<core::SimMachine*>(machine.get());
     Runtime rt(std::move(machine));
     Params p;
     p.mesh = 64;
@@ -241,9 +243,9 @@ TEST(NCluster, BackendsAgreeOnWanFramesAndReductionResults) {
   auto run_thread = [&](double* sum_out) {
     grid::Scenario s = grid::Scenario::artificial(16, sim::microseconds(200.0))
                            .with_clusters(8);
-    core::ThreadMachine::Config cfg;
+    core::MachineOptions cfg;
     cfg.emulate_charge = false;
-    Runtime rt(grid::make_thread_machine(s, cfg));
+    Runtime rt(grid::make_machine(s, grid::Backend::kThread, cfg));
     auto proxy = rt.create_array<Summer>(
         "sum", core::indices_1d(16), core::block_map_1d(16, 16),
         [](const core::Index&) { return std::make_unique<Summer>(); });
@@ -271,10 +273,11 @@ TEST(NCluster, BackendsAgreeOnWanFramesAndReductionResults) {
 }
 
 TEST(ThreadBackend, ScenarioBuilderWorksWithRealThreads) {
-  core::ThreadMachine::Config cfg;
+  core::MachineOptions cfg;
   cfg.emulate_charge = false;
-  Runtime rt(grid::make_thread_machine(
-      grid::Scenario::artificial(2, sim::milliseconds(5.0)), cfg));
+  Runtime rt(grid::make_machine(
+      grid::Scenario::artificial(2, sim::milliseconds(5.0)),
+      grid::Backend::kThread, cfg));
   Params p;
   p.mesh = 64;
   p.objects = 16;

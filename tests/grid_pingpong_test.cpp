@@ -12,7 +12,7 @@ namespace {
 using namespace mdo;
 
 TEST(PingPong, SanLatencyIsMicroseconds) {
-  core::Runtime rt(grid::make_sim_machine(grid::Scenario::local(4)));
+  core::Runtime rt(grid::make_machine(grid::Scenario::local(4)));
   auto result = grid::measure_pingpong(rt, 64, 10);
   EXPECT_EQ(result.reps, 10);
   // SAN alpha 6.5 us + per-message overheads: comfortably sub-100 us.
@@ -21,7 +21,7 @@ TEST(PingPong, SanLatencyIsMicroseconds) {
 }
 
 TEST(PingPong, ArtificialDelayDominates) {
-  core::Runtime rt(grid::make_sim_machine(
+  core::Runtime rt(grid::make_machine(
       grid::Scenario::artificial(4, sim::milliseconds(16.0))));
   auto result = grid::measure_pingpong(rt, 64, 8);
   EXPECT_GE(result.one_way_avg, sim::milliseconds(16.0));
@@ -31,7 +31,7 @@ TEST(PingPong, ArtificialDelayDominates) {
 TEST(PingPong, RealGridMatchesPaperFigure) {
   // Paper §5.1: "simple Charm++ ping-pong latencies are approximately
   // 1.920 ms". The model must land within 10%.
-  core::Runtime rt(grid::make_sim_machine(grid::Scenario::real_grid(4)));
+  core::Runtime rt(grid::make_machine(grid::Scenario::real_grid(4)));
   auto result = grid::measure_pingpong(rt, 100, 20);
   double ms = sim::to_ms(result.one_way_avg);
   EXPECT_GT(ms, 1.920 * 0.9) << ms;
@@ -39,15 +39,15 @@ TEST(PingPong, RealGridMatchesPaperFigure) {
 }
 
 TEST(PingPong, BandwidthTermGrowsWithPayload) {
-  core::Runtime rt_small(grid::make_sim_machine(grid::Scenario::real_grid(4)));
+  core::Runtime rt_small(grid::make_machine(grid::Scenario::real_grid(4)));
   auto small = grid::measure_pingpong(rt_small, 100, 5);
-  core::Runtime rt_big(grid::make_sim_machine(grid::Scenario::real_grid(4)));
+  core::Runtime rt_big(grid::make_machine(grid::Scenario::real_grid(4)));
   auto big = grid::measure_pingpong(rt_big, 350000, 5);  // 350 KB at 35 B/us: +10 ms
   EXPECT_GT(big.one_way_avg, small.one_way_avg + sim::milliseconds(8));
 }
 
 TEST(PingPong, ExplicitPeerWithinCluster) {
-  core::Runtime rt(grid::make_sim_machine(
+  core::Runtime rt(grid::make_machine(
       grid::Scenario::artificial(8, sim::milliseconds(50.0))));
   // Probe PE 0 <-> PE 1: same cluster, so the delay device must NOT fire.
   auto result = grid::measure_pingpong(rt, 64, 5, core::Pe{1});

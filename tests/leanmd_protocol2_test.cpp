@@ -27,7 +27,7 @@ TEST(LeanMdModel, SerialChargeMatchesClosedForm) {
   // Total charged virtual compute per step =
   //   cross pairs * n^2 * kappa + self pairs * n(n-1)/2 * kappa
   //   + cells * n * integrate.
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(1)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(1)));
   Params p;
   p.cells_per_dim = 3;
   p.atoms_per_cell = 10;
@@ -64,7 +64,7 @@ TEST(LeanMdModel, PaperScaleSerialStepNearEightSeconds) {
 }
 
 TEST(LeanMdPlacement, EveryPairIsColocatedWithOneOfItsCells) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt(grid::make_machine(grid::Scenario::artificial(
       8, sim::milliseconds(1.0))));
   Params p;
   p.cells_per_dim = 4;
@@ -80,7 +80,7 @@ TEST(LeanMdPlacement, EveryPairIsColocatedWithOneOfItsCells) {
 }
 
 TEST(LeanMdProtocol2, MessageCountsScaleWithSteps) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(4)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(4)));
   Params p;
   p.cells_per_dim = 3;
   p.atoms_per_cell = 4;
@@ -95,7 +95,7 @@ TEST(LeanMdProtocol2, MessageCountsScaleWithSteps) {
 }
 
 TEST(LeanMdProtocol2, EnergyHistoryLengthTracksPhases) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(2)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(2)));
   Params p;
   p.cells_per_dim = 2;
   p.atoms_per_cell = 4;
@@ -109,7 +109,7 @@ TEST(LeanMdProtocol2, EnergyHistoryLengthTracksPhases) {
 }
 
 TEST(LeanMdProtocol2, SurvivesRebalanceBetweenPhases) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt(grid::make_machine(grid::Scenario::artificial(
       4, sim::milliseconds(1.0))));
   Params p;
   p.cells_per_dim = 3;
@@ -128,7 +128,7 @@ TEST(LeanMdProtocol2, SurvivesRebalanceBetweenPhases) {
       });
 
   // Determinism check: an unbalanced twin run yields identical physics.
-  Runtime rt2(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt2(grid::make_machine(grid::Scenario::artificial(
       4, sim::milliseconds(1.0))));
   LeanMdApp app2(rt2, p);
   app2.run_steps(6);
@@ -146,7 +146,7 @@ TEST(LeanMdProtocol2, LatencySweepIsMonotone) {
   // More WAN latency can never make a step faster.
   double prev = 0.0;
   for (double lat : {0.0, 4.0, 16.0, 64.0}) {
-    Runtime rt(grid::make_sim_machine(
+    Runtime rt(grid::make_machine(
         grid::Scenario::artificial(8, sim::milliseconds(lat))));
     Params p;
     p.cells_per_dim = 3;

@@ -75,7 +75,7 @@ TEST(PairTableTest, SmallBoxesDedupeWraps) {
 // -- protocol -----------------------------------------------------------------
 
 TEST(LeanMdProtocol, AllCellsCompleteAllSteps) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt(grid::make_machine(grid::Scenario::artificial(
       4, sim::milliseconds(2.0))));
   Params p;
   p.cells_per_dim = 3;
@@ -89,7 +89,7 @@ TEST(LeanMdProtocol, AllCellsCompleteAllSteps) {
 }
 
 TEST(LeanMdProtocol, MultiPhaseContinues) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(2)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(2)));
   Params p;
   p.cells_per_dim = 2;
   p.atoms_per_cell = 4;
@@ -105,7 +105,7 @@ TEST(LeanMdProtocol, MultiPhaseContinues) {
 TEST(LeanMdProtocol, SerialStepCostMatchesCalibration) {
   // One PE, modeled compute: the virtual step time must land near the
   // paper's "about 8 seconds" serial figure (DESIGN.md §5).
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(1)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(1)));
   Params p;  // the full 216-cell benchmark, modeled
   LeanMdApp app(rt, p);
   auto phase = app.run_steps(1);
@@ -116,7 +116,7 @@ TEST(LeanMdProtocol, SerialStepCostMatchesCalibration) {
 // -- physics --------------------------------------------------------------------
 
 TEST(LeanMdPhysics, MomentumIsConserved) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(2)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(2)));
   LeanMdApp app(rt, small_real(3, 6));
   auto total_momentum = [&] {
     double p3[3] = {0, 0, 0};
@@ -138,7 +138,7 @@ TEST(LeanMdPhysics, MomentumIsConserved) {
 }
 
 TEST(LeanMdPhysics, EnergyDriftIsBounded) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(2)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(2)));
   Params p = small_real(3, 8);
   p.dt = 0.001;
   LeanMdApp app(rt, p);
@@ -156,7 +156,7 @@ TEST(LeanMdPhysics, EnergyDriftIsBounded) {
 }
 
 TEST(LeanMdPhysics, AtomsStayInBox) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(2)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(2)));
   LeanMdApp app(rt, small_real(3, 6));
   app.run_steps(15);
   const double box = app.params().box();
@@ -171,7 +171,7 @@ TEST(LeanMdPhysics, AtomsStayInBox) {
 
 TEST(LeanMdPhysics, DeterministicAcrossRuns) {
   auto run_once = [] {
-    Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+    Runtime rt(grid::make_machine(grid::Scenario::artificial(
         2, sim::milliseconds(1.0))));
     LeanMdApp app(rt, small_real(2, 5));
     app.run_steps(8);
@@ -196,7 +196,7 @@ TEST(LeanMdMasking, ManyPairsPerPeTolerateLatency) {
   // no impact of latency as high as 32 ms" — over 90 objects per PE keep
   // the WAN waits hidden. Reproduce in miniature.
   auto s_per_step = [](double latency_ms) {
-    Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+    Runtime rt(grid::make_machine(grid::Scenario::artificial(
         8, sim::milliseconds(latency_ms))));
     Params p;
     p.cells_per_dim = 4;   // 64 cells, 576 pairs on 8 PEs

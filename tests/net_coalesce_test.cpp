@@ -273,8 +273,8 @@ apps::stencil::Params small_stencil() {
 
 TEST(CoalesceScenario, ReducesWanWireFramesOnStencil) {
   auto run = [](const grid::Scenario& s) {
-    auto machine = grid::make_sim_machine(s);
-    core::SimMachine* raw = machine.get();
+    auto machine = grid::make_machine(s);
+    auto* raw = static_cast<core::SimMachine*>(machine.get());
     core::Runtime rt(std::move(machine));
     apps::stencil::StencilApp app(rt, small_stencil());
     auto phase = app.run_steps(8);
@@ -284,8 +284,8 @@ TEST(CoalesceScenario, ReducesWanWireFramesOnStencil) {
   auto [base_frames, no_dev] = run(grid::Scenario::artificial(4, one_way));
   EXPECT_EQ(no_dev, nullptr);
 
-  auto machine = grid::make_sim_machine(grid::Scenario::artificial(4, one_way).with_coalescing());
-  core::SimMachine* raw = machine.get();
+  auto machine = grid::make_machine(grid::Scenario::artificial(4, one_way).with_coalescing());
+  auto* raw = static_cast<core::SimMachine*>(machine.get());
   ASSERT_NE(raw->coalesce(), nullptr);
   core::Runtime rt(std::move(machine));
   apps::stencil::StencilApp app(rt, small_stencil());
@@ -311,8 +311,8 @@ TEST(CoalesceScenario, IdleFlushFiresWhenPeDrains) {
   // (long) backstop timer.
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(4.0)).with_coalescing();
   s.coalesce.flush_timeout = sim::milliseconds(50.0);
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* raw = machine.get();
+  auto machine = grid::make_machine(s);
+  auto* raw = static_cast<core::SimMachine*>(machine.get());
   core::Runtime rt(std::move(machine));
   apps::stencil::StencilApp app(rt, small_stencil());
   app.run_steps(4);
@@ -327,8 +327,8 @@ TEST(CoalesceScenario, LossyCrashyCoalescedReplayIsBitIdentical) {
             .with_loss(/*drop=*/0.02, /*seed=*/5)
             .with_crashes()
             .with_coalescing();
-    auto machine = grid::make_sim_machine(s);
-    core::SimMachine* raw = machine.get();
+    auto machine = grid::make_machine(s);
+    auto* raw = static_cast<core::SimMachine*>(machine.get());
     core::Runtime rt(std::move(machine));
     apps::stencil::Params p = small_stencil();
     p.objects = 16;
@@ -354,7 +354,8 @@ TEST(CoalesceScenario, DetectionWindowIsNotWidenedByBundling) {
           .with_crashes()
           .with_coalescing();
   ASSERT_LE(s.coalesce.flush_timeout, s.heartbeat.period / 2);
-  auto machine = grid::make_sim_machine(s);
+  auto owned = grid::make_machine(s);
+  auto* machine = static_cast<core::SimMachine*>(owned.get());
   ASSERT_NE(machine->reliability().coalesce, nullptr);
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);

@@ -306,7 +306,7 @@ TEST(ReliableThreadTest, LossyWireDeliversEverythingInOrder) {
 // -- the full application across a lossy WAN ----------------------------------
 
 std::vector<double> stencil_mesh(const grid::Scenario& scenario) {
-  core::Runtime rt(grid::make_sim_machine(scenario));
+  core::Runtime rt(grid::make_machine(scenario));
   apps::stencil::Params p;
   p.mesh = 24;
   p.objects = 4;
@@ -337,8 +337,8 @@ TEST(LossyScenarioTest, SimMachineReplayHasIdenticalCounters) {
     auto scenario =
         grid::Scenario::artificial(4, sim::milliseconds(2.0))
             .with_loss(0.02, /*seed=*/23);
-    auto machine = grid::make_sim_machine(scenario);
-    core::SimMachine* raw = machine.get();
+    auto machine = grid::make_machine(scenario);
+    auto* raw = static_cast<core::SimMachine*>(machine.get());
     core::Runtime rt(std::move(machine));
     apps::stencil::Params p;
     p.mesh = 64;

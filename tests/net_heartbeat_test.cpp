@@ -22,11 +22,11 @@ using core::Runtime;
 
 TEST(HeartbeatInstall, CrashyScenarioInstallsDetectorLossyDoesNot) {
   auto crashy =
-      grid::make_sim_machine(grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_crashes());
+      grid::make_machine(grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_crashes());
   ASSERT_NE(crashy->reliability().heartbeat, nullptr);
   EXPECT_NE(crashy->reliability().reliable, nullptr);
 
-  auto lossy = grid::make_sim_machine(
+  auto lossy = grid::make_machine(
       grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_loss(0.01));
   EXPECT_EQ(lossy->reliability().heartbeat, nullptr);
 }
@@ -44,7 +44,8 @@ TEST(HeartbeatSim, DetectsKilledPeWithinTimeout) {
   // Pure message-layer run: beats are consumed at the device, so no
   // Runtime is needed to drive the DES.
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_crashes();
-  auto machine = grid::make_sim_machine(s);
+  auto owned = grid::make_machine(s);
+  auto* machine = static_cast<core::SimMachine*>(owned.get());
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);
 
@@ -89,7 +90,8 @@ TEST(HeartbeatSim, WanLatencyIsNotMisreadAsDeath) {
   // crashy timeout (2*one_way + 4*period) must absorb that.
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(32.0)).with_crashes();
   ASSERT_GT(s.heartbeat.timeout, sim::milliseconds(32.0));
-  auto machine = grid::make_sim_machine(s);
+  auto owned = grid::make_machine(s);
+  auto* machine = static_cast<core::SimMachine*>(owned.get());
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);
 
@@ -118,7 +120,8 @@ TEST(HeartbeatSim, TooTightTimeoutMisreadsWanLatency) {
   s.heartbeat.period = sim::milliseconds(2.0);
   s.heartbeat.timeout = sim::milliseconds(10.0);        // < 32 ms one-way
   s.heartbeat.confirm_window = sim::milliseconds(5.0);  // < probe RTT
-  auto machine = grid::make_sim_machine(s);
+  auto owned = grid::make_machine(s);
+  auto* machine = static_cast<core::SimMachine*>(owned.get());
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);
 
@@ -140,7 +143,8 @@ TEST(HeartbeatSim, SizedConfirmWindowRefutesFalseSuspicion) {
   s.heartbeat.timeout = sim::milliseconds(10.0);  // < 32 ms one-way
   s.heartbeat.confirm_window =
       4 * sim::milliseconds(32.0) + 4 * s.heartbeat.period;
-  auto machine = grid::make_sim_machine(s);
+  auto owned = grid::make_machine(s);
+  auto* machine = static_cast<core::SimMachine*>(owned.get());
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);
 
@@ -158,7 +162,8 @@ TEST(HeartbeatSim, WatchRearmToleratesIdleGap) {
   // refresh instead of reading the gap as silence and declaring every
   // peer suspect/dead on its first tick.
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(8.0)).with_crashes();
-  auto machine = grid::make_sim_machine(s);
+  auto owned = grid::make_machine(s);
+  auto* machine = static_cast<core::SimMachine*>(owned.get());
   net::HeartbeatDevice* hb = machine->reliability().heartbeat;
   ASSERT_NE(hb, nullptr);
 
@@ -190,9 +195,9 @@ struct Poke : core::Chare {
 
 TEST(ReliableGiveUp, DeadPeerTriggersUnreachableCallback) {
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(2.0)).with_crashes();
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
-  Runtime rt(std::move(machine));
+  auto owned = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(owned.get());
+  Runtime rt(std::move(owned));
   auto proxy = rt.create_array<Poke>(
       "pokes", core::indices_1d(4), core::round_robin_map(4),
       [](const Index&) { return std::make_unique<Poke>(); });
@@ -236,9 +241,9 @@ TEST(ReliableGiveUp, TenXSlowerLinkDoesNotExhaustTimeBudget) {
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(20.0)).with_crashes();
   s.reliable.rto_initial = sim::milliseconds(4.0);  // RTT is 40 ms
   s.reliable.give_up_budget = 24 * s.reliable.rto_initial;
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
-  Runtime rt(std::move(machine));
+  auto owned = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(owned.get());
+  Runtime rt(std::move(owned));
   auto proxy = rt.create_array<Poke>(
       "pokes", core::indices_1d(8), core::round_robin_map(4),
       [](const Index&) { return std::make_unique<Poke>(); });
@@ -256,9 +261,9 @@ TEST(ReliableGiveUp, LiveLossyPeerIsNotAbandoned) {
   // Heavy but survivable loss: retransmissions make progress before the
   // give-up budget's stall clock runs out, so no flow is ever abandoned.
   grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(2.0)).with_loss(0.05, 3);
-  auto machine = grid::make_sim_machine(s);
-  core::SimMachine* sim = machine.get();
-  Runtime rt(std::move(machine));
+  auto owned = grid::make_machine(s);
+  auto* sim = static_cast<core::SimMachine*>(owned.get());
+  Runtime rt(std::move(owned));
   auto proxy = rt.create_array<Poke>(
       "pokes", core::indices_1d(8), core::round_robin_map(4),
       [](const Index&) { return std::make_unique<Poke>(); });

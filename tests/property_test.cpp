@@ -151,7 +151,7 @@ TEST(EnvelopeWireFuzzDeathTest, SingleBitFlipsAreContained) {
 
 TEST(StencilProperty, MaximumPrincipleHolds) {
   // Jacobi averaging can never create values outside the initial range.
-  core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  core::Runtime rt(grid::make_machine(grid::Scenario::artificial(
       4, sim::milliseconds(1.0))));
   apps::stencil::Params p;
   p.mesh = 40;
@@ -174,7 +174,7 @@ TEST(StencilProperty, MaximumPrincipleHolds) {
 }
 
 TEST(StencilProperty, FixedBoundaryStaysFixed) {
-  core::Runtime rt(grid::make_sim_machine(grid::Scenario::local(2)));
+  core::Runtime rt(grid::make_machine(grid::Scenario::local(2)));
   apps::stencil::Params p;
   p.mesh = 24;
   p.objects = 4;
@@ -639,7 +639,7 @@ INSTANTIATE_TEST_SUITE_P(Shards, AdaptiveFuzz,
 
 TEST(Determinism, IdenticalRunsProduceIdenticalVirtualTimes) {
   auto run_once = [] {
-    core::Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+    core::Runtime rt(grid::make_machine(grid::Scenario::artificial(
         8, sim::milliseconds(4.0))));
     apps::stencil::Params p;
     p.mesh = 512;
@@ -653,7 +653,7 @@ TEST(Determinism, IdenticalRunsProduceIdenticalVirtualTimes) {
 
 TEST(Determinism, RealGridJitterIsReproducible) {
   auto run_once = [] {
-    core::Runtime rt(grid::make_sim_machine(grid::Scenario::real_grid(8)));
+    core::Runtime rt(grid::make_machine(grid::Scenario::real_grid(8)));
     apps::stencil::Params p;
     p.mesh = 512;
     p.objects = 64;

@@ -47,7 +47,7 @@ TEST(StencilParams, RateModelIsMonotonic) {
 }
 
 TEST(StencilCorrectness, MatchesSequentialReference) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt(grid::make_machine(grid::Scenario::artificial(
       4, sim::milliseconds(2.0))));
   StencilApp app(rt, small_real(32, 16));
   app.run_steps(10);
@@ -60,7 +60,7 @@ TEST(StencilCorrectness, MatchesSequentialReference) {
 }
 
 TEST(StencilCorrectness, MultiPhaseEqualsSinglePhase) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(4)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(4)));
   StencilApp app(rt, small_real(24, 9));
   app.run_steps(4);
   app.run_steps(6);
@@ -81,7 +81,7 @@ class StencilGeometrySweep : public ::testing::TestWithParam<Geometry> {};
 
 TEST_P(StencilGeometrySweep, AgreesWithReference) {
   const Geometry g = GetParam();
-  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt(grid::make_machine(grid::Scenario::artificial(
       static_cast<std::size_t>(g.pes), sim::milliseconds(1.0))));
   StencilApp app(rt, small_real(g.mesh, g.objects));
   app.run_steps(g.steps);
@@ -100,7 +100,7 @@ INSTANTIATE_TEST_SUITE_P(
                       Geometry{48, 16, 8, 9}, Geometry{64, 4, 2, 3}));
 
 TEST(StencilProtocol, StepsCompleteExactly) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt(grid::make_machine(grid::Scenario::artificial(
       4, sim::milliseconds(4.0))));
   Params p;
   p.mesh = 256;
@@ -116,7 +116,7 @@ TEST(StencilProtocol, StepsCompleteExactly) {
 TEST(StencilProtocol, MessageCountMatchesDecomposition) {
   // k×k objects: interior edges = 2·k·(k−1); two messages per edge per
   // step (one each way). Only cross-PE messages reach the fabric.
-  Runtime rt(grid::make_sim_machine(grid::Scenario::local(16)));
+  Runtime rt(grid::make_machine(grid::Scenario::local(16)));
   Params p;
   p.mesh = 256;
   p.objects = 16;  // k = 4, one object per PE: every ghost crosses PEs
@@ -128,7 +128,7 @@ TEST(StencilProtocol, MessageCountMatchesDecomposition) {
 }
 
 TEST(StencilProtocol, WanTrafficOnlyAtClusterSeam) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt(grid::make_machine(grid::Scenario::artificial(
       4, sim::milliseconds(1.0))));
   Params p;
   p.mesh = 256;
@@ -147,7 +147,7 @@ TEST(StencilMasking, HighVirtualizationToleratesLatency) {
   // WAN latency barely moves the per-step time; with one object per PE
   // it shows through almost fully.
   auto ms_per_step = [](std::int32_t objects, double latency_ms) {
-    Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+    Runtime rt(grid::make_machine(grid::Scenario::artificial(
         4, sim::milliseconds(latency_ms))));
     Params p;
     p.mesh = 2048;
@@ -175,7 +175,7 @@ TEST(StencilGhostZone, WiderGhostsReduceMessagesAndAddCompute) {
     sim::TimeNs total_load = 0;
   };
   auto run_with_width = [](std::int32_t g) {
-    Runtime rt(grid::make_sim_machine(grid::Scenario::local(4)));
+    Runtime rt(grid::make_machine(grid::Scenario::local(4)));
     Params p;
     p.mesh = 512;
     p.objects = 16;
@@ -198,7 +198,7 @@ TEST(StencilGhostZone, WiderGhostsReduceMessagesAndAddCompute) {
 }
 
 TEST(StencilMigration, ChunksSurviveRebalance) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt(grid::make_machine(grid::Scenario::artificial(
       4, sim::milliseconds(1.0))));
   StencilApp app(rt, small_real(32, 16));
   app.run_steps(4);
@@ -211,7 +211,7 @@ TEST(StencilMigration, ChunksSurviveRebalance) {
 }
 
 TEST(StencilPriority, WanPriorityDoesNotChangeResults) {
-  Runtime rt(grid::make_sim_machine(grid::Scenario::artificial(
+  Runtime rt(grid::make_machine(grid::Scenario::artificial(
       4, sim::milliseconds(2.0))));
   Params p = small_real(32, 16);
   p.wan_priority = -10;
