@@ -160,6 +160,46 @@ void BM_Reduction(benchmark::State& state) {
 }
 BENCHMARK(BM_Reduction)->Arg(8)->Arg(64);
 
+void BM_EnqueueDispatchDepthMillion(benchmark::State& state) {
+  // Scheduler stress at the scale tier's depth: 10^6 sends pile into one
+  // PE's shard queue before run() drains them, so one iteration measures
+  // enqueue and dispatch of a million-deep run queue. The Runtime lives
+  // outside the loop — element creation is not part of the scheduler
+  // cost being gated.
+  constexpr std::int64_t kDepth = 1'000'000;
+  Runtime rt(make_machine(2));
+  auto proxy = rt.create_array<Sink>(
+      "sink", core::indices_1d(1), core::block_map_1d(1, 1),
+      [](const Index&) { return std::make_unique<Sink>(); });
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < kDepth; ++i)
+      proxy.send<&Sink::noop>(Index(0));
+    rt.run();
+    benchmark::DoNotOptimize(proxy.local(Index(0))->received);
+  }
+  state.SetItemsProcessed(state.iterations() * kDepth);
+}
+BENCHMARK(BM_EnqueueDispatchDepthMillion);
+
+void BM_BroadcastMillionElements(benchmark::State& state) {
+  // Batched broadcast fan-out to a 10^6-element array over 4 PEs: one
+  // per-shard batch per hosting PE instead of one envelope per element.
+  // Creation happens once outside the loop; each iteration times the
+  // broadcast + full delivery sweep.
+  constexpr std::int32_t kElems = 1'000'000;
+  constexpr std::size_t kPes = 4;
+  Runtime rt(make_machine(kPes));
+  auto proxy = rt.create_array<Sink>(
+      "sink", core::indices_1d(kElems), core::block_map_1d(kElems, kPes),
+      [](const Index&) { return std::make_unique<Sink>(); });
+  for (auto _ : state) {
+    proxy.broadcast<&Sink::noop>();
+    rt.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kElems);
+}
+BENCHMARK(BM_BroadcastMillionElements);
+
 void BM_MigrationRoundtrip(benchmark::State& state) {
   Runtime rt(make_machine(4));
   auto proxy = rt.create_array<Sink>(

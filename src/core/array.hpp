@@ -137,6 +137,7 @@ ArrayProxy<T> Runtime::create_array(std::string name,
   auto arr = std::make_unique<ChareArray<T>>(id, std::move(name), num_pes());
   register_array(std::move(arr));
   ArrayBase& stored = array(id);
+  stored.reserve(indices.size());
   for (const Index& index : indices) {
     Pe pe = mapper(index);
     MDO_CHECK_MSG(pe >= 0 && pe < num_pes(), "mapper placed element off-machine");

@@ -172,6 +172,18 @@ ProcessMachine::ProcessMachine(net::Topology topo,
     sink.gauge("queue_depth", static_cast<double>(queued));
     sink.gauge("parked_depth", static_cast<double>(parked_depth));
   });
+  local_metrics_.add_source("rt.sched.shard", [this](obs::MetricSink& sink) {
+    // Same schema as the single-process backends. Each process is one
+    // scheduler shard by construction (shards sum to the mesh size in
+    // the aggregated parent snapshot); a "handoff" is an envelope landing
+    // on this process's queue, a "batch" one dequeue, and there is no
+    // bounded-ring fallback path.
+    sink.counter("handoffs", handoffs_.load(std::memory_order_relaxed));
+    sink.counter("handoff_batches",
+                 handoff_pops_.load(std::memory_order_relaxed));
+    sink.counter("handoff_fallbacks", 0);
+    sink.gauge("shards", 1.0);
+  });
   local_metrics_.add_source("mem", [](obs::MetricSink& sink) {
     sink.counter("allocs", alloc::allocations());
     sink.counter("frees", alloc::deallocations());
@@ -634,6 +646,7 @@ void ProcessMachine::enqueue(Pe from, Envelope&& env) {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     queue_.push(QueueItem{env.priority, next_seq_++, from, std::move(env)});
   }
+  handoffs_.fetch_add(1, std::memory_order_relaxed);
   queue_cv_.notify_one();
 }
 
@@ -645,6 +658,7 @@ bool ProcessMachine::execute_one() {
     item = std::move(const_cast<QueueItem&>(queue_.top()));
     queue_.pop();
   }
+  handoff_pops_.fetch_add(1, std::memory_order_relaxed);
   const Pe msg_src = item.env.src_pe;
   const EntryId entry = item.env.entry;
   const MsgKind kind = item.env.kind;

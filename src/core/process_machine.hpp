@@ -308,6 +308,8 @@ class ProcessMachine final : public Machine {
   std::condition_variable queue_cv_;
   std::priority_queue<QueueItem, std::vector<QueueItem>, Later> queue_;
   std::uint64_t next_seq_ = 0;
+  std::atomic<std::uint64_t> handoffs_{0};      ///< envelopes enqueued
+  std::atomic<std::uint64_t> handoff_pops_{0};  ///< queue pops (batches of 1)
   std::atomic<bool> idle_{false};  // child: main thread parked, queue empty
 
   mutable std::mutex stats_mutex_;

@@ -18,6 +18,7 @@ EntryId Registry::add(EntryInfo info) {
     if (entries_[i].invoke == info.invoke) return static_cast<EntryId>(i);
   }
   entries_.push_back(std::move(info));
+  published_.store(entries_.size(), std::memory_order_release);
   return static_cast<EntryId>(entries_.size() - 1);
 }
 
@@ -34,9 +35,19 @@ void Registry::install(std::size_t id, EntryInfo info) {
   MDO_CHECK_MSG(id == entries_.size(),
                 "entry registry gap: a frame's registry delta skipped ids");
   entries_.push_back(std::move(info));
+  published_.store(entries_.size(), std::memory_order_release);
 }
 
 const EntryInfo& Registry::entry(EntryId id) const {
+  // Lock-free fast path: ids below the published watermark are immutable
+  // (the deque never relocates entries and an id, once assigned, is
+  // never rewritten), so the acquire load alone makes the record safe to
+  // read. Every delivery goes through here — taking mutex_ would
+  // serialize all PEs on one lock.
+  if (id >= 0 && static_cast<std::size_t>(id) <
+                     published_.load(std::memory_order_acquire)) {
+    return entries_[static_cast<std::size_t>(id)];
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   MDO_CHECK(id >= 0 && static_cast<std::size_t>(id) < entries_.size());
   return entries_[static_cast<std::size_t>(id)];

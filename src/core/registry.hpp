@@ -10,6 +10,7 @@
 // (install()), and the machine cross-checks per-process fingerprints on
 // its control plane to catch first-use-order divergence.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -60,9 +61,13 @@ class Registry {
  private:
   // deque: growth never relocates entries, so the reference entry()
   // hands out stays valid while other threads register (worker threads
-  // and the ProcessMachine control thread read concurrently).
+  // and the ProcessMachine control thread read concurrently). Writers
+  // serialize on mutex_ and publish the new size with a release store;
+  // entry() reads below published_ without the lock — the delivery hot
+  // path never serializes on a registry mutex.
   mutable std::mutex mutex_;
   std::deque<EntryInfo> entries_;
+  std::atomic<std::size_t> published_{0};
 };
 
 namespace detail {

@@ -43,9 +43,17 @@ Runtime::Runtime(std::unique_ptr<Machine> machine)
     : machine_(std::move(machine)), tree_(machine_->topology()) {
   MDO_CHECK(machine_ != nullptr);
   machine_->bind(this);
+  red_shards_.reserve(static_cast<std::size_t>(machine_->num_pes()));
+  for (int pe = 0; pe < machine_->num_pes(); ++pe) {
+    red_shards_.push_back(std::make_unique<RedShard>());
+  }
   machine_->metrics().add_source("rt", [this](obs::MetricSink& sink) {
     sink.counter("migrations", migrations_);
     sink.counter("migration_bytes", migration_bytes_);
+    sink.counter("broadcast_batches",
+                 bcast_batches_.load(std::memory_order_relaxed));
+    sink.counter("broadcast_elems",
+                 bcast_elems_.load(std::memory_order_relaxed));
     sink.gauge("arrays", static_cast<double>(arrays_.size()));
   });
 }
@@ -58,20 +66,22 @@ ArrayId Runtime::register_array(std::unique_ptr<ArrayBase> array) {
   MDO_CHECK(array != nullptr);
   MDO_CHECK_MSG(array->id() == static_cast<ArrayId>(arrays_.size()),
                 "array constructed with wrong id");
-  arrays_.push_back(ArrayRec{std::move(array), {}, true});
-  return arrays_.back().array->id();
+  auto r = std::make_unique<ArrayRec>();
+  r->array = std::move(array);
+  arrays_.push_back(std::move(r));
+  return arrays_.back()->array->id();
 }
 
 ArrayBase& Runtime::array(ArrayId id) { return *rec(id).array; }
 
 const ArrayBase& Runtime::array(ArrayId id) const {
   MDO_CHECK(id >= 0 && static_cast<std::size_t>(id) < arrays_.size());
-  return *arrays_[static_cast<std::size_t>(id)].array;
+  return *arrays_[static_cast<std::size_t>(id)]->array;
 }
 
 Runtime::ArrayRec& Runtime::rec(ArrayId id) {
   MDO_CHECK(id >= 0 && static_cast<std::size_t>(id) < arrays_.size());
-  return arrays_[static_cast<std::size_t>(id)];
+  return *arrays_[static_cast<std::size_t>(id)];
 }
 
 // -- execution accounting ---------------------------------------------------
@@ -243,11 +253,17 @@ void Runtime::deliver_broadcast(Envelope& env) {
     copy.dst_pe = child;
     post(std::move(copy));
   }
+  // Batched local delivery: iterate this PE's shard partition directly
+  // (sorted order, no per-element hash lookup or index-list copy) so a
+  // broadcast to a 10^6-element array amortizes dispatch per batch.
   ArrayBase& arr = *rec(env.array).array;
-  Pe self = current_pe();
-  for (const Index& index : arr.indices_on(self)) {
-    invoke_on(*arr.find(index), env.entry, env.payload);
-  }
+  std::uint64_t delivered = 0;
+  arr.for_each_on(current_pe(), [&](const Index&, Chare& element) {
+    invoke_on(element, env.entry, env.payload);
+    ++delivered;
+  });
+  bcast_batches_.fetch_add(1, std::memory_order_relaxed);
+  bcast_elems_.fetch_add(delivered, std::memory_order_relaxed);
 }
 
 void Runtime::deliver_multicast(Envelope& env) {
@@ -337,7 +353,12 @@ ReductionClientId Runtime::add_reduction_client_entry(ArrayId array_id,
 }
 
 void Runtime::refresh_subtree_counts(ArrayRec& r) {
-  if (!r.subtree_dirty) return;
+  // Double-checked: reduction accounting runs concurrently on every PE's
+  // thread, but the counts only go stale at quiescent points (creation,
+  // migration, tree rebuild), so the fast path is one acquire load.
+  if (!r.subtree_dirty.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> refresh_lock(subtree_mutex_);
+  if (!r.subtree_dirty.load(std::memory_order_relaxed)) return;
   const auto n = static_cast<std::size_t>(num_pes());
   r.subtree_elems.assign(n, 0);
   // Accumulate bottom-up: process PEs in reverse order of a preorder walk.
@@ -356,7 +377,7 @@ void Runtime::refresh_subtree_counts(ArrayRec& r) {
       total += r.subtree_elems[static_cast<std::size_t>(c)];
     r.subtree_elems[static_cast<std::size_t>(*it)] = total;
   }
-  r.subtree_dirty = false;
+  r.subtree_dirty.store(false, std::memory_order_release);
 }
 
 std::uint32_t Runtime::expected_contributions(ArrayRec& r, Pe pe) {
@@ -394,12 +415,13 @@ void Runtime::reduction_account(Pe pe, ArrayId array_id, std::uint32_t epoch,
                                 ReduceOp op, ReductionClientId client,
                                 const std::vector<double>& data) {
   ArrayRec& r = rec(array_id);
+  RedShard& shard = *red_shards_[static_cast<std::size_t>(pe)];
   bool complete = false;
   PendingReduction done;
   {
-    std::lock_guard<std::mutex> lock(red_mutex_);
-    auto key = std::make_tuple(pe, array_id, epoch);
-    PendingReduction& partial = pending_red_[key];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto key = std::make_pair(array_id, epoch);
+    PendingReduction& partial = shard.pending[key];
     if (!partial.meta_known) {
       partial.op = op;
       partial.client = client;
@@ -412,7 +434,7 @@ void Runtime::reduction_account(Pe pe, ArrayId array_id, std::uint32_t epoch,
     ++partial.contributions;
     if (partial.contributions == expected_contributions(r, pe)) {
       done = std::move(partial);
-      pending_red_.erase(key);
+      shard.pending.erase(key);
       complete = true;
     }
   }
@@ -521,7 +543,7 @@ void Runtime::migrate(ArrayId array_id, const Index& index, Pe to) {
 
 void Runtime::rebuild_tree(const std::vector<bool>& alive) {
   tree_ = ClusterTree(topology(), alive, tree_.mode());
-  for (auto& r : arrays_) r.subtree_dirty = true;
+  for (auto& r : arrays_) r->subtree_dirty = true;
   // Multi-process backends mirror the rebuild into every child process
   // so collective routing stays consistent mesh-wide.
   machine_->on_tree_rebuilt(alive);
@@ -529,7 +551,7 @@ void Runtime::rebuild_tree(const std::vector<bool>& alive) {
 
 void Runtime::set_collective_mode(TreeMode mode) {
   tree_ = ClusterTree(topology(), machine_->alive_pes(), mode);
-  for (auto& r : arrays_) r.subtree_dirty = true;
+  for (auto& r : arrays_) r->subtree_dirty = true;
 }
 
 void Runtime::replace_element(ArrayId array_id, const Index& index, Pe to,

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <span>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/array_base.hpp"
@@ -137,7 +138,9 @@ class Runtime {
   struct ArrayRec {
     std::unique_ptr<ArrayBase> array;
     std::vector<std::size_t> subtree_elems;  ///< per PE, over tree_
-    bool subtree_dirty = true;
+    /// Refreshed lazily under subtree_mutex_ (reduction accounting runs
+    /// concurrently on every PE's thread); set true at quiescent points.
+    std::atomic<bool> subtree_dirty{true};
   };
 
   struct ReductionClient {
@@ -177,12 +180,23 @@ class Runtime {
 
   std::unique_ptr<Machine> machine_;
   ClusterTree tree_;
-  std::vector<ArrayRec> arrays_;
+  // unique_ptr: ArrayRec holds an atomic and must stay address-stable
+  // while worker threads read through rec().
+  std::vector<std::unique_ptr<ArrayRec>> arrays_;
   std::vector<ReductionClient> red_clients_;
 
-  // (pe, array, epoch) -> in-flight partial
-  std::map<std::tuple<Pe, ArrayId, std::uint32_t>, PendingReduction> pending_red_;
-  std::mutex red_mutex_;  ///< ThreadMachine delivers concurrently
+  /// Reduction partials sharded by PE: all contributions keyed to PE p
+  /// are accounted on p's delivery path (contribute() runs inside an
+  /// entry method on p; kReduction envelopes are delivered on p), so
+  /// shards never contend — the per-shard mutex only orders the owning
+  /// worker against pending-count snapshots, replacing the old global
+  /// red_mutex_ every PE serialized on.
+  struct RedShard {
+    std::mutex mutex;
+    std::map<std::pair<ArrayId, std::uint32_t>, PendingReduction> pending;
+  };
+  std::vector<std::unique_ptr<RedShard>> red_shards_;
+  std::mutex subtree_mutex_;  ///< guards lazy subtree-count refresh
 
   // host-call trampoline table
   std::mutex host_mutex_;
@@ -192,6 +206,11 @@ class Runtime {
   std::atomic<std::uint64_t> next_seq_{1};
   std::uint64_t migrations_ = 0;
   std::uint64_t migration_bytes_ = 0;
+
+  // Batched-delivery accounting (rt.broadcast_* metrics): one batch is
+  // one PE-local fan-out of a broadcast over its shard partition.
+  std::atomic<std::uint64_t> bcast_batches_{0};
+  std::atomic<std::uint64_t> bcast_elems_{0};
 };
 
 }  // namespace mdo::core

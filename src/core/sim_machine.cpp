@@ -53,6 +53,16 @@ SimMachine::SimMachine(net::Topology topo, net::GridLatencyModel::Config link,
     sink.gauge("queue_depth", static_cast<double>(queued));
     sink.gauge("parked_depth", static_cast<double>(parked_envelopes()));
   });
+  metrics_.add_source("rt.sched.shard", [this](obs::MetricSink& sink) {
+    // Same schema as the thread backend: here a "handoff" is an envelope
+    // landing on a PE queue and a "batch" is one coalesced wake event
+    // (the DES analogue of a batched inbox pop). No bounded ring, so
+    // there is no fallback path.
+    sink.counter("handoffs", handoffs_);
+    sink.counter("handoff_batches", wake_batches_);
+    sink.counter("handoff_fallbacks", 0);
+    sink.gauge("shards", static_cast<double>(pes_.size()));
+  });
   metrics_.add_source("mem", [](obs::MetricSink& sink) {
     sink.counter("allocs", alloc::allocations());
     sink.counter("frees", alloc::deallocations());
@@ -218,11 +228,20 @@ void SimMachine::enqueue(Pe pe, Envelope&& env) {
     return;
   }
   state.queue.push(QueueItem{env.priority, next_queue_seq_++, std::move(env)});
+  ++handoffs_;
   // Defer the scheduling decision into an engine event so that host-side
   // sends issued before run() do not execute synchronously, and so a
-  // currently-executing PE picks the message up at its busy-end.
+  // currently-executing PE picks the message up at its busy-end. One
+  // in-flight wake covers every message enqueued before it fires: a
+  // busy PE needs no wake at all (finish_execution chains directly into
+  // execute_next), and an idle PE drains its whole queue from one wake,
+  // so a 10^6-message burst schedules one event, not 10^6.
+  if (state.busy || state.wake_scheduled) return;
+  state.wake_scheduled = true;
   engine_.schedule_after(0, [this, pe] {
     PeState& s = pes_[static_cast<std::size_t>(pe)];
+    s.wake_scheduled = false;
+    ++wake_batches_;
     if (!s.busy && !s.dead && !s.queue.empty()) execute_next(pe);
   });
 }

@@ -154,6 +154,11 @@ class SimMachine final : public Machine {
     std::vector<Envelope> pending_outbox;
     bool busy = false;
     bool dead = false;  ///< fail-stop: set once by kill_pe, never cleared
+    /// A zero-delay wake event is already in flight for this PE. Lets a
+    /// burst of enqueues (a broadcast fanning into a 10^6-element array's
+    /// PE) schedule one engine event per batch instead of one per
+    /// message; the wake drains the whole queue via the busy-end chain.
+    bool wake_scheduled = false;
     PeStats stats;
   };
 
@@ -182,6 +187,8 @@ class SimMachine final : public Machine {
   std::vector<PeState> pes_;
   std::uint64_t next_queue_seq_ = 0;
   std::uint64_t kills_ = 0;
+  std::uint64_t handoffs_ = 0;      ///< envelopes enqueued onto PE queues
+  std::uint64_t wake_batches_ = 0;  ///< coalesced zero-delay wake events
 
   /// Envelopes stalled behind quarantine backpressure, per destination.
   std::map<Pe, std::vector<Envelope>> parked_;

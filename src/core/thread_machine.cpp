@@ -11,6 +11,14 @@ namespace {
 
 thread_local Pe t_current_pe = kInvalidPe;
 
+/// Per-PE inbox ring depth. Bursts beyond it spill to the mutex-guarded
+/// overflow list (counted as handoff_fallbacks), so capacity bounds
+/// memory, not correctness.
+constexpr std::size_t kInboxCapacity = 1u << 10;
+
+/// Max envelopes moved from the inbox into the run queue per refill.
+constexpr std::size_t kPopBatch = 256;
+
 }  // namespace
 
 ThreadMachine::ThreadMachine(net::Topology topo,
@@ -27,7 +35,10 @@ ThreadMachine::ThreadMachine(net::Topology topo,
   });
   workers_.reserve(topo_.num_nodes());
   for (std::size_t pe = 0; pe < topo_.num_nodes(); ++pe) {
-    workers_.push_back(std::make_unique<PeWorker>());
+    auto worker = std::make_unique<PeWorker>();
+    worker->inbox = std::make_unique<obs::MpscRing<QueueItem>>(kInboxCapacity);
+    worker->batch.reserve(kPopBatch);
+    workers_.push_back(std::move(worker));
   }
   for (std::size_t node = 0; node < topo_.num_nodes(); ++node) {
     fabric_->set_delivery_handler(
@@ -43,18 +54,18 @@ ThreadMachine::ThreadMachine(net::Topology topo,
   }
   net::register_fabric_metrics(metrics_, *fabric_);
   metrics_.add_source("rt.sched", [this](obs::MetricSink& sink) {
-    std::uint64_t executed = 0, sent = 0, dropped = 0, queued = 0;
-    sim::TimeNs busy = 0;
+    std::uint64_t executed = 0, dropped = 0, queued = 0;
+    std::int64_t busy = 0;
     for (const auto& worker : workers_) {
-      std::lock_guard<std::mutex> lock(worker->mutex);
-      executed += worker->stats.msgs_executed;
-      sent += worker->stats.msgs_sent;
-      dropped += worker->stats.msgs_dropped;
-      busy += worker->stats.busy_ns;
-      queued += worker->queue.size();
+      executed += worker->executed.load(std::memory_order_relaxed);
+      dropped += worker->dropped.load(std::memory_order_relaxed);
+      busy += worker->busy_ns.load(std::memory_order_relaxed);
+      queued += worker->runq_depth.load(std::memory_order_relaxed) +
+                worker->inbox->size() +
+                worker->overflow_count.load(std::memory_order_relaxed);
     }
     sink.counter("msgs_executed", executed);
-    sink.counter("msgs_sent", sent);
+    sink.counter("msgs_sent", 0);
     sink.counter("msgs_dropped", dropped);
     sink.counter("busy_ns", static_cast<std::uint64_t>(busy));
     sink.counter("pes_killed", kills_.load(std::memory_order_acquire));
@@ -68,6 +79,18 @@ ThreadMachine::ThreadMachine(net::Topology topo,
     }
     sink.gauge("queue_depth", static_cast<double>(queued));
     sink.gauge("parked_depth", static_cast<double>(parked_depth));
+  });
+  metrics_.add_source("rt.sched.shard", [this](obs::MetricSink& sink) {
+    std::uint64_t handoffs = 0, batches = 0, fallbacks = 0;
+    for (const auto& worker : workers_) {
+      handoffs += worker->inbox->pushed();
+      batches += worker->inbox->batches();
+      fallbacks += worker->inbox->full_rejects();
+    }
+    sink.counter("handoffs", handoffs);
+    sink.counter("handoff_batches", batches);
+    sink.counter("handoff_fallbacks", fallbacks);
+    sink.gauge("shards", static_cast<double>(workers_.size()));
   });
   metrics_.add_source("mem", [](obs::MetricSink& sink) {
     sink.counter("allocs", alloc::allocations());
@@ -218,17 +241,14 @@ void ThreadMachine::kill_pe(Pe pe) {
     return;
   }
   kills_.fetch_add(1, std::memory_order_acq_rel);
-  std::size_t drained = 0;
+  // The worker itself drains and discards its inbox/run queue: it stays
+  // alive as a drain pump (see worker_loop), so an envelope pushed
+  // concurrently with the kill is still consumed and its pending count
+  // balanced — there is no push-after-drain window.
   {
     std::lock_guard<std::mutex> lock(worker.mutex);
-    while (!worker.queue.empty()) {
-      worker.queue.pop();
-      ++worker.stats.msgs_dropped;
-      ++drained;
-    }
+    worker.cv.notify_all();
   }
-  worker.cv.notify_all();  // wake the worker so it observes `dead` and exits
-  for (std::size_t i = 0; i < drained; ++i) drop_pending();
 }
 
 Pe ThreadMachine::current_pe() const {
@@ -261,11 +281,8 @@ void ThreadMachine::route(Envelope&& env) {
     // A handler that was mid-flight when its PE was killed: its output
     // never reaches the wire (matches the fabric-level squash for frames
     // from dead nodes, but keeps the pending count balanced).
-    PeWorker& worker = *workers_[static_cast<std::size_t>(env.src_pe)];
-    {
-      std::lock_guard<std::mutex> lock(worker.mutex);
-      ++worker.stats.msgs_dropped;
-    }
+    workers_[static_cast<std::size_t>(env.src_pe)]->dropped.fetch_add(
+        1, std::memory_order_relaxed);
     drop_pending();
     return;
   }
@@ -308,11 +325,8 @@ void ThreadMachine::park(Envelope&& env) {
     }
   }
   if (shed) {
-    PeWorker& worker = *workers_[static_cast<std::size_t>(worst.src_pe)];
-    {
-      std::lock_guard<std::mutex> lock(worker.mutex);
-      ++worker.stats.msgs_dropped;
-    }
+    workers_[static_cast<std::size_t>(worst.src_pe)]->dropped.fetch_add(
+        1, std::memory_order_relaxed);
     drop_pending();
   }
   // Re-check after publishing the parked envelope: the clearing thread
@@ -343,42 +357,96 @@ void ThreadMachine::flush_parked(Pe dst) {
 
 void ThreadMachine::enqueue(Pe pe, Envelope&& env) {
   PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
-  {
-    // The dead check happens under the queue lock so it cannot interleave
-    // with kill_pe's drain (a push after the drain would strand pending_
-    // and run() would never see quiescence).
-    std::lock_guard<std::mutex> lock(worker.mutex);
-    if (worker.dead.load(std::memory_order_acquire)) {
-      ++worker.stats.msgs_dropped;
-    } else {
-      worker.queue.push(
-          QueueItem{env.priority,
-                    next_seq_.fetch_add(1, std::memory_order_relaxed),
-                    std::move(env)});
-      worker.cv.notify_one();
-      return;
-    }
+  if (worker.dead.load(std::memory_order_acquire)) {
+    // Fast-path discard. An envelope that races past this check lands in
+    // the inbox and is discarded by the worker's drain pump instead —
+    // either way the pending count stays balanced.
+    worker.dropped.fetch_add(1, std::memory_order_relaxed);
+    drop_pending();
+    return;
   }
-  drop_pending();
+  QueueItem item{env.priority, next_seq_.fetch_add(1, std::memory_order_relaxed),
+                 std::move(env)};
+  if (!worker.inbox->try_push(std::move(item))) {
+    // Ring full: spill to the overflow list under the mutex. Rare by
+    // construction (the ring absorbs bursts), and never drops.
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.overflow.push_back(std::move(item));
+    worker.overflow_count.store(worker.overflow.size(),
+                                std::memory_order_release);
+    worker.cv.notify_one();
+    return;
+  }
+  // Lock-free handoff done; wake the consumer only if it is (or is about
+  // to go) sleeping. The seq_cst publish in try_push pairs with the
+  // worker's seq_cst sleep-flag store: one of the two sides always sees
+  // the other (store-buffering litmus), so no wake-up is lost.
+  if (worker.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.cv.notify_one();
+  }
+}
+
+std::size_t ThreadMachine::refill_runq(PeWorker& worker) {
+  worker.batch.clear();
+  std::size_t moved = worker.inbox->pop_batch(worker.batch, kPopBatch);
+  if (worker.overflow_count.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    for (QueueItem& item : worker.overflow) {
+      worker.batch.push_back(std::move(item));
+      ++moved;
+    }
+    worker.overflow.clear();
+    worker.overflow_count.store(0, std::memory_order_release);
+  }
+  for (QueueItem& item : worker.batch) worker.runq.push(std::move(item));
+  return moved;
+}
+
+void ThreadMachine::discard_runq(PeWorker& worker) {
+  std::size_t drained = 0;
+  while (!worker.runq.empty()) {
+    worker.runq.pop();
+    ++drained;
+  }
+  worker.runq_depth.store(0, std::memory_order_relaxed);
+  worker.dropped.fetch_add(drained, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < drained; ++i) drop_pending();
 }
 
 void ThreadMachine::worker_loop(Pe pe) {
   t_current_pe = pe;
   PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
   while (true) {
-    QueueItem item{0, 0, Envelope{}};
-    {
-      std::unique_lock<std::mutex> lock(worker.mutex);
-      worker.cv.wait(lock, [&] {
-        return stopping_.load(std::memory_order_acquire) ||
-               worker.dead.load(std::memory_order_acquire) ||
-               !worker.queue.empty();
-      });
-      if (stopping_.load(std::memory_order_acquire)) return;
-      if (worker.dead.load(std::memory_order_acquire)) return;
-      item = std::move(const_cast<QueueItem&>(worker.queue.top()));
-      worker.queue.pop();
+    if (stopping_.load(std::memory_order_acquire)) return;
+    refill_runq(worker);
+
+    if (worker.dead.load(std::memory_order_acquire)) {
+      // Drain pump: a killed PE never executes again, but its worker
+      // keeps consuming (and discarding) whatever still lands in the
+      // inbox so quiescence accounting cannot strand.
+      discard_runq(worker);
     }
+
+    if (worker.runq.empty()) {
+      std::unique_lock<std::mutex> lock(worker.mutex);
+      worker.sleeping.store(true, std::memory_order_seq_cst);
+      if (!worker.inbox->consumer_has_items() &&
+          worker.overflow_count.load(std::memory_order_acquire) == 0 &&
+          !stopping_.load(std::memory_order_acquire)) {
+        worker.cv.wait(lock, [&] {
+          return stopping_.load(std::memory_order_acquire) ||
+                 worker.inbox->consumer_has_items() ||
+                 worker.overflow_count.load(std::memory_order_acquire) > 0;
+        });
+      }
+      worker.sleeping.store(false, std::memory_order_relaxed);
+      continue;
+    }
+
+    QueueItem item = std::move(const_cast<QueueItem&>(worker.runq.top()));
+    worker.runq.pop();
+    worker.runq_depth.store(worker.runq.size(), std::memory_order_relaxed);
 
     // Captured before the move: the envelope is gone once delivered, but
     // the trace event still needs its provenance.
@@ -402,17 +470,13 @@ void ThreadMachine::worker_loop(Pe pe) {
           pe, since_start(t0), since_start(t1), msg_src, entry, kind});
     }
 
-    bool idle_now = false;
-    {
-      std::lock_guard<std::mutex> lock(worker.mutex);
-      worker.stats.busy_ns +=
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
-      ++worker.stats.msgs_executed;
-      idle_now = worker.queue.empty();
-    }
-    // Outside the mailbox lock: the idle callback reaches into the fabric
-    // (coalesce flush), whose lock is taken while delivering into
-    // mailboxes — calling under worker.mutex would invert that order.
+    worker.busy_ns.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count(),
+        std::memory_order_relaxed);
+    worker.executed.fetch_add(1, std::memory_order_relaxed);
+
+    const bool idle_now =
+        worker.runq.empty() && !worker.inbox->consumer_has_items();
     if (idle_now && on_pe_idle_ && !worker.dead.load(std::memory_order_acquire))
       on_pe_idle_(pe);
 
@@ -447,9 +511,13 @@ void ThreadMachine::stop() {
 
 PeStats ThreadMachine::pe_stats(Pe pe) const {
   MDO_CHECK(pe >= 0 && pe < num_pes());
-  PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
-  std::lock_guard<std::mutex> lock(worker.mutex);
-  return worker.stats;
+  const PeWorker& worker = *workers_[static_cast<std::size_t>(pe)];
+  PeStats stats;
+  stats.busy_ns = worker.busy_ns.load(std::memory_order_relaxed);
+  stats.msgs_executed = worker.executed.load(std::memory_order_relaxed);
+  stats.msgs_sent = 0;
+  stats.msgs_dropped = worker.dropped.load(std::memory_order_relaxed);
+  return stats;
 }
 
 bool ThreadMachine::pe_alive(Pe pe) const {

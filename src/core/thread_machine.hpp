@@ -20,6 +20,7 @@
 #include "net/latency_model.hpp"
 #include "net/reliable.hpp"
 #include "net/thread_fabric.hpp"
+#include "obs/mpsc_ring.hpp"
 #include "obs/ring_buffer.hpp"
 
 namespace mdo::core {
@@ -140,16 +141,42 @@ class ThreadMachine final : public Machine {
       return a.seq > b.seq;
     }
   };
+  /// Sharded scheduler: each PE owns a lock-free MPSC inbox ring (any
+  /// thread pushes, only this PE's worker pops — in batches) feeding a
+  /// consumer-private priority run queue. The mutex+cv pair exists only
+  /// for the sleep/wake handshake and the ring-full overflow list; the
+  /// steady-state handoff takes no lock. The publish store in the ring
+  /// and the `sleeping` flag are both seq_cst, so a producer that reads
+  /// sleeping==false and a consumer that reads ring-empty cannot both
+  /// happen (store-buffering litmus) — no wake-up is ever lost.
   struct PeWorker {
-    std::mutex mutex;
+    std::unique_ptr<obs::MpscRing<QueueItem>> inbox;
+    std::mutex mutex;              ///< sleep/wake + overflow only
     std::condition_variable cv;
-    std::priority_queue<QueueItem, std::vector<QueueItem>, Later> queue;
-    PeStats stats;
+    std::vector<QueueItem> overflow;  ///< ring-full fallback (never drops)
+    std::atomic<std::size_t> overflow_count{0};
+    std::atomic<bool> sleeping{false};
     std::atomic<bool> dead{false};  ///< fail-stop: set once, never cleared
+
+    // Stats as atomics: producers (drops) and the worker (execution)
+    // update without taking the worker mutex on the hot path.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::int64_t> busy_ns{0};
+    std::atomic<std::size_t> runq_depth{0};  ///< metrics snapshot
+
+    // Consumer-private state: only the worker thread touches these.
+    std::priority_queue<QueueItem, std::vector<QueueItem>, Later> runq;
+    std::vector<QueueItem> batch;  ///< pop_batch scratch
     std::thread thread;
   };
 
   void worker_loop(Pe pe);
+  /// Move everything from inbox/overflow into the consumer-private runq.
+  /// Returns the number of items transferred. Worker thread only.
+  std::size_t refill_runq(PeWorker& worker);
+  /// Discard the runq of a crashed PE, balancing the pending count.
+  void discard_runq(PeWorker& worker);
   void enqueue(Pe pe, Envelope&& env);
   void route(Envelope&& env);
   /// A message left the pending count without executing (crashed PE).

@@ -52,6 +52,8 @@ struct ParityRun {
   double sum = 0.0;
   std::uint64_t wan_wire_frames = 0;
   std::uint64_t msgs_executed = 0;
+  std::uint64_t shard_handoffs = 0;   ///< rt.sched.shard.handoffs
+  double shards = 0.0;                ///< rt.sched.shard.shards gauge
   std::set<std::string> metric_keys;  ///< rt./mem./trace.-prefixed names
   std::vector<core::TraceEvent> trace;
   int num_pes = 0;
@@ -86,6 +88,8 @@ ParityRun run_reduction(grid::Backend backend, int rounds) {
   out.wan_wire_frames = rt.machine().fabric_stats().wan_wire_frames;
   auto snap = rt.machine().metrics().snapshot();
   out.msgs_executed = snap.counter("rt.sched.msgs_executed");
+  out.shard_handoffs = snap.counter("rt.sched.shard.handoffs");
+  out.shards = snap.gauge("rt.sched.shard.shards");
   for (const auto& [name, value] : snap.values) {
     if (name.rfind("rt.", 0) == 0 || name.rfind("mem.", 0) == 0 ||
         name.rfind("trace.", 0) == 0) {
@@ -138,6 +142,31 @@ TEST(BackendParity, TraceSchemaAgrees) {
     }
     EXPECT_EQ(pes_seen.size(), static_cast<std::size_t>(r.num_pes))
         << backend_name(b) << ": every PE must appear in the trace";
+  }
+}
+
+TEST(BackendParity, ShardedSchedulerKeepsReductionsAndShardSchemaAligned) {
+  // The sharded delivery path (per-PE run queues + MPSC handoff rings)
+  // must be invisible at the message layer: the reduced value stays
+  // bitwise identical, and every backend publishes the same
+  // rt.sched.shard.* schema — handoffs/handoff_batches/handoff_fallbacks
+  // counters plus a shards gauge equal to the PE count (the process
+  // backend sums one single-shard source per forked PE).
+  const std::set<std::string> want = {
+      "rt.sched.shard.handoff_batches", "rt.sched.shard.handoff_fallbacks",
+      "rt.sched.shard.handoffs", "rt.sched.shard.shards"};
+  ParityRun ref = run_reduction(grid::Backend::kSim, 3);
+  for (grid::Backend b : kBackends) {
+    ParityRun r = run_reduction(b, 3);
+    EXPECT_DOUBLE_EQ(r.sum, ref.sum) << backend_name(b);
+    std::set<std::string> shard_keys;
+    for (const auto& key : r.metric_keys) {
+      if (key.rfind("rt.sched.shard.", 0) == 0) shard_keys.insert(key);
+    }
+    EXPECT_EQ(shard_keys, want) << backend_name(b);
+    EXPECT_GT(r.shard_handoffs, 0u) << backend_name(b);
+    EXPECT_DOUBLE_EQ(r.shards, static_cast<double>(r.num_pes))
+        << backend_name(b);
   }
 }
 

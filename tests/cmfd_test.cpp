@@ -1,0 +1,155 @@
+// CMFD lattice-sweep app: golden agreement with the sequential
+// reference, bitwise backend parity (Sim/Thread/Process), deterministic
+// seeded replay under the full loss+crash-detector+coalescing stack,
+// and the hierarchical-tree WAN saving on a 4-cluster layout.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "apps/cmfd/cmfd.hpp"
+#include "core/runtime.hpp"
+#include "core/sim_machine.hpp"
+#include "grid/scenario.hpp"
+
+namespace {
+
+using namespace mdo;
+using apps::cmfd::CmfdApp;
+using apps::cmfd::Params;
+using core::Runtime;
+
+Params small_params() {
+  Params p;
+  p.lattice = 32;
+  p.tiles = 16;  // 4×4 tiles of 8×8 cells
+  return p;
+}
+
+TEST(Cmfd, MatchesSequentialReferenceOnSim) {
+  const std::int32_t iters = 5;
+  Runtime rt(grid::make_machine(
+      grid::Scenario::artificial(4, sim::milliseconds(2.0))));
+  CmfdApp app(rt, small_params());
+  app.run_iters(iters);
+
+  apps::cmfd::Reference ref =
+      apps::cmfd::sequential_reference(small_params(), iters);
+  ASSERT_GT(ref.k_eff, 0.0);
+  auto flux = app.gather_flux();
+  ASSERT_EQ(flux.size(), ref.flux.size());
+  for (std::size_t i = 0; i < flux.size(); ++i)
+    ASSERT_NEAR(flux[i], ref.flux[i], 1e-12) << "cell " << i;
+  const auto* tile = app.proxy().local(core::Index(0, 0));
+  ASSERT_NE(tile, nullptr);
+  EXPECT_NEAR(tile->k_eff(), ref.k_eff, 1e-12);
+  EXPECT_NEAR(tile->residual(), ref.residual, 1e-12);
+  EXPECT_EQ(tile->iters_done(), iters);
+}
+
+TEST(Cmfd, RestartContinuesFromQuiescence) {
+  // Two phases of 3 iterations equal one phase of 6: the wavefront
+  // restarts cleanly from the idle state, early edges included.
+  auto run = [](std::vector<std::int32_t> phases) {
+    Runtime rt(grid::make_machine(
+        grid::Scenario::artificial(4, sim::milliseconds(2.0))));
+    CmfdApp app(rt, small_params());
+    for (std::int32_t n : phases) app.run_iters(n);
+    return app.collect();
+  };
+  auto split = run({3, 3});
+  auto whole = run({6});
+  ASSERT_FALSE(split.empty());
+  EXPECT_EQ(split, whole);
+}
+
+TEST(Cmfd, ThreadBackendIsBitIdenticalToSim) {
+  const std::int32_t iters = 4;
+  auto run = [&](grid::Backend backend) {
+    grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(2.0));
+    core::MachineOptions opts;
+    opts.emulate_charge = false;
+    Runtime rt(grid::make_machine(s, backend, opts));
+    CmfdApp app(rt, small_params());
+    app.run_iters(iters);
+    return std::make_pair(app.collect(), app.gather_flux());
+  };
+  auto [sim_report, sim_flux] = run(grid::Backend::kSim);
+  auto [thr_report, thr_flux] = run(grid::Backend::kThread);
+  ASSERT_FALSE(sim_report.empty());
+  // Tile-private reduction slots + fixed-order combining: no tolerance.
+  EXPECT_EQ(sim_report, thr_report);
+  EXPECT_EQ(sim_flux, thr_flux);
+}
+
+TEST(Cmfd, ProcessBackendReportsTheSameReduction) {
+  const std::int32_t iters = 3;
+  Params p;
+  p.lattice = 16;
+  p.tiles = 4;
+  auto run = [&](grid::Backend backend) {
+    grid::Scenario s = grid::Scenario::artificial(4, sim::milliseconds(2.0));
+    core::MachineOptions opts;
+    opts.emulate_charge = false;
+    Runtime rt(grid::make_machine(s, backend, opts));
+    CmfdApp app(rt, p);
+    app.run_iters(iters);
+    return app.collect();
+  };
+  auto sim_report = run(grid::Backend::kSim);
+  auto proc_report = run(grid::Backend::kProcess);
+  ASSERT_FALSE(sim_report.empty());
+  EXPECT_EQ(sim_report, proc_report);
+}
+
+TEST(Cmfd, FourClusterHierarchicalTreeCutsWanFrames) {
+  // The sweep's CMFD rounds are broadcast+reduction trips; on a 4-site
+  // grid the topology-aware tree must cross the WAN less than the flat
+  // one while producing the same physics.
+  auto run = [&](core::TreeMode mode, std::vector<double>* report) {
+    grid::Scenario s = grid::Scenario::artificial(16, sim::milliseconds(2.0))
+                           .with_clusters(4);
+    Runtime rt(grid::make_machine(s));
+    rt.set_collective_mode(mode);
+    CmfdApp app(rt, small_params());
+    CmfdApp::PhaseResult r = app.run_iters(4);
+    *report = app.collect();
+    return r.fabric.wan_wire_frames;
+  };
+  std::vector<double> flat_report, hier_report;
+  std::uint64_t flat = run(core::TreeMode::kFlat, &flat_report);
+  std::uint64_t hier = run(core::TreeMode::kHierarchical, &hier_report);
+  ASSERT_GT(flat, 0u);
+  EXPECT_LT(hier, flat) << "flat=" << flat << " hier=" << hier;
+  EXPECT_EQ(flat_report, hier_report);
+}
+
+TEST(Cmfd, FourClusterLossyCrashyCoalescedReplayIsBitIdentical) {
+  // The full stack — per-pair delays, seeded loss, the failure
+  // detector, coalescing — must keep the sweep a deterministic function
+  // of the seed on the virtual-time machine.
+  auto run_once = [] {
+    grid::Scenario s = grid::Scenario::artificial(16, sim::milliseconds(2.0))
+                           .with_clusters(4)
+                           .with_loss(/*drop=*/0.02, /*seed=*/7)
+                           .with_crashes()
+                           .with_coalescing();
+    auto machine = grid::make_machine(s);
+    auto* raw = static_cast<core::SimMachine*>(machine.get());
+    Runtime rt(std::move(machine));
+    CmfdApp app(rt, small_params());
+    app.run_iters(4);
+    auto report = app.collect();
+    return std::make_tuple(raw->metrics().snapshot(), rt.now(),
+                           std::move(report));
+  };
+  auto [snap_a, end_a, report_a] = run_once();
+  auto [snap_b, end_b, report_b] = run_once();
+  EXPECT_EQ(snap_a, snap_b);
+  EXPECT_EQ(end_a, end_b);
+  EXPECT_EQ(report_a, report_b);
+  EXPECT_GT(snap_a.counter("net.fault.dropped"), 0u);
+}
+
+}  // namespace
